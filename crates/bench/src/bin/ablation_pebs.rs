@@ -1,0 +1,73 @@
+//! **Ablation (paper §III.B "Synchronizing LBR and stack sample")**: PEBS
+//! on vs off.
+//!
+//! "Due to sampling skid, we observed that stack sample can sometimes lag
+//! behind LBR sample by one frame. Fortunately, PEBS can be used to
+//! eliminate the skid so both stack sample and LBR sample are always
+//! synchronized."
+//!
+//! Without PEBS our simulator drops the leaf frame from ~1/3 of stack
+//! samples; the unwinder then reconstructs fewer and shallower contexts,
+//! and end-to-end CSSPGO performance suffers.
+
+use csspgo_bench::{experiment_config, improvement_pct, traffic_scale};
+use csspgo_codegen::lower_module;
+use csspgo_core::context::ContextProfile;
+use csspgo_core::pipeline::{run_pgo_cycle, PgoVariant};
+use csspgo_core::ranges::RangeCounts;
+use csspgo_core::tailcall::TailCallGraph;
+use csspgo_core::unwind::Unwinder;
+use csspgo_sim::{Machine, SimConfig};
+
+fn main() {
+    let mut cfg = experiment_config();
+    let scale = traffic_scale();
+    println!("# Ablation — PEBS vs sampling skid (ad_retriever), scale={scale}");
+    let w = csspgo_workloads::ad_retriever().scaled(scale);
+
+    let autofdo = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg).expect("autofdo");
+
+    println!("| sampling | broken stacks | context samples | trie nodes | full CSSPGO vs AutoFDO |");
+    println!("|---|---|---|---|---|");
+    for pebs in [true, false] {
+        cfg.pebs = pebs;
+        // Direct unwinder statistics on the probed profiling binary.
+        let mut m = csspgo_lang::compile(&w.source, &w.name).expect("compiles");
+        csspgo_opt::discriminators::run(&mut m);
+        csspgo_opt::probes::run(&mut m);
+        csspgo_opt::run_pipeline(&mut m, &cfg.opt);
+        let b = lower_module(&m, &cfg.codegen);
+        let mut machine = Machine::new(
+            &b,
+            SimConfig {
+                sample_period: cfg.sample_period,
+                pebs,
+                ..SimConfig::default()
+            },
+        );
+        for (n, v) in &w.setup {
+            machine.set_global(n, v);
+        }
+        for args in &w.train_calls {
+            machine.call(&w.entry, args).expect("runs");
+        }
+        let samples = machine.take_samples();
+        let mut rc = RangeCounts::default();
+        rc.add_samples(&b, &samples);
+        let graph = TailCallGraph::build(&b, &rc);
+        let mut profile = ContextProfile::new();
+        let mut uw = Unwinder::new(&b, Some(&graph));
+        uw.unwind_into(&samples, &mut profile);
+
+        let outcome = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).expect("full");
+        println!(
+            "| {} | {} | {} | {} | {:+.2}% |",
+            if pebs { "PEBS (`:upp`)" } else { "no PEBS (skid)" },
+            uw.broken_stacks,
+            profile.total(),
+            profile.node_count(),
+            improvement_pct(autofdo.eval.cycles, outcome.eval.cycles),
+        );
+    }
+    println!("\n(the paper's `perf record -g --call-graph fp -e br_inst_retired.near_taken:upp`)");
+}

@@ -1,0 +1,39 @@
+//! **Ablation (paper §III.A "flexible framework")**: how strongly probes
+//! block optimizations trades run-time overhead against profile accuracy.
+//!
+//! The paper: "If an implementation can tolerate higher run-time overhead,
+//! it can choose to make pseudo-probe a stronger optimization barrier to
+//! better preserve original control flow and vice versa. ... we fine-tune a
+//! few critical optimizations, including if-convert, machine sink and
+//! instruction scheduling, to be unblocked by pseudo-probe."
+
+use csspgo_bench::{experiment_config, run_variants, traffic_scale};
+use csspgo_core::overlap::program_overlap;
+use csspgo_core::pipeline::{build_and_run, PgoVariant};
+use csspgo_ir::probe::ProbeConfig;
+
+fn main() {
+    let mut cfg = experiment_config();
+    let scale = traffic_scale();
+    println!("# Ablation — probe optimization-blocking strength (hhvm), scale={scale}");
+    let w = csspgo_workloads::hhvm().scaled(scale);
+
+    println!("| probe tuning | probed binary cycles | overhead vs unprobed | block overlap vs instr |");
+    println!("|---|---|---|---|");
+    let (plain, _) = build_and_run(&w, false, &cfg).expect("plain build");
+    for (name, probe_cfg) in [
+        ("low-overhead (production)", ProbeConfig::low_overhead()),
+        ("high-accuracy (barrier)", ProbeConfig::high_accuracy()),
+    ] {
+        cfg.opt.probe = probe_cfg;
+        let (probed, _) = build_and_run(&w, true, &cfg).expect("probed build");
+        let overhead =
+            (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
+        let o = run_variants(&w, &[PgoVariant::CsspgoFull, PgoVariant::Instr], &cfg);
+        let overlap = program_overlap(
+            &o[&PgoVariant::CsspgoFull].quality_counts,
+            &o[&PgoVariant::Instr].quality_counts,
+        ) * 100.0;
+        println!("| {name} | {} | {overhead:+.3}% | {overlap:.1}% |", probed.cycles);
+    }
+}

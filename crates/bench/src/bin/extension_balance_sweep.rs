@@ -1,0 +1,72 @@
+//! **Extension (paper §VI future work)**: "Future work may explore a
+//! different overhead and performance balance with CSSPGO to further
+//! approach instrumentation-based PGO performance."
+//!
+//! This sweep enumerates the probe-blocking lattice between the production
+//! low-overhead point and the full-barrier point, measuring for each:
+//! profiling-binary overhead (what production pays) and the resulting full
+//! CSSPGO evaluation performance (what better correlation buys).
+
+use csspgo_bench::{experiment_config, improvement_pct, traffic_scale};
+use csspgo_core::pipeline::{build_and_run, run_pgo_cycle, PgoVariant};
+use csspgo_ir::probe::ProbeConfig;
+
+fn main() {
+    let mut cfg = experiment_config();
+    let scale = traffic_scale();
+    println!("# Extension — probe overhead/accuracy balance sweep (hhvm), scale={scale}");
+    let w = csspgo_workloads::hhvm().scaled(scale);
+
+    let (plain, _) = build_and_run(&w, false, &cfg).expect("plain build");
+    let autofdo = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg).expect("autofdo");
+    let instr = run_pgo_cycle(&w, PgoVariant::Instr, &cfg).expect("instr");
+    let instr_gain = improvement_pct(autofdo.eval.cycles, instr.eval.cycles);
+    println!("(Instr PGO reference: {instr_gain:+.2}% over AutoFDO)\n");
+
+    let points = [
+        (
+            "production (nothing blocked)",
+            ProbeConfig {
+                block_if_convert: false,
+                block_code_motion: false,
+                block_jump_threading: false,
+            },
+        ),
+        (
+            "+ block if-convert",
+            ProbeConfig {
+                block_if_convert: true,
+                block_code_motion: false,
+                block_jump_threading: false,
+            },
+        ),
+        (
+            "+ block code motion",
+            ProbeConfig {
+                block_if_convert: true,
+                block_code_motion: true,
+                block_jump_threading: false,
+            },
+        ),
+        (
+            "full barrier (+ block duplication)",
+            ProbeConfig::high_accuracy(),
+        ),
+    ];
+
+    println!("| probe tuning | profiling overhead % | full CSSPGO vs AutoFDO |");
+    println!("|---|---|---|");
+    for (name, probe) in points {
+        cfg.opt.probe = probe;
+        let (probed, _) = build_and_run(&w, true, &cfg).expect("probed build");
+        let overhead =
+            (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
+        let o = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).expect("full cycle");
+        println!(
+            "| {name} | {overhead:+.3} | {:+.2}% |",
+            improvement_pct(autofdo.eval.cycles, o.eval.cycles)
+        );
+    }
+    println!("\n(each step preserves more of the original CFG in the profiling binary");
+    println!(" at the cost of disabling an optimization there — §III.A's dial)");
+}

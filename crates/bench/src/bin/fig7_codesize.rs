@@ -1,0 +1,32 @@
+//! **Fig. 7**: code size of probe-only and full CSSPGO relative to AutoFDO.
+//!
+//! Paper shapes: CSSPGO produces *smaller* text than AutoFDO on most
+//! workloads, and full CSSPGO (with the more selective pre-inliner) is
+//! smaller than probe-only; one workload (HaaS) stays within ±1%.
+
+use csspgo_bench::{experiment_config, run_variants, size_delta_pct, traffic_scale};
+use csspgo_core::pipeline::PgoVariant;
+
+fn main() {
+    let cfg = experiment_config();
+    let scale = traffic_scale();
+    println!("# Fig. 7 — text size vs AutoFDO (negative = smaller), scale={scale}");
+    println!("| workload | AutoFDO text | probe-only Δ% | full CSSPGO Δ% |");
+    println!("|---|---|---|---|");
+    for w in csspgo_workloads::server_workloads() {
+        let w = w.scaled(scale);
+        let o = run_variants(
+            &w,
+            &[
+                PgoVariant::AutoFdo,
+                PgoVariant::CsspgoProbeOnly,
+                PgoVariant::CsspgoFull,
+            ],
+            &cfg,
+        );
+        let base = o[&PgoVariant::AutoFdo].sections.text;
+        let probe = size_delta_pct(base, o[&PgoVariant::CsspgoProbeOnly].sections.text);
+        let full = size_delta_pct(base, o[&PgoVariant::CsspgoFull].sections.text);
+        println!("| {} | {} | {probe:+.2} | {full:+.2} |", w.name, base);
+    }
+}

@@ -1,0 +1,29 @@
+//! **Fig. 8**: run-time overhead of pseudo-instrumentation.
+//!
+//! Two identical `-O2` builds — one with pseudo-probes, one without — run
+//! the same traffic. Paper shape: the delta is within noise for every
+//! workload (and occasionally *negative*: "this can happen when the
+//! inserted pseudo-probes block undesirable optimizations"). Contrast with
+//! the instrumented binary's slowdown (the 73% of Table I).
+
+use csspgo_bench::{experiment_config, traffic_scale};
+use csspgo_core::pipeline::build_and_run;
+
+fn main() {
+    let cfg = experiment_config();
+    let scale = traffic_scale();
+    println!("# Fig. 8 — pseudo-instrumentation run-time overhead, scale={scale}");
+    println!("| workload | no probes (cycles) | probes (cycles) | overhead % |");
+    println!("|---|---|---|---|");
+    for w in csspgo_workloads::server_workloads() {
+        let w = w.scaled(scale);
+        let (plain, _) = build_and_run(&w, false, &cfg).expect("plain build runs");
+        let (probed, _) = build_and_run(&w, true, &cfg).expect("probed build runs");
+        let overhead =
+            (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
+        println!(
+            "| {} | {} | {} | {overhead:+.3} |",
+            w.name, plain.cycles, probed.cycles
+        );
+    }
+}

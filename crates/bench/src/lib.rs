@@ -1,0 +1,72 @@
+//! Shared harness utilities for the experiment binaries (`fig6_perf`,
+//! `fig7_codesize`, …) that regenerate the paper's tables and figures.
+
+use csspgo_core::pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig};
+use csspgo_core::Workload;
+use std::collections::HashMap;
+
+/// Scale factor applied to workload traffic; override with the
+/// `CSSPGO_SCALE` environment variable (e.g. `0.1` for a quick pass).
+pub fn traffic_scale() -> f64 {
+    std::env::var("CSSPGO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// The standard experiment configuration.
+pub fn experiment_config() -> PipelineConfig {
+    PipelineConfig::default()
+}
+
+/// Runs every requested variant for a workload, asserting behavioural
+/// equivalence across variants (same eval-result hash).
+pub fn run_variants(
+    workload: &Workload,
+    variants: &[PgoVariant],
+    config: &PipelineConfig,
+) -> HashMap<PgoVariant, PgoOutcome> {
+    let mut out = HashMap::new();
+    let mut hash: Option<u64> = None;
+    for &v in variants {
+        let o = run_pgo_cycle(workload, v, config)
+            .unwrap_or_else(|e| panic!("{} / {v}: {e}", workload.name));
+        match hash {
+            None => hash = Some(o.eval_result_hash),
+            Some(h) => assert_eq!(
+                h, o.eval_result_hash,
+                "{} variant {v} changed program behaviour",
+                workload.name
+            ),
+        }
+        out.insert(v, o);
+    }
+    out
+}
+
+/// Percentage improvement of `new` over `base` (positive = faster).
+pub fn improvement_pct(base_cycles: u64, new_cycles: u64) -> f64 {
+    (base_cycles as f64 - new_cycles as f64) / base_cycles as f64 * 100.0
+}
+
+/// Percentage size delta of `new` vs `base` (negative = smaller).
+pub fn size_delta_pct(base: u64, new: u64) -> f64 {
+    (new as f64 - base as f64) / base as f64 * 100.0
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_pct(100, 95), 5.0);
+        assert_eq!(improvement_pct(100, 105), -5.0);
+        assert_eq!(size_delta_pct(100, 95), -5.0);
+    }
+}

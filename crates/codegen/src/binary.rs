@@ -1,0 +1,154 @@
+//! The binary image: flat machine code with addresses, symbols, debug-line
+//! metadata and the pseudo-probe metadata section.
+
+use crate::minst::MInst;
+use csspgo_ir::{FuncId, Global};
+use serde::{Deserialize, Serialize};
+
+/// Encoded sizes of the binary's sections, in bytes (Fig. 9's metric).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SectionSizes {
+    /// Machine code.
+    pub text: u64,
+    /// DWARF-style line table + inline descriptors.
+    pub debug_line: u64,
+    /// Pseudo-probe metadata (self-contained, never loaded at run time).
+    pub pseudo_probe: u64,
+}
+
+impl SectionSizes {
+    /// Total binary size (text + debug info; the probe section is
+    /// included since Fig. 9 reports it as a percentage of this total).
+    pub fn total(&self) -> u64 {
+        self.text + self.debug_line + self.pseudo_probe
+    }
+}
+
+/// Per-function symbol information.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BinFunc {
+    /// The function's id in the module this binary was built from.
+    pub id: FuncId,
+    /// Stable GUID (name hash).
+    pub guid: u64,
+    /// Source name.
+    pub name: String,
+    /// Source line of the function header.
+    pub start_line: u32,
+    /// Number of virtual registers the function uses (frame size).
+    pub num_vregs: usize,
+    /// CFG checksum recorded at probe insertion, if the build had probes.
+    pub probe_checksum: Option<u64>,
+    /// Flat index of the entry instruction.
+    pub entry: usize,
+    /// `[start, end)` flat indices of the hot part.
+    pub hot_range: (usize, usize),
+    /// `[start, end)` flat indices of the cold part (empty if not split).
+    pub cold_range: (usize, usize),
+}
+
+impl BinFunc {
+    /// Whether flat index `idx` belongs to this function.
+    pub fn contains(&self, idx: usize) -> bool {
+        (idx >= self.hot_range.0 && idx < self.hot_range.1)
+            || (idx >= self.cold_range.0 && idx < self.cold_range.1)
+    }
+}
+
+/// A fully laid-out program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Binary {
+    /// All instructions, hot parts first (in module function order), then
+    /// every function's cold part.
+    pub insts: Vec<MInst>,
+    /// Start byte address of each instruction.
+    pub addrs: Vec<u64>,
+    /// Function index (into [`Binary::funcs`]) per instruction.
+    pub func_of: Vec<u32>,
+    /// Function symbols, indexed in module order (so `FuncId` indexes this
+    /// table directly).
+    pub funcs: Vec<BinFunc>,
+    /// Encoded section sizes.
+    pub sections: SectionSizes,
+    /// Number of instrumentation counters referenced by the code.
+    pub num_counters: u32,
+    /// Data memory image (copied from the module's globals).
+    pub globals: Vec<Global>,
+}
+
+impl Binary {
+    /// The flat index of the instruction whose byte range contains `addr`.
+    pub fn index_of_addr(&self, addr: u64) -> Option<usize> {
+        if self.addrs.is_empty() {
+            return None;
+        }
+        let i = self.addrs.partition_point(|&a| a <= addr);
+        if i == 0 {
+            return None;
+        }
+        let idx = i - 1;
+        let size = self.insts[idx].size as u64;
+        (addr < self.addrs[idx] + size).then_some(idx)
+    }
+
+    /// Start address of instruction `idx`.
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        self.addrs[idx]
+    }
+
+    /// The function containing instruction `idx`.
+    pub fn func_at(&self, idx: usize) -> &BinFunc {
+        &self.funcs[self.func_of[idx] as usize]
+    }
+
+    /// Looks a function up by GUID.
+    pub fn func_by_guid(&self, guid: u64) -> Option<&BinFunc> {
+        self.funcs.iter().find(|f| f.guid == guid)
+    }
+
+    /// Looks a function up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&BinFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// DWARF-style symbolization of instruction `idx`: the chain of
+    /// `(function, line, discriminator)` frames, outermost call site first,
+    /// the instruction's own (leaf) frame last. Empty when the instruction
+    /// has no line info.
+    pub fn debug_frames(&self, idx: usize) -> Vec<(FuncId, u32, u32)> {
+        let loc = &self.insts[idx].loc;
+        if loc.is_none() {
+            return Vec::new();
+        }
+        let mut frames: Vec<(FuncId, u32, u32)> = loc
+            .inline_stack
+            .iter()
+            .map(|s| (s.func, s.line, s.discriminator))
+            .collect();
+        let leaf_scope = if loc.scope == FuncId::INVALID {
+            self.funcs[self.func_of[idx] as usize].id
+        } else {
+            loc.scope
+        };
+        frames.push((leaf_scope, loc.line, loc.discriminator));
+        frames
+    }
+
+    /// The *function identity* inline stack at `idx`: outermost function
+    /// first, leaf (innermost inlined) function last. This is the
+    /// `GetInlinedFrames` of the paper's Algorithms 1 and 3.
+    pub fn inlined_funcs(&self, idx: usize) -> Vec<FuncId> {
+        let frames = self.debug_frames(idx);
+        frames.into_iter().map(|(f, _, _)| f).collect()
+    }
+
+    /// Total number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the binary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}

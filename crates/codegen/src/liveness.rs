@@ -1,0 +1,144 @@
+//! Backward block-level liveness over virtual registers.
+
+use csspgo_ir::inst::Operand;
+use csspgo_ir::{cfg, BlockId, Function, VReg};
+use std::collections::HashSet;
+
+/// Per-block liveness sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live on entry to each block (indexed by block id).
+    pub live_in: Vec<HashSet<VReg>>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<HashSet<VReg>>,
+    /// Registers defined in each block.
+    pub defs: Vec<HashSet<VReg>>,
+}
+
+impl Liveness {
+    /// Computes block-level liveness for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut gen_: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        let mut defs: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            let g = &mut gen_[bid.index()];
+            let d = &mut defs[bid.index()];
+            for inst in &block.insts {
+                for op in inst.kind.uses() {
+                    if let Operand::Reg(r) = op {
+                        if !d.contains(&r) {
+                            g.insert(r);
+                        }
+                    }
+                }
+                if let Some(r) = inst.kind.def() {
+                    d.insert(r);
+                }
+            }
+        }
+
+        let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        // Iterate to fixpoint (reverse order helps convergence).
+        let order: Vec<BlockId> = {
+            let mut o = cfg::reverse_post_order(func);
+            o.reverse();
+            o
+        };
+        loop {
+            let mut changed = false;
+            for &b in &order {
+                let mut out: HashSet<VReg> = HashSet::new();
+                for s in cfg::successors(func, b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn: HashSet<VReg> = gen_[b.index()].clone();
+                for &r in &out {
+                    if !defs[b.index()].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if out != live_out[b.index()] || inn != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Liveness {
+            live_in,
+            live_out,
+            defs,
+        }
+    }
+
+    /// Register pressure of a block: values simultaneously alive there.
+    pub fn pressure(&self, b: BlockId) -> usize {
+        let mut s: HashSet<VReg> = self.live_in[b.index()].clone();
+        s.extend(self.live_out[b.index()].iter().copied());
+        s.extend(self.defs[b.index()].iter().copied());
+        s.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_variable_is_live_through_loop() {
+        let src = r#"
+fn f(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        let m = csspgo_lang::compile(src, "t").unwrap();
+        let f = &m.functions[0];
+        let lv = Liveness::compute(f);
+        // The loop header (block with condbr) must have i, s, n live in.
+        let header = f
+            .iter_blocks()
+            .find(|(_, b)| {
+                matches!(
+                    b.terminator().map(|t| &t.kind),
+                    Some(csspgo_ir::inst::InstKind::CondBr { .. })
+                )
+            })
+            .map(|(b, _)| b)
+            .unwrap();
+        assert!(lv.live_in[header.index()].len() >= 3, "{:?}", lv.live_in);
+    }
+
+    #[test]
+    fn dead_values_are_not_live() {
+        let src = "fn f(a) { let x = a + 1; return a; }";
+        let m = csspgo_lang::compile(src, "t").unwrap();
+        let f = &m.functions[0];
+        let lv = Liveness::compute(f);
+        // x (%1... defined but unused) must not be live out of any block.
+        for out in &lv.live_out {
+            for r in out {
+                assert_eq!(*r, VReg(0), "only the param flows");
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_counts_defs() {
+        let src = "fn f(a, b) { return a * b + a - b; }";
+        let m = csspgo_lang::compile(src, "t").unwrap();
+        let f = &m.functions[0];
+        let lv = Liveness::compute(f);
+        assert!(lv.pressure(f.entry) >= 4);
+    }
+}

@@ -1,0 +1,509 @@
+//! Applying generated profiles back onto fresh IR — the compiler side of
+//! PGO ("sample loader").
+//!
+//! Three paths, one per correlation mechanism:
+//!
+//! * [`autofdo_annotate`] — looks counts up by `(line offset,
+//!   discriminator)` through debug inline stacks, replaying the profiling
+//!   build's inlining where the profile has nested call-site sub-profiles
+//!   (AutoFDO's early inliner and its "partial context-sensitivity").
+//! * [`csspgo_annotate`] — looks counts up by pseudo-probe, rejecting
+//!   functions whose CFG checksum mismatches (source drift). With an
+//!   [`InlinePlan`] it replays the *pre-inliner's* global decisions instead
+//!   of profile-shaped replay (full CSSPGO); without one it replays nested
+//!   probe profiles (probe-only CSSPGO).
+//! * [`instr_annotate`] — exact counter values (ground truth).
+//!
+//! All sampling paths finish with profile inference
+//! ([`crate::inference::repair_counts`]).
+
+use crate::inference::repair_counts;
+use crate::profile::{FlatFuncProfile, FlatProfile, LocKey, ProbeFuncProfile, ProbeProfile};
+use csspgo_ir::annot::InlinePlan;
+use csspgo_ir::debuginfo::DebugLoc;
+use csspgo_ir::inst::InstKind;
+use csspgo_ir::probe::{cfg_checksum, ProbeKind, ProbeSite};
+use csspgo_ir::{BlockId, FuncId, Module};
+use csspgo_opt::inliner::{inline_call, real_size};
+use std::collections::HashMap;
+
+/// Annotation tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnotateConfig {
+    /// Minimum nested-profile total to replay an inline.
+    pub replay_min_total: u64,
+    /// Maximum callee size (IR instructions) for replayed inlining.
+    pub replay_max_callee_size: usize,
+    /// Maximum replayed inlines per function.
+    pub inline_budget: usize,
+}
+
+impl Default for AnnotateConfig {
+    fn default() -> Self {
+        AnnotateConfig {
+            replay_min_total: 8,
+            replay_max_callee_size: 200,
+            inline_budget: 64,
+        }
+    }
+}
+
+/// What annotation did (for reporting and the drift experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnnotateStats {
+    /// Functions annotated with counts.
+    pub annotated: usize,
+    /// Functions rejected for checksum mismatch (CSSPGO staleness).
+    pub stale: usize,
+    /// Inlines replayed from the profile or plan.
+    pub replayed_inlines: usize,
+}
+
+// ---------------------------------------------------------------------
+// AutoFDO path
+// ---------------------------------------------------------------------
+
+/// Navigates a flat profile by a debug location's inline stack; returns the
+/// sub-profile containing the location's leaf.
+fn flat_navigate<'p>(
+    fp: &'p FlatFuncProfile,
+    module: &Module,
+    loc: &DebugLoc,
+) -> Option<&'p FlatFuncProfile> {
+    let mut cur = fp;
+    for (k, site) in loc.inline_stack.iter().enumerate() {
+        let start = module.func(site.func).start_line;
+        let key = LocKey::new(site.line, start, site.discriminator);
+        let callee = loc
+            .inline_stack
+            .get(k + 1)
+            .map(|s| s.func)
+            .unwrap_or(loc.scope);
+        if callee == FuncId::INVALID {
+            return None;
+        }
+        let callee_guid = module.func(callee).guid;
+        cur = cur.callsites.get(&(key, callee_guid))?;
+    }
+    Some(cur)
+}
+
+/// Body-count lookup for one instruction location.
+fn flat_lookup(fp: &FlatFuncProfile, module: &Module, loc: &DebugLoc) -> Option<u64> {
+    if loc.scope == FuncId::INVALID || loc.line == 0 {
+        return None;
+    }
+    let sub = flat_navigate(fp, module, loc)?;
+    let start = module.func(loc.scope).start_line;
+    sub.body
+        .get(&LocKey::new(loc.line, start, loc.discriminator))
+        .copied()
+}
+
+/// Annotates `module` from an AutoFDO-style profile.
+pub fn autofdo_annotate(
+    module: &mut Module,
+    profile: &FlatProfile,
+    cfg: &AnnotateConfig,
+) -> AnnotateStats {
+    let mut stats = AnnotateStats::default();
+    let order = csspgo_opt::callgraph::CallGraph::build(module).top_down_order();
+
+    for fid in order {
+        let guid = module.func(fid).guid;
+        let Some(fp) = profile.funcs.get(&guid) else {
+            continue;
+        };
+        let fp = fp.clone();
+
+        // ---- early inline replay ----
+        let mut budget = cfg.inline_budget;
+        while budget > 0 {
+            let mut candidate: Option<(BlockId, usize)> = None;
+            'scan: for (bid, block) in module.func(fid).iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    let InstKind::Call { callee, .. } = &inst.kind else {
+                        continue;
+                    };
+                    if *callee == fid {
+                        continue;
+                    }
+                    let Some(enclosing) = flat_navigate(&fp, module, &inst.loc) else {
+                        continue;
+                    };
+                    if inst.loc.scope == FuncId::INVALID {
+                        continue;
+                    }
+                    let start = module.func(inst.loc.scope).start_line;
+                    let key = LocKey::new(inst.loc.line, start, inst.loc.discriminator);
+                    let callee_guid = module.func(*callee).guid;
+                    let Some(nested) = enclosing.callsites.get(&(key, callee_guid)) else {
+                        continue;
+                    };
+                    if nested.total >= cfg.replay_min_total
+                        && real_size(module.func(*callee)) <= cfg.replay_max_callee_size
+                    {
+                        candidate = Some((bid, i));
+                        break 'scan;
+                    }
+                }
+            }
+            match candidate {
+                Some((bid, i)) => {
+                    if inline_call(module, fid, bid, i).is_some() {
+                        stats.replayed_inlines += 1;
+                    }
+                    budget -= 1;
+                }
+                None => break,
+            }
+        }
+
+        // ---- block counts by MAX over per-instruction lookups ----
+        let mut raw: HashMap<BlockId, u64> = HashMap::new();
+        for (bid, block) in module.func(fid).iter_blocks() {
+            let mut best: Option<u64> = None;
+            for inst in &block.insts {
+                if let Some(c) = flat_lookup(&fp, module, &inst.loc) {
+                    best = Some(best.unwrap_or(0).max(c));
+                }
+            }
+            if let Some(c) = best {
+                raw.insert(bid, c);
+            }
+        }
+        let entry = fp
+            .entry
+            .max(raw.get(&module.func(fid).entry).copied().unwrap_or(0));
+        apply(module, fid, &raw, entry);
+        stats.annotated += 1;
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------
+// CSSPGO path
+// ---------------------------------------------------------------------
+
+/// Navigates a probe profile by a probe inline stack.
+fn probe_navigate<'p>(
+    fp: &'p ProbeFuncProfile,
+    module: &Module,
+    stack: &[ProbeSite],
+    owner: FuncId,
+) -> Option<&'p ProbeFuncProfile> {
+    let mut cur = fp;
+    for (k, site) in stack.iter().enumerate() {
+        let callee = stack.get(k + 1).map(|s| s.func).unwrap_or(owner);
+        let callee_guid = module.func(callee).guid;
+        cur = cur.callsites.get(&(site.probe_index, callee_guid))?;
+    }
+    Some(cur)
+}
+
+/// Annotates `module` (which must already carry pseudo-probes) from a probe
+/// profile. `plan` switches between full-CSSPGO (replay the pre-inliner's
+/// decisions) and probe-only (replay profile-observed inlining).
+pub fn csspgo_annotate(
+    module: &mut Module,
+    profile: &ProbeProfile,
+    plan: Option<&InlinePlan>,
+    cfg: &AnnotateConfig,
+) -> AnnotateStats {
+    let mut stats = AnnotateStats::default();
+    let order = csspgo_opt::callgraph::CallGraph::build(module).top_down_order();
+
+    for fid in order {
+        let guid = module.func(fid).guid;
+        let Some(fp) = profile.funcs.get(&guid) else {
+            continue;
+        };
+        let fp = fp.clone();
+
+        // Source-drift detection: the profile's checksum must match the
+        // fresh IR's CFG checksum.
+        let fresh_checksum = module
+            .func(fid)
+            .probe_checksum
+            .unwrap_or_else(|| cfg_checksum(module.func(fid)));
+        if fp.checksum != 0 && fp.checksum != fresh_checksum {
+            stats.stale += 1;
+            continue;
+        }
+
+        // ---- inline replay ----
+        let mut budget = cfg.inline_budget;
+        while budget > 0 {
+            let mut candidate: Option<(BlockId, usize)> = None;
+            'scan: for (bid, block) in module.func(fid).iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    let InstKind::Call { callee, .. } = &inst.kind else {
+                        continue;
+                    };
+                    if *callee == fid {
+                        continue;
+                    }
+                    // The call's probe (immediately preceding instruction).
+                    let Some((probe_owner, probe_idx, probe_stack)) =
+                        call_probe_of(module, fid, bid, i)
+                    else {
+                        continue;
+                    };
+                    let should = match plan {
+                        Some(plan) => {
+                            // The path is the probe's inline chain plus the
+                            // probe itself, attributed to its *original
+                            // owner* (an inlined call site keeps its owner).
+                            let mut path = probe_stack.clone();
+                            path.push(ProbeSite {
+                                func: probe_owner,
+                                probe_index: probe_idx,
+                            });
+                            plan.should_inline(&path)
+                        }
+                        None => {
+                            let enclosing =
+                                probe_navigate(&fp, module, &probe_stack, fid);
+                            match enclosing {
+                                Some(e) => {
+                                    let callee_guid = module.func(*callee).guid;
+                                    e.callsites
+                                        .get(&(probe_idx, callee_guid))
+                                        .map(|n| {
+                                            n.total >= cfg.replay_min_total
+                                                && real_size(module.func(*callee))
+                                                    <= cfg.replay_max_callee_size
+                                        })
+                                        .unwrap_or(false)
+                                }
+                                None => false,
+                            }
+                        }
+                    };
+                    if should {
+                        candidate = Some((bid, i));
+                        break 'scan;
+                    }
+                }
+            }
+            match candidate {
+                Some((bid, i)) => {
+                    if inline_call(module, fid, bid, i).is_some() {
+                        stats.replayed_inlines += 1;
+                    }
+                    budget -= 1;
+                }
+                None => break,
+            }
+        }
+
+        // ---- block counts via block probes ----
+        let mut raw: HashMap<BlockId, u64> = HashMap::new();
+        for (bid, block) in module.func(fid).iter_blocks() {
+            for inst in &block.insts {
+                let InstKind::PseudoProbe {
+                    owner,
+                    index,
+                    kind: ProbeKind::Block,
+                    inline_stack,
+                } = &inst.kind
+                else {
+                    continue;
+                };
+                // Only the block's own anchoring probe (the first block
+                // probe) sets the count; the rest came from inlining and
+                // describe the same block.
+                let count = probe_navigate(&fp, module, inline_stack, *owner)
+                    .and_then(|sub| sub.probes.get(index).copied());
+                if let Some(c) = count {
+                    let slot = raw.entry(bid).or_insert(0);
+                    *slot = (*slot).max(c);
+                }
+            }
+        }
+        let entry = fp
+            .entry
+            .max(raw.get(&module.func(fid).entry).copied().unwrap_or(0));
+        apply(module, fid, &raw, entry);
+        stats.annotated += 1;
+    }
+    stats
+}
+
+/// The call probe guarding the call at `(bid, i)`: its owner, index and
+/// inline stack.
+fn call_probe_of(
+    module: &Module,
+    fid: FuncId,
+    bid: BlockId,
+    i: usize,
+) -> Option<(FuncId, u32, Vec<ProbeSite>)> {
+    if i == 0 {
+        return None;
+    }
+    match &module.func(fid).block(bid).insts[i - 1].kind {
+        InstKind::PseudoProbe {
+            owner,
+            index,
+            kind: ProbeKind::Call,
+            inline_stack,
+        } => Some((*owner, *index, inline_stack.clone())),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instrumentation path (ground truth)
+// ---------------------------------------------------------------------
+
+/// Annotates exact counter values measured on an identically-shaped fresh
+/// IR (instrumentation-based PGO).
+pub fn instr_annotate(
+    module: &mut Module,
+    counts: &HashMap<(FuncId, BlockId), u64>,
+) -> AnnotateStats {
+    let mut stats = AnnotateStats::default();
+    for fid in 0..module.functions.len() {
+        let fid = FuncId::from_index(fid);
+        let ids: Vec<BlockId> = module.func(fid).iter_blocks().map(|(b, _)| b).collect();
+        let mut any = false;
+        for bid in &ids {
+            if let Some(&c) = counts.get(&(fid, *bid)) {
+                module.func_mut(fid).block_mut(*bid).count = Some(c);
+                any = true;
+            }
+        }
+        if any {
+            let entry = counts
+                .get(&(fid, module.func(fid).entry))
+                .copied()
+                .unwrap_or(0);
+            module.func_mut(fid).entry_count = Some(entry);
+            stats.annotated += 1;
+        }
+    }
+    stats
+}
+
+/// Writes repaired counts onto the function.
+fn apply(module: &mut Module, fid: FuncId, raw: &HashMap<BlockId, u64>, entry: u64) {
+    let repaired = repair_counts(module.func(fid), raw, entry);
+    let ids: Vec<BlockId> = module.func(fid).iter_blocks().map(|(b, _)| b).collect();
+    let f = module.func_mut(fid);
+    for bid in ids {
+        f.block_mut(bid).count = Some(repaired.get(&bid).copied().unwrap_or(0));
+    }
+    f.entry_count = Some(entry);
+}
+
+/// Snapshot of per-function block counts keyed by GUID (for the overlap
+/// metric).
+pub fn collect_block_counts(module: &Module) -> crate::overlap::BlockCounts {
+    let mut out = crate::overlap::BlockCounts::new();
+    for f in &module.functions {
+        let mut m = HashMap::new();
+        for (bid, b) in f.iter_blocks() {
+            if let Some(c) = b.count {
+                m.insert(bid, c);
+            }
+        }
+        if !m.is_empty() {
+            out.insert(f.guid, m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_annotation_is_exact() {
+        let src = "fn f(a) { if (a > 0) { return 1; } return 2; }";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        let fid = FuncId(0);
+        let mut counts = HashMap::new();
+        counts.insert((fid, BlockId(0)), 100u64);
+        counts.insert((fid, BlockId(1)), 70u64);
+        counts.insert((fid, BlockId(2)), 30u64);
+        let stats = instr_annotate(&mut m, &counts);
+        assert_eq!(stats.annotated, 1);
+        assert_eq!(m.functions[0].block(BlockId(1)).count, Some(70));
+        assert_eq!(m.functions[0].entry_count, Some(100));
+    }
+
+    #[test]
+    fn collect_block_counts_roundtrips() {
+        let src = "fn f(a) { return a; }";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        m.functions[0].block_mut(BlockId(0)).count = Some(9);
+        let bc = collect_block_counts(&m);
+        let guid = m.functions[0].guid;
+        assert_eq!(bc[&guid][&BlockId(0)], 9);
+    }
+
+    #[test]
+    fn stale_checksum_rejects_profile() {
+        let src = "fn f(a) { if (a > 0) { return 1; } return 2; }";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::probes::run(&mut m);
+        let guid = m.functions[0].guid;
+        let mut profile = ProbeProfile::default();
+        let fp = profile.funcs.entry(guid).or_default();
+        fp.checksum = 0x1234; // wrong on purpose
+        fp.record_sum(1, 50);
+        let stats = csspgo_annotate(&mut m, &profile, None, &AnnotateConfig::default());
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.annotated, 0);
+        assert_eq!(m.functions[0].block(BlockId(0)).count, None);
+    }
+
+    #[test]
+    fn probe_annotation_sets_counts() {
+        let src = "fn f(a) { if (a > 0) { return 1; } return 2; }";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::probes::run(&mut m);
+        let guid = m.functions[0].guid;
+        let checksum = m.functions[0].probe_checksum.unwrap();
+        // Probe 1 = entry block probe, probes 2/3 = arms (insertion order).
+        let mut profile = ProbeProfile::default();
+        let fp = profile.funcs.entry(guid).or_default();
+        fp.checksum = checksum;
+        fp.record_sum(1, 100);
+        fp.record_sum(2, 80);
+        fp.record_sum(3, 20);
+        fp.entry = 100;
+        fp.recompute_totals();
+        let stats = csspgo_annotate(&mut m, &profile, None, &AnnotateConfig::default());
+        assert_eq!(stats.annotated, 1);
+        let probe_map = m.functions[0].block_probe_map();
+        let b_of = |p: u32| probe_map[&p];
+        let c = |b: BlockId| m.functions[0].block(b).count.unwrap();
+        assert_eq!(c(b_of(1)), 100);
+        assert!(c(b_of(2)) > c(b_of(3)), "bias preserved through inference");
+    }
+
+    #[test]
+    fn autofdo_annotation_uses_line_offsets() {
+        let src = "fn f(a) {\n    if (a > 0) {\n        return 1;\n    }\n    return 2;\n}";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::discriminators::run(&mut m);
+        let guid = m.functions[0].guid;
+        let mut profile = FlatProfile::default();
+        let fp = profile.funcs.entry(guid).or_default();
+        // fn on line 1; cond on line 2 (offset 1); return 1 on line 3
+        // (offset 2); return 2 on line 5 (offset 4).
+        fp.record_max(LocKey { line_offset: 1, discriminator: 0 }, 100);
+        fp.record_max(LocKey { line_offset: 2, discriminator: 0 }, 90);
+        fp.record_max(LocKey { line_offset: 4, discriminator: 0 }, 10);
+        fp.entry = 100;
+        fp.recompute_totals();
+        let stats = autofdo_annotate(&mut m, &profile, &AnnotateConfig::default());
+        assert_eq!(stats.annotated, 1);
+        let f = &m.functions[0];
+        let then_c = f.block(BlockId(1)).count.unwrap();
+        let else_c = f.block(BlockId(2)).count.unwrap();
+        assert!(then_c > else_c * 4, "then {then_c} vs else {else_c}");
+    }
+}

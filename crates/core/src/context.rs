@@ -1,0 +1,339 @@
+//! The context-sensitive profile trie (paper §III.B).
+//!
+//! Each node profiles one function *under one calling context*: the path of
+//! `(function, call-site probe)` frames from an un-inlined root function.
+//! Children are keyed by `(call-site probe index, callee GUID)` — the same
+//! navigation as [`crate::profile::ProbeFuncProfile`], which is what the
+//! trie collapses into once the pre-inliner has decided which contexts stay
+//! inlined.
+//!
+//! Cold-context trimming ("we mitigate the profile size increase by only
+//! keeping context-sensitive profile for hot functions and trim profiles for
+//! cold functions to be context-insensitive") merges cold subtrees into the
+//! per-function base profiles.
+
+use crate::profile::{ProbeFuncProfile, ProbeProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A frame in a context key: call-site probe `probe` inside function `guid`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FrameKey {
+    pub guid: u64,
+    pub probe: u32,
+}
+
+/// One function profiled under one calling context.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ContextNode {
+    /// The profiled function.
+    pub guid: u64,
+    /// Its CFG checksum (from the profiled binary).
+    pub checksum: u64,
+    /// Calls observed entering this context.
+    pub entry: u64,
+    /// Probe counts within this context.
+    pub probes: BTreeMap<u32, u64>,
+    /// Deeper contexts: (call-site probe, callee GUID) → node.
+    pub children: BTreeMap<(u32, u64), ContextNode>,
+    /// Pre-inliner decision: this context will be inlined into its parent
+    /// (Algorithm 2's `MarkContextInlined`).
+    pub inlined: bool,
+}
+
+impl ContextNode {
+    /// Samples attributed directly to this node (not children).
+    pub fn self_total(&self) -> u64 {
+        self.probes.values().sum()
+    }
+
+    /// Samples in this node and all children.
+    pub fn total(&self) -> u64 {
+        self.self_total() + self.children.values().map(|c| c.total()).sum::<u64>()
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.values().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// The whole-program context trie.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ContextProfile {
+    /// Root contexts (un-inlined outermost functions) by GUID.
+    pub roots: BTreeMap<u64, ContextNode>,
+    /// GUID → name.
+    pub names: BTreeMap<u64, String>,
+}
+
+impl ContextProfile {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` samples of probe `probe_index` of function `owner_guid`
+    /// reached via `path` (outer→inner frames; empty for top-level code).
+    pub fn add_probe_hit(&mut self, path: &[FrameKey], owner_guid: u64, probe_index: u32, count: u64) {
+        let node = self.node_for_path_mut(path, owner_guid);
+        *node.probes.entry(probe_index).or_insert(0) += count;
+    }
+
+    /// Records a call entering `owner_guid` via `path`.
+    pub fn add_entry(&mut self, path: &[FrameKey], owner_guid: u64, count: u64) {
+        let node = self.node_for_path_mut(path, owner_guid);
+        node.entry += count;
+    }
+
+    /// Finds or creates the node for `path` leading to `owner_guid`.
+    ///
+    /// `path[0].guid` is the root function; each `path[k]` is the call-site
+    /// probe leading to `path[k+1].guid` (or `owner_guid` for the last).
+    pub fn node_for_path_mut(&mut self, path: &[FrameKey], owner_guid: u64) -> &mut ContextNode {
+        let root_guid = path.first().map(|f| f.guid).unwrap_or(owner_guid);
+        let mut node = self.roots.entry(root_guid).or_insert_with(|| ContextNode {
+            guid: root_guid,
+            ..ContextNode::default()
+        });
+        for (k, frame) in path.iter().enumerate() {
+            let callee = path.get(k + 1).map(|f| f.guid).unwrap_or(owner_guid);
+            node = node
+                .children
+                .entry((frame.probe, callee))
+                .or_insert_with(|| ContextNode {
+                    guid: callee,
+                    ..ContextNode::default()
+                });
+        }
+        node
+    }
+
+    /// Looks a context up without creating it.
+    pub fn node_for_path(&self, path: &[FrameKey], owner_guid: u64) -> Option<&ContextNode> {
+        let root_guid = path.first().map(|f| f.guid).unwrap_or(owner_guid);
+        let mut node = self.roots.get(&root_guid)?;
+        for (k, frame) in path.iter().enumerate() {
+            let callee = path.get(k + 1).map(|f| f.guid).unwrap_or(owner_guid);
+            node = node.children.get(&(frame.probe, callee))?;
+        }
+        Some(node)
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.roots.values().map(|n| n.total()).sum()
+    }
+
+    /// Total trie nodes — the paper's profile-size proxy (§III.B
+    /// "Scalability": up to 10x without trimming).
+    pub fn node_count(&self) -> usize {
+        self.roots.values().map(|n| n.node_count()).sum()
+    }
+
+    /// Fills per-node checksums from a GUID → checksum table.
+    pub fn set_checksums(&mut self, table: &BTreeMap<u64, u64>) {
+        fn walk(node: &mut ContextNode, table: &BTreeMap<u64, u64>) {
+            if let Some(&c) = table.get(&node.guid) {
+                node.checksum = c;
+            }
+            for child in node.children.values_mut() {
+                walk(child, table);
+            }
+        }
+        for node in self.roots.values_mut() {
+            walk(node, table);
+        }
+    }
+
+    /// Cold-context trimming: contexts with fewer than `threshold` total
+    /// samples are merged (context-insensitively) into their function's
+    /// base/root profile.
+    pub fn trim_cold(&mut self, threshold: u64) {
+        // Collect merges first to avoid aliasing the trie while walking it.
+        let mut merges: Vec<ContextNode> = Vec::new();
+        fn walk(node: &mut ContextNode, threshold: u64, merges: &mut Vec<ContextNode>) {
+            let keys: Vec<(u32, u64)> = node.children.keys().copied().collect();
+            for key in keys {
+                let cold = node.children[&key].total() < threshold;
+                if cold {
+                    let child = node.children.remove(&key).expect("key collected above");
+                    merges.push(child);
+                } else {
+                    walk(node.children.get_mut(&key).expect("hot child"), threshold, merges);
+                }
+            }
+        }
+        let roots: Vec<u64> = self.roots.keys().copied().collect();
+        for g in roots {
+            walk(self.roots.get_mut(&g).expect("root"), threshold, &mut merges);
+        }
+        while let Some(node) = merges.pop() {
+            self.merge_into_base(node, &mut merges);
+        }
+        // Roots that lost all content to trimming are dropped.
+        self.roots
+            .retain(|_, n| n.entry > 0 || !n.probes.is_empty() || !n.children.is_empty());
+    }
+
+    /// Merges a detached context node into its function's root profile,
+    /// queueing its children for the same treatment.
+    fn merge_into_base(&mut self, node: ContextNode, queue: &mut Vec<ContextNode>) {
+        let base = self.roots.entry(node.guid).or_insert_with(|| ContextNode {
+            guid: node.guid,
+            checksum: node.checksum,
+            ..ContextNode::default()
+        });
+        base.entry += node.entry;
+        if base.checksum == 0 {
+            base.checksum = node.checksum;
+        }
+        for (p, c) in node.probes {
+            *base.probes.entry(p).or_insert(0) += c;
+        }
+        for (_, child) in node.children {
+            queue.push(child);
+        }
+    }
+
+    /// Collapses the trie into a [`ProbeProfile`]: contexts marked inlined
+    /// stay as nested call-site profiles; everything else merges into base
+    /// profiles (Algorithm 2's `MoveContextProfileToBaseProfile`).
+    pub fn to_probe_profile(&self) -> ProbeProfile {
+        let mut out = ProbeProfile {
+            names: self.names.clone(),
+            ..ProbeProfile::default()
+        };
+        // Queue of (node, Option<destination nested profile path>) — we
+        // process roots, descending into inlined children in place and
+        // deferring non-inlined children to their own base profiles.
+        fn convert(
+            node: &ContextNode,
+            dest: &mut ProbeFuncProfile,
+            deferred: &mut Vec<ContextNode>,
+        ) {
+            dest.checksum = node.checksum;
+            dest.entry += node.entry;
+            for (p, c) in &node.probes {
+                *dest.probes.entry(*p).or_insert(0) += c;
+            }
+            for ((probe, callee), child) in &node.children {
+                if child.inlined {
+                    let slot = dest.callsites.entry((*probe, *callee)).or_default();
+                    convert(child, slot, deferred);
+                } else {
+                    deferred.push(child.clone());
+                }
+            }
+        }
+
+        let mut deferred: Vec<ContextNode> = Vec::new();
+        for (g, node) in &self.roots {
+            let dest = out.funcs.entry(*g).or_default();
+            convert(node, dest, &mut deferred);
+        }
+        while let Some(node) = deferred.pop() {
+            let mut flat = ContextProfile::default();
+            flat.roots.insert(node.guid, node);
+            for (g, n) in &flat.roots {
+                let dest = out.funcs.entry(*g).or_default();
+                convert(n, dest, &mut deferred);
+            }
+        }
+        for f in out.funcs.values_mut() {
+            f.recompute_totals();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fk(guid: u64, probe: u32) -> FrameKey {
+        FrameKey { guid, probe }
+    }
+
+    #[test]
+    fn paths_build_nested_nodes() {
+        let mut cp = ContextProfile::new();
+        // main --(probe 3)--> foo --(probe 2)--> bar
+        cp.add_probe_hit(&[fk(1, 3), fk(2, 2)], 3, 7, 10);
+        let node = cp.node_for_path(&[fk(1, 3), fk(2, 2)], 3).unwrap();
+        assert_eq!(node.guid, 3);
+        assert_eq!(node.probes[&7], 10);
+        assert_eq!(cp.node_count(), 3);
+    }
+
+    #[test]
+    fn same_function_different_contexts_stay_separate() {
+        let mut cp = ContextProfile::new();
+        cp.add_probe_hit(&[fk(1, 3)], 9, 1, 100); // via add-path
+        cp.add_probe_hit(&[fk(2, 5)], 9, 1, 50); // via sub-path
+        let a = cp.node_for_path(&[fk(1, 3)], 9).unwrap();
+        let b = cp.node_for_path(&[fk(2, 5)], 9).unwrap();
+        assert_eq!(a.probes[&1], 100);
+        assert_eq!(b.probes[&1], 50);
+    }
+
+    #[test]
+    fn trim_merges_cold_contexts_into_base() {
+        let mut cp = ContextProfile::new();
+        cp.add_probe_hit(&[fk(1, 3)], 9, 1, 100); // hot context
+        cp.add_probe_hit(&[fk(2, 5)], 9, 1, 2); // cold context
+        let before = cp.node_count();
+        cp.trim_cold(10);
+        assert!(cp.node_count() < before);
+        // Cold context merged into base profile of guid 9.
+        let base = cp.roots.get(&9).expect("base profile created");
+        assert_eq!(base.probes[&1], 2);
+        // Hot context untouched.
+        assert_eq!(cp.node_for_path(&[fk(1, 3)], 9).unwrap().probes[&1], 100);
+        // Totals preserved.
+        assert_eq!(cp.total(), 102);
+    }
+
+    #[test]
+    fn to_probe_profile_respects_inline_marks() {
+        let mut cp = ContextProfile::new();
+        cp.add_probe_hit(&[], 1, 1, 5); // main body
+        cp.add_probe_hit(&[fk(1, 3)], 9, 1, 100); // callee via probe 3
+        cp.add_probe_hit(&[fk(1, 4)], 9, 1, 40); // callee via probe 4
+        // Mark only the probe-3 context inlined.
+        cp.roots
+            .get_mut(&1)
+            .unwrap()
+            .children
+            .get_mut(&(3, 9))
+            .unwrap()
+            .inlined = true;
+        let pp = cp.to_probe_profile();
+        // Inlined context stays nested under main.
+        assert_eq!(pp.funcs[&1].callsites[&(3, 9)].probes[&1], 100);
+        // Non-inlined context became guid 9's base profile.
+        assert_eq!(pp.funcs[&9].probes[&1], 40);
+    }
+
+    #[test]
+    fn checksums_propagate() {
+        let mut cp = ContextProfile::new();
+        cp.add_probe_hit(&[fk(1, 3)], 9, 1, 1);
+        let mut table = BTreeMap::new();
+        table.insert(1u64, 0xaau64);
+        table.insert(9u64, 0xbbu64);
+        cp.set_checksums(&table);
+        assert_eq!(cp.roots[&1].checksum, 0xaa);
+        assert_eq!(cp.node_for_path(&[fk(1, 3)], 9).unwrap().checksum, 0xbb);
+    }
+
+    #[test]
+    fn totals_roll_up() {
+        let mut cp = ContextProfile::new();
+        cp.add_probe_hit(&[], 1, 1, 5);
+        cp.add_probe_hit(&[fk(1, 2)], 2, 1, 7);
+        assert_eq!(cp.total(), 12);
+        assert_eq!(cp.roots[&1].total(), 12);
+        assert_eq!(cp.roots[&1].self_total(), 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's contribution: context-sensitive sampling-based PGO with
+//! pseudo-instrumentation.
+//!
+//! This crate turns PMU samples from `csspgo-sim` into compiler profiles and
+//! drives complete PGO cycles:
+//!
+//! * [`ranges`] — LBR snapshots → linear execution ranges and branch edges;
+//! * [`profile`] — the AutoFDO-style nested line profile and the CSSPGO
+//!   probe profile;
+//! * [`context`] — the context-sensitive profile trie with cold-context
+//!   trimming (paper §III.B "Scalability");
+//! * [`correlate`] — debug-info correlation (MAX heuristic, the paper's
+//!   §III.A foil) and pseudo-probe correlation (1:1 anchors, SUM over
+//!   duplication, CFG-checksum staleness detection);
+//! * [`unwind`] — **Algorithm 1**: reconstructing the calling context of
+//!   every LBR range from synchronized LBR + stack samples;
+//! * [`tailcall`] — the missing-frame inferrer for tail-call-broken stacks;
+//! * [`inference`] — profile inference (flow-conservation repair, the
+//!   Profi stand-in used by *all* sampling variants, per the paper's setup);
+//! * [`preinline`] — **Algorithms 2 and 3**: the context-sensitive
+//!   pre-inliner with binary-extracted size estimates;
+//! * [`annotate`] — applying profiles onto fresh IR, replaying inline
+//!   decisions (AutoFDO's early inliner and CSSPGO's plan-driven inliner);
+//! * [`overlap`] — the block-overlap profile-quality metric of Table I;
+//! * [`pipeline`] — end-to-end PGO cycles for every variant the paper
+//!   evaluates ([`pipeline::PgoVariant`]);
+//! * [`workload`] — the workload abstraction consumed by the pipelines.
+
+pub mod annotate;
+pub mod context;
+pub mod correlate;
+pub mod inference;
+pub mod merge;
+pub mod overlap;
+pub mod pipeline;
+pub mod preinline;
+pub mod profile;
+pub mod ranges;
+pub mod tailcall;
+pub mod textprof;
+pub mod unwind;
+pub mod workload;
+
+pub use pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig};
+pub use workload::Workload;

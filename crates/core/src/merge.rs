@@ -1,0 +1,236 @@
+//! Profile merging (the `llvm-profdata merge` analogue).
+//!
+//! In the paper's deployment, profiles stream in from many production hosts
+//! and build iterations ("the collected profile can be fed to compilation
+//! continuously"); compilation consumes one merged artifact. Merging is
+//! count-additive, with checksum conflicts resolved in favour of the larger
+//! contribution (a host running a stale binary must not poison the majority
+//! profile).
+
+use crate::context::{ContextNode, ContextProfile};
+use crate::profile::{FlatFuncProfile, FlatProfile, ProbeFuncProfile, ProbeProfile};
+
+/// Merges `b` into `a` (flat/AutoFDO profiles). Body counts keyed the same
+/// way are *summed* — two hosts each observing N samples of a line is 2N
+/// samples, unlike the intra-binary MAX over duplicated instructions.
+pub fn merge_flat(a: &mut FlatProfile, b: &FlatProfile) {
+    for (guid, name) in &b.names {
+        a.names.entry(*guid).or_insert_with(|| name.clone());
+    }
+    for (guid, fp) in &b.funcs {
+        merge_flat_func(a.funcs.entry(*guid).or_default(), fp);
+    }
+}
+
+fn merge_flat_func(a: &mut FlatFuncProfile, b: &FlatFuncProfile) {
+    a.total += b.total;
+    a.entry += b.entry;
+    for (key, count) in &b.body {
+        *a.body.entry(*key).or_insert(0) += count;
+    }
+    for (key, sub) in &b.callsites {
+        merge_flat_func(a.callsites.entry(*key).or_default(), sub);
+    }
+}
+
+/// Merges `b` into `a` (probe profiles). When checksums disagree, the
+/// function profile with more samples wins outright — mixing block counts
+/// across different CFGs would mis-attribute both.
+pub fn merge_probe(a: &mut ProbeProfile, b: &ProbeProfile) {
+    for (guid, name) in &b.names {
+        a.names.entry(*guid).or_insert_with(|| name.clone());
+    }
+    for (guid, fp) in &b.funcs {
+        match a.funcs.get_mut(guid) {
+            None => {
+                a.funcs.insert(*guid, fp.clone());
+            }
+            Some(existing) => {
+                if existing.checksum != 0 && fp.checksum != 0 && existing.checksum != fp.checksum
+                {
+                    if fp.total > existing.total {
+                        *existing = fp.clone();
+                    }
+                    continue;
+                }
+                merge_probe_func(existing, fp);
+            }
+        }
+    }
+}
+
+fn merge_probe_func(a: &mut ProbeFuncProfile, b: &ProbeFuncProfile) {
+    a.total += b.total;
+    a.entry += b.entry;
+    if a.checksum == 0 {
+        a.checksum = b.checksum;
+    }
+    for (probe, count) in &b.probes {
+        *a.probes.entry(*probe).or_insert(0) += count;
+    }
+    for (key, sub) in &b.callsites {
+        merge_probe_func(a.callsites.entry(*key).or_default(), sub);
+    }
+}
+
+/// Merges `b` into `a` (context tries): structural, count-additive.
+pub fn merge_context(a: &mut ContextProfile, b: &ContextProfile) {
+    for (guid, name) in &b.names {
+        a.names.entry(*guid).or_insert_with(|| name.clone());
+    }
+    for (guid, node) in &b.roots {
+        let dst = a.roots.entry(*guid).or_insert_with(|| ContextNode {
+            guid: *guid,
+            ..ContextNode::default()
+        });
+        merge_context_node(dst, node);
+    }
+}
+
+fn merge_context_node(a: &mut ContextNode, b: &ContextNode) {
+    a.entry += b.entry;
+    if a.checksum == 0 {
+        a.checksum = b.checksum;
+    }
+    a.inlined |= b.inlined;
+    for (probe, count) in &b.probes {
+        *a.probes.entry(*probe).or_insert(0) += count;
+    }
+    for (key, child) in &b.children {
+        let dst = a.children.entry(*key).or_insert_with(|| ContextNode {
+            guid: child.guid,
+            ..ContextNode::default()
+        });
+        merge_context_node(dst, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FrameKey;
+    use crate::profile::LocKey;
+
+    fn key(off: u32) -> LocKey {
+        LocKey {
+            line_offset: off,
+            discriminator: 0,
+        }
+    }
+
+    #[test]
+    fn flat_merge_sums_counts() {
+        let mut a = FlatProfile::default();
+        let mut b = FlatProfile::default();
+        a.names.insert(1, "f".into());
+        b.names.insert(1, "f".into());
+        a.funcs.entry(1).or_default().record_max(key(3), 10);
+        b.funcs.entry(1).or_default().record_max(key(3), 7);
+        b.funcs.entry(2).or_default().record_max(key(1), 4);
+        a.funcs.get_mut(&1).unwrap().recompute_totals();
+        b.funcs.get_mut(&1).unwrap().recompute_totals();
+        b.funcs.get_mut(&2).unwrap().recompute_totals();
+        merge_flat(&mut a, &b);
+        assert_eq!(a.funcs[&1].body[&key(3)], 17);
+        assert_eq!(a.funcs[&2].body[&key(1)], 4, "new functions adopted");
+    }
+
+    #[test]
+    fn flat_merge_recurses_into_callsites() {
+        let mut a = FlatProfile::default();
+        let mut b = FlatProfile::default();
+        a.funcs
+            .entry(1)
+            .or_default()
+            .callsite_mut(key(5), 9)
+            .record_max(key(0), 100);
+        b.funcs
+            .entry(1)
+            .or_default()
+            .callsite_mut(key(5), 9)
+            .record_max(key(0), 50);
+        merge_flat(&mut a, &b);
+        assert_eq!(a.funcs[&1].callsites[&(key(5), 9)].body[&key(0)], 150);
+    }
+
+    #[test]
+    fn probe_merge_sums_matching_checksums() {
+        let mut a = ProbeProfile::default();
+        let mut b = ProbeProfile::default();
+        let fa = a.funcs.entry(1).or_default();
+        fa.checksum = 0xAA;
+        fa.record_sum(1, 10);
+        fa.recompute_totals();
+        let fb = b.funcs.entry(1).or_default();
+        fb.checksum = 0xAA;
+        fb.record_sum(1, 5);
+        fb.record_sum(2, 3);
+        fb.recompute_totals();
+        merge_probe(&mut a, &b);
+        assert_eq!(a.funcs[&1].probes[&1], 15);
+        assert_eq!(a.funcs[&1].probes[&2], 3);
+    }
+
+    #[test]
+    fn probe_merge_resolves_checksum_conflicts_by_weight() {
+        let mut a = ProbeProfile::default();
+        let mut b = ProbeProfile::default();
+        let fa = a.funcs.entry(1).or_default();
+        fa.checksum = 0xAA;
+        fa.record_sum(1, 10);
+        fa.recompute_totals();
+        let fb = b.funcs.entry(1).or_default();
+        fb.checksum = 0xBB; // a different CFG generation
+        fb.record_sum(1, 500);
+        fb.recompute_totals();
+        merge_probe(&mut a, &b);
+        assert_eq!(a.funcs[&1].checksum, 0xBB, "heavier profile wins");
+        assert_eq!(a.funcs[&1].probes[&1], 500);
+
+        // And the reverse: the light profile must NOT displace the heavy one.
+        let mut heavy = ProbeProfile::default();
+        let fh = heavy.funcs.entry(1).or_default();
+        fh.checksum = 0xAA;
+        fh.record_sum(1, 900);
+        fh.recompute_totals();
+        let mut light = ProbeProfile::default();
+        let fl = light.funcs.entry(1).or_default();
+        fl.checksum = 0xCC;
+        fl.record_sum(1, 2);
+        fl.recompute_totals();
+        merge_probe(&mut heavy, &light);
+        assert_eq!(heavy.funcs[&1].checksum, 0xAA);
+        assert_eq!(heavy.funcs[&1].probes[&1], 900);
+    }
+
+    #[test]
+    fn context_merge_is_structural_and_additive() {
+        let f = |g: u64, p: u32| FrameKey { guid: g, probe: p };
+        let mut a = ContextProfile::new();
+        let mut b = ContextProfile::new();
+        a.add_probe_hit(&[f(1, 3)], 9, 1, 100);
+        b.add_probe_hit(&[f(1, 3)], 9, 1, 40);
+        b.add_probe_hit(&[f(1, 4)], 8, 2, 7);
+        merge_context(&mut a, &b);
+        assert_eq!(a.total(), 147);
+        assert_eq!(a.node_for_path(&[f(1, 3)], 9).unwrap().probes[&1], 140);
+        assert_eq!(a.node_for_path(&[f(1, 4)], 8).unwrap().probes[&2], 7);
+    }
+
+    #[test]
+    fn merge_is_commutative_in_totals() {
+        let f = |g: u64, p: u32| FrameKey { guid: g, probe: p };
+        let mut x = ContextProfile::new();
+        x.add_probe_hit(&[f(1, 1)], 2, 1, 5);
+        x.add_entry(&[f(1, 1)], 2, 3);
+        let mut y = ContextProfile::new();
+        y.add_probe_hit(&[], 1, 1, 11);
+
+        let mut xy = x.clone();
+        merge_context(&mut xy, &y);
+        let mut yx = y.clone();
+        merge_context(&mut yx, &x);
+        assert_eq!(xy.total(), yx.total());
+        assert_eq!(xy.node_count(), yx.node_count());
+    }
+}

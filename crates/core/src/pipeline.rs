@@ -1,0 +1,595 @@
+//! End-to-end PGO cycles: build → profile in "production" → generate
+//! profile → rebuild with the profile → evaluate.
+//!
+//! Mirrors the paper's evaluation setup (§IV.A): Profi-style inference,
+//! ext-TSP layout and function splitting are enabled for *every* variant, so
+//! measured differences come from correlation quality and
+//! context-sensitivity — the two things CSSPGO changes.
+
+use crate::annotate::{
+    autofdo_annotate, collect_block_counts, csspgo_annotate, instr_annotate, AnnotateConfig,
+    AnnotateStats,
+};
+use crate::context::ContextProfile;
+use crate::correlate::{dwarf_profile, probe_profile};
+use crate::overlap::BlockCounts;
+use crate::preinline::{run_preinliner, to_inline_plan, PreInlineConfig};
+use crate::ranges::RangeCounts;
+use crate::tailcall::{InferStats, TailCallGraph};
+use crate::unwind::Unwinder;
+use crate::workload::Workload;
+use csspgo_codegen::{lower_module, Binary, CodegenConfig, SectionSizes};
+use csspgo_ir::Module;
+use csspgo_opt::OptConfig;
+use csspgo_sim::{Machine, RunStats, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The PGO variants evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PgoVariant {
+    /// Plain optimized build, no profile (the pre-PGO baseline).
+    O2,
+    /// Instrumentation-based PGO (exact counts, heavy profiling run).
+    Instr,
+    /// Sampling-based PGO with debug-info correlation (the baseline PGO).
+    AutoFdo,
+    /// CSSPGO using only pseudo-instrumentation (paper's "probe-only").
+    CsspgoProbeOnly,
+    /// Full CSSPGO: pseudo-instrumentation + context-sensitive profiling +
+    /// the pre-inliner.
+    CsspgoFull,
+}
+
+impl PgoVariant {
+    /// All variants, in presentation order.
+    pub const ALL: [PgoVariant; 5] = [
+        PgoVariant::O2,
+        PgoVariant::Instr,
+        PgoVariant::AutoFdo,
+        PgoVariant::CsspgoProbeOnly,
+        PgoVariant::CsspgoFull,
+    ];
+
+    /// Whether the variant inserts pseudo-probes.
+    pub fn uses_probes(self) -> bool {
+        matches!(self, PgoVariant::CsspgoProbeOnly | PgoVariant::CsspgoFull)
+    }
+}
+
+impl fmt::Display for PgoVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PgoVariant::O2 => "O2",
+            PgoVariant::Instr => "Instr PGO",
+            PgoVariant::AutoFdo => "AutoFDO",
+            PgoVariant::CsspgoProbeOnly => "CSSPGO (probe-only)",
+            PgoVariant::CsspgoFull => "CSSPGO (full)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Optimizer knobs (shared across variants for fair comparison).
+    pub opt: OptConfig,
+    /// Code generation knobs.
+    pub codegen: CodegenConfig,
+    /// Annotation / replay knobs.
+    pub annotate: AnnotateConfig,
+    /// Pre-inliner knobs (full CSSPGO).
+    pub preinline: PreInlineConfig,
+    /// Cold-context trimming threshold (full CSSPGO).
+    pub trim_threshold: u64,
+    /// PMU sampling period in cycles.
+    pub sample_period: u64,
+    /// LBR depth.
+    pub lbr_size: usize,
+    /// Precise sampling (PEBS).
+    pub pebs: bool,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Simulator step budget per run.
+    pub max_steps: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            opt: OptConfig::default(),
+            codegen: CodegenConfig::default(),
+            annotate: AnnotateConfig::default(),
+            preinline: PreInlineConfig::default(),
+            trim_threshold: 16,
+            sample_period: 199,
+            lbr_size: 16,
+            pebs: true,
+            seed: 0xC55,
+            max_steps: 40_000_000_000,
+        }
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Frontend rejected the workload source.
+    Compile(csspgo_lang::CompileError),
+    /// The simulator failed.
+    Sim(csspgo_sim::SimError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile(e) => write!(f, "compile error: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<csspgo_lang::CompileError> for PipelineError {
+    fn from(e: csspgo_lang::CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<csspgo_sim::SimError> for PipelineError {
+    fn from(e: csspgo_sim::SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+/// Everything one PGO cycle produced.
+#[derive(Clone, Debug)]
+pub struct PgoOutcome {
+    /// Which variant ran.
+    pub variant: PgoVariant,
+    /// Stats of the profiling run (empty for `O2`).
+    pub profiling: RunStats,
+    /// Stats of the evaluation run on the final binary.
+    pub eval: RunStats,
+    /// Hash of all evaluation return values (must agree across variants).
+    pub eval_result_hash: u64,
+    /// Sections of the final optimized binary.
+    pub sections: SectionSizes,
+    /// Sections of the profiling binary (Fig. 9 uses these).
+    pub profiling_sections: SectionSizes,
+    /// Annotation outcome.
+    pub annotate_stats: AnnotateStats,
+    /// Fresh-IR block counts used for the quality metric (no inline
+    /// replay, same CFG for every variant).
+    pub quality_counts: BlockCounts,
+    /// Context-trie size before trimming (full CSSPGO).
+    pub context_nodes_before_trim: usize,
+    /// Context-trie size after trimming.
+    pub context_nodes_after_trim: usize,
+    /// Pre-inliner plan size (full CSSPGO).
+    pub plan_len: usize,
+    /// Tail-call missing-frame inference stats (full CSSPGO).
+    pub infer_stats: InferStats,
+}
+
+/// Runs one full PGO cycle for `workload` with `variant`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the source fails to compile or a simulation
+/// exceeds its budget.
+pub fn run_pgo_cycle(
+    workload: &Workload,
+    variant: PgoVariant,
+    config: &PipelineConfig,
+) -> Result<PgoOutcome, PipelineError> {
+    run_pgo_cycle_drifted(workload, variant, config, &workload.source)
+}
+
+/// Like [`run_pgo_cycle`] but the *optimized* build compiles
+/// `build_source` instead of the profiled source — the paper's source-drift
+/// scenario (profile collected on last week's binary, build uses today's
+/// code).
+pub fn run_pgo_cycle_drifted(
+    workload: &Workload,
+    variant: PgoVariant,
+    config: &PipelineConfig,
+    build_source: &str,
+) -> Result<PgoOutcome, PipelineError> {
+    let mut outcome = PgoOutcome {
+        variant,
+        profiling: RunStats::default(),
+        eval: RunStats::default(),
+        eval_result_hash: 0,
+        sections: SectionSizes::default(),
+        profiling_sections: SectionSizes::default(),
+        annotate_stats: AnnotateStats::default(),
+        quality_counts: BlockCounts::new(),
+        context_nodes_before_trim: 0,
+        context_nodes_after_trim: 0,
+        plan_len: 0,
+        infer_stats: InferStats::default(),
+    };
+
+    // ---------- profiling build ----------
+    let mut counter_map = None;
+    let profiling_binary = if variant == PgoVariant::O2 {
+        None
+    } else {
+        let mut module = csspgo_lang::compile(&workload.source, &workload.name)?;
+        csspgo_opt::discriminators::run(&mut module);
+        if variant.uses_probes() {
+            csspgo_opt::probes::run(&mut module);
+        }
+        if variant == PgoVariant::Instr {
+            counter_map = Some(csspgo_opt::instrument::run(&mut module));
+        }
+        csspgo_opt::run_pipeline(&mut module, &config.opt);
+        Some(lower_module(&module, &config.codegen))
+    };
+
+    // ---------- profiling run ("in production") ----------
+    let mut samples = Vec::new();
+    let mut counters: Vec<u64> = Vec::new();
+    if let Some(binary) = &profiling_binary {
+        outcome.profiling_sections = binary.sections;
+        let sim_cfg = SimConfig {
+            lbr_size: config.lbr_size,
+            pebs: config.pebs,
+            sample_period: if variant == PgoVariant::Instr {
+                0
+            } else {
+                config.sample_period
+            },
+            seed: config.seed,
+            max_steps: config.max_steps,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(binary, sim_cfg);
+        for (name, values) in &workload.setup {
+            machine.set_global(name, values);
+        }
+        for args in &workload.train_calls {
+            machine.call(&workload.entry, args)?;
+        }
+        outcome.profiling = *machine.stats();
+        samples = machine.take_samples();
+        counters = machine.counters().to_vec();
+    }
+
+    // ---------- profile generation ----------
+    enum Generated {
+        None,
+        Flat(crate::profile::FlatProfile),
+        Probe(crate::profile::ProbeProfile, Option<csspgo_ir::InlinePlan>),
+        Counters(std::collections::HashMap<(csspgo_ir::FuncId, csspgo_ir::BlockId), u64>),
+    }
+
+    // The plan references the *fresh build module*; compile it first.
+    let mut build_module = csspgo_lang::compile(build_source, &workload.name)?;
+    csspgo_opt::discriminators::run(&mut build_module);
+    if variant.uses_probes() {
+        csspgo_opt::probes::run(&mut build_module);
+    }
+
+    let generated = match (variant, &profiling_binary) {
+        (PgoVariant::O2, _) | (_, None) => Generated::None,
+        (PgoVariant::AutoFdo, Some(binary)) => {
+            let mut rc = RangeCounts::default();
+            rc.add_samples(binary, &samples);
+            Generated::Flat(dwarf_profile(binary, &rc))
+        }
+        (PgoVariant::CsspgoProbeOnly, Some(binary)) => {
+            let mut rc = RangeCounts::default();
+            rc.add_samples(binary, &samples);
+            Generated::Probe(probe_profile(binary, &rc), None)
+        }
+        (PgoVariant::CsspgoFull, Some(binary)) => {
+            let mut rc = RangeCounts::default();
+            rc.add_samples(binary, &samples);
+            let tail_graph = TailCallGraph::build(binary, &rc);
+            let mut ctx_profile = ContextProfile::new();
+            let mut unwinder = Unwinder::new(binary, Some(&tail_graph));
+            unwinder.unwind_into(&samples, &mut ctx_profile);
+            outcome.infer_stats = unwinder.infer_stats;
+            let checksums = binary
+                .funcs
+                .iter()
+                .filter_map(|f| f.probe_checksum.map(|c| (f.guid, c)))
+                .collect();
+            ctx_profile.set_checksums(&checksums);
+            outcome.context_nodes_before_trim = ctx_profile.node_count();
+            ctx_profile.trim_cold(config.trim_threshold);
+            outcome.context_nodes_after_trim = ctx_profile.node_count();
+            let pre = run_preinliner(&mut ctx_profile, binary, &config.preinline);
+            outcome.plan_len = pre.plan_paths.len();
+            let plan = to_inline_plan(&pre.plan_paths, &build_module);
+            let mut probe_prof = ctx_profile.to_probe_profile();
+            // Context entry counts can be sparse; fall back to plain LBR
+            // entry counts where missing.
+            for (fidx, c) in rc.entry_counts(binary) {
+                let guid = binary.funcs[fidx as usize].guid;
+                if let Some(fp) = probe_prof.funcs.get_mut(&guid) {
+                    fp.entry = fp.entry.max(c);
+                }
+            }
+            Generated::Probe(probe_prof, Some(plan))
+        }
+        (PgoVariant::Instr, Some(_)) => {
+            let map = counter_map.expect("instrumented build has a counter map");
+            let mut exact = std::collections::HashMap::new();
+            for ((fid, bid), counter) in map.by_block {
+                exact.insert((fid, bid), counters[counter as usize]);
+            }
+            Generated::Counters(exact)
+        }
+    };
+
+    // ---------- quality snapshot (no replay, common CFG) ----------
+    {
+        let mut q_module = csspgo_lang::compile(build_source, &workload.name)?;
+        csspgo_opt::discriminators::run(&mut q_module);
+        if variant.uses_probes() {
+            csspgo_opt::probes::run(&mut q_module);
+        }
+        let no_replay = AnnotateConfig {
+            inline_budget: 0,
+            ..config.annotate
+        };
+        match &generated {
+            Generated::None => {}
+            Generated::Flat(p) => {
+                autofdo_annotate(&mut q_module, p, &no_replay);
+            }
+            Generated::Probe(p, _) => {
+                csspgo_annotate(&mut q_module, p, None, &no_replay);
+            }
+            Generated::Counters(c) => {
+                instr_annotate(&mut q_module, c);
+            }
+        }
+        outcome.quality_counts = collect_block_counts(&q_module);
+    }
+
+    // ---------- optimized build ----------
+    match &generated {
+        Generated::None => {}
+        Generated::Flat(p) => {
+            outcome.annotate_stats = autofdo_annotate(&mut build_module, p, &config.annotate);
+        }
+        Generated::Probe(p, plan) => {
+            outcome.annotate_stats =
+                csspgo_annotate(&mut build_module, p, plan.as_ref(), &config.annotate);
+        }
+        Generated::Counters(c) => {
+            outcome.annotate_stats = instr_annotate(&mut build_module, c);
+        }
+    }
+    // Full CSSPGO honors the pre-inliner's global decisions: the bottom-up
+    // inliner is restricted to trivially-small callees so it cannot undo the
+    // pre-inliner's selectivity (paper §III.B: the compiler "will try to
+    // honor the decision made by pre-inliner when possible").
+    let mut opt_cfg = config.opt.clone();
+    if variant == PgoVariant::CsspgoFull {
+        opt_cfg.inline_hot_size = opt_cfg.inline_small_size;
+    }
+    csspgo_opt::run_pipeline(&mut build_module, &opt_cfg);
+    // Link-time GC: fully-inlined functions lose their standalone bodies.
+    if let Some(root) = build_module.find_function(&workload.entry) {
+        csspgo_opt::strip::run(&mut build_module, &[root]);
+    }
+    let final_binary = lower_module(&build_module, &config.codegen);
+    outcome.sections = final_binary.sections;
+
+    // ---------- evaluation run ----------
+    let (stats, hash) = evaluate(&final_binary, workload, config)?;
+    outcome.eval = stats;
+    outcome.eval_result_hash = hash;
+    Ok(outcome)
+}
+
+/// Runs the evaluation traffic on `binary`, returning stats and a hash of
+/// the results (for cross-variant correctness checking).
+pub fn evaluate(
+    binary: &Binary,
+    workload: &Workload,
+    config: &PipelineConfig,
+) -> Result<(RunStats, u64), PipelineError> {
+    let sim_cfg = SimConfig {
+        lbr_size: config.lbr_size,
+        pebs: config.pebs,
+        sample_period: 0,
+        seed: config.seed,
+        max_steps: config.max_steps,
+        ..SimConfig::default()
+    };
+    let mut machine = Machine::new(binary, sim_cfg);
+    for (name, values) in &workload.setup {
+        machine.set_global(name, values);
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for args in &workload.eval_calls {
+        let r = machine.call(&workload.entry, args)?;
+        hash ^= r as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Ok((*machine.stats(), hash))
+}
+
+/// Compiles and evaluates `module_source` without any PGO — a helper for
+/// overhead experiments that need a custom build (e.g. probes on/off).
+pub fn build_and_run(
+    workload: &Workload,
+    with_probes: bool,
+    config: &PipelineConfig,
+) -> Result<(RunStats, SectionSizes), PipelineError> {
+    let mut module = csspgo_lang::compile(&workload.source, &workload.name)?;
+    csspgo_opt::discriminators::run(&mut module);
+    if with_probes {
+        csspgo_opt::probes::run(&mut module);
+    }
+    csspgo_opt::run_pipeline(&mut module, &config.opt);
+    if let Some(root) = module.find_function(&workload.entry) {
+        csspgo_opt::strip::run(&mut module, &[root]);
+    }
+    let binary = lower_module(&module, &config.codegen);
+    let (stats, _) = evaluate(&binary, workload, config)?;
+    Ok((stats, binary.sections))
+}
+
+/// Fresh-IR compile helper used by quality experiments.
+pub fn fresh_module(workload: &Workload, probes: bool) -> Result<Module, PipelineError> {
+    let mut m = csspgo_lang::compile(&workload.source, &workload.name)?;
+    csspgo_opt::discriminators::run(&mut m);
+    if probes {
+        csspgo_opt::probes::run(&mut m);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        let src = r#"
+fn weight(i) {
+    if (i % 7 == 0) { return 3; }
+    return 1;
+}
+fn score(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + weight(i) * i;
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        Workload::new(
+            "tiny",
+            src,
+            "score",
+            vec![vec![900]; 4],
+            vec![vec![901]; 4],
+        )
+    }
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            sample_period: 61,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_variants_compute_identical_results() {
+        let w = tiny_workload();
+        let cfg = quick_config();
+        let mut hashes = Vec::new();
+        for v in PgoVariant::ALL {
+            let o = run_pgo_cycle(&w, v, &cfg).unwrap_or_else(|e| panic!("{v}: {e}"));
+            hashes.push((v, o.eval_result_hash));
+        }
+        let first = hashes[0].1;
+        for (v, h) in &hashes {
+            assert_eq!(*h, first, "variant {v} changed program behaviour");
+        }
+    }
+
+    #[test]
+    fn sampling_variants_profile_and_annotate() {
+        let w = tiny_workload();
+        let cfg = quick_config();
+        for v in [
+            PgoVariant::AutoFdo,
+            PgoVariant::CsspgoProbeOnly,
+            PgoVariant::CsspgoFull,
+        ] {
+            let o = run_pgo_cycle(&w, v, &cfg).unwrap();
+            assert!(o.profiling.samples > 0, "{v} must sample");
+            assert!(o.annotate_stats.annotated > 0, "{v} must annotate");
+            assert!(!o.quality_counts.is_empty(), "{v} must snapshot quality");
+        }
+    }
+
+    #[test]
+    fn instrumented_profiling_is_much_slower() {
+        let w = tiny_workload();
+        let cfg = quick_config();
+        let auto = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg).unwrap();
+        let instr = run_pgo_cycle(&w, PgoVariant::Instr, &cfg).unwrap();
+        let ratio = instr.profiling.cycles as f64 / auto.profiling.cycles as f64;
+        assert!(
+            ratio > 1.2,
+            "instrumented profiling should be much slower, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn csspgo_full_produces_contexts_and_plan() {
+        let w = tiny_workload();
+        let cfg = quick_config();
+        let o = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).unwrap();
+        assert!(o.context_nodes_before_trim > 0);
+        assert!(o.context_nodes_after_trim <= o.context_nodes_before_trim);
+    }
+
+    #[test]
+    fn probe_binary_carries_metadata_section() {
+        let w = tiny_workload();
+        let cfg = quick_config();
+        let o = run_pgo_cycle(&w, PgoVariant::CsspgoProbeOnly, &cfg).unwrap();
+        assert!(o.profiling_sections.pseudo_probe > 0);
+        let a = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg).unwrap();
+        assert_eq!(a.profiling_sections.pseudo_probe, 0);
+    }
+
+    #[test]
+    fn pgo_beats_o2_on_layout_sensitive_workload() {
+        // A rare-but-bulky error path: without profile the cold arm sits on
+        // the fall-through path and pollutes the i-cache; with profile it is
+        // laid out away (and split out), the hot arm falls through.
+        let src = r#"
+global stats[8];
+fn classify(x) {
+    if (x % 97 == 0) {
+        stats[0] = stats[0] + x;
+        stats[1] = stats[1] + x * 3;
+        stats[2] = stats[2] + x * 5;
+        stats[3] = stats[3] + x * 7;
+        stats[4] = stats[4] + x * 11;
+        stats[5] = stats[5] + x * 13;
+        stats[6] = stats[6] + x * 17;
+        stats[7] = stats[7] + x * 19;
+        return 0 - x;
+    }
+    return x + 1;
+}
+fn score(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + classify(i);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        let w = Workload::new("layouty", src, "score", vec![vec![1500]; 3], vec![vec![1501]; 3]);
+        let cfg = quick_config();
+        let o2 = run_pgo_cycle(&w, PgoVariant::O2, &cfg).unwrap();
+        let instr = run_pgo_cycle(&w, PgoVariant::Instr, &cfg).unwrap();
+        assert_eq!(instr.eval_result_hash, o2.eval_result_hash);
+        assert!(
+            instr.eval.cycles < o2.eval.cycles,
+            "instr PGO {} should beat O2 {}",
+            instr.eval.cycles,
+            o2.eval.cycles
+        );
+    }
+}

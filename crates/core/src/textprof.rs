@@ -1,0 +1,565 @@
+//! Text profile formats, modelled on the LLVM sample-profile text format
+//! that AutoFDO and CSSPGO persist between the profiling and build steps.
+//!
+//! Two formats:
+//!
+//! * **flat** (AutoFDO-style) — per function, body counts keyed by
+//!   `offset[.discriminator]`, with indentation-nested inlined call-site
+//!   sub-profiles:
+//!
+//!   ```text
+//!   main:1384:25
+//!    1: 500
+//!    2.1: 480
+//!    3@helper:880:25
+//!     0: 440
+//!   ```
+//!
+//! * **context** (CSSPGO-style) — one section per calling context, a
+//!   bracketed frame list as in `llvm-profgen` output, with the CFG
+//!   checksum that drives staleness detection:
+//!
+//!   ```text
+//!   [main:3 @ helper]:880:25
+//!    checksum: 0x1f2e3d4c
+//!    1: 440
+//!   ```
+//!
+//! Function identity round-trips through names: GUIDs are name hashes
+//! ([`csspgo_ir::probe::function_guid`]), so the parser recovers them
+//! without a symbol table.
+
+use crate::context::{ContextNode, ContextProfile, FrameKey};
+use crate::profile::{FlatFuncProfile, FlatProfile, LocKey, ProbeFuncProfile, ProbeProfile};
+use csspgo_ir::probe::function_guid;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A text-profile parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat (AutoFDO-style)
+// ---------------------------------------------------------------------
+
+/// Serializes a flat profile to text.
+pub fn write_flat(profile: &FlatProfile) -> String {
+    let mut out = String::new();
+    for (guid, fp) in &profile.funcs {
+        let name = profile
+            .names
+            .get(guid)
+            .cloned()
+            .unwrap_or_else(|| format!("guid.{guid:x}"));
+        write_flat_func(&mut out, "", &name, fp, 0, &profile.names);
+    }
+    out
+}
+
+fn write_flat_func(
+    out: &mut String,
+    header_prefix: &str,
+    name: &str,
+    fp: &FlatFuncProfile,
+    depth: usize,
+    names: &BTreeMap<u64, String>,
+) {
+    let pad = " ".repeat(depth);
+    out.push_str(&format!("{header_prefix}{name}:{}:{}\n", fp.total, fp.entry));
+    for (key, count) in &fp.body {
+        if key.discriminator == 0 {
+            out.push_str(&format!("{pad} {}: {count}\n", key.line_offset));
+        } else {
+            out.push_str(&format!(
+                "{pad} {}.{}: {count}\n",
+                key.line_offset, key.discriminator
+            ));
+        }
+    }
+    for ((key, callee), sub) in &fp.callsites {
+        let callee_name = names
+            .get(callee)
+            .cloned()
+            .unwrap_or_else(|| format!("guid.{callee:x}"));
+        let k = if key.discriminator == 0 {
+            format!("{}", key.line_offset)
+        } else {
+            format!("{}.{}", key.line_offset, key.discriminator)
+        };
+        let prefix = format!("{pad} {k}@");
+        write_flat_func(out, &prefix, &callee_name, sub, depth + 1, names);
+    }
+}
+
+/// Parses the flat text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_flat(text: &str) -> Result<FlatProfile, ParseError> {
+    let mut profile = FlatProfile::default();
+    // Stack of (indent, profile pointer path). We parse with an explicit
+    // recursion over owned frames to keep borrows simple: collect into a
+    // tree of temporary nodes first.
+    struct Frame {
+        indent: usize,
+        name: String,
+        fp: FlatFuncProfile,
+        // The call-site key this frame hangs off in its parent.
+        site: Option<LocKey>,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+
+    fn pop_into(profile: &mut FlatProfile, stack: &mut Vec<Frame>) {
+        let frame = stack.pop().expect("non-empty stack");
+        let guid = function_guid(&frame.name);
+        profile.names.insert(guid, frame.name.clone());
+        if let Some(parent) = stack.last_mut() {
+            let site = frame.site.expect("nested frame has a site");
+            parent.fp.callsites.insert((site, guid), frame.fp);
+        } else {
+            profile.funcs.insert(guid, frame.fp);
+        }
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if raw.trim().is_empty() || raw.trim_start().starts_with('#') {
+            continue;
+        }
+        let indent = raw.len() - raw.trim_start().len();
+        let line = raw.trim_start();
+
+        // Close frames deeper or equal to this indent if this line starts a
+        // new function header at that indent.
+        let header_like = !line.contains('@') && line.split(':').count() == 3 && {
+            let mut it = line.split(':');
+            it.next();
+            it.clone().all(|p| p.trim().parse::<u64>().is_ok())
+        };
+        let site_header = line.contains('@');
+
+        if header_like && !site_header {
+            while stack.last().map(|f| f.indent >= indent).unwrap_or(false) {
+                pop_into(&mut profile, &mut stack);
+            }
+            let mut parts = line.split(':');
+            let name = parts.next().ok_or_else(|| err(lineno, "missing name"))?;
+            let total = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .ok_or_else(|| err(lineno, "bad total"))?;
+            let entry = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .ok_or_else(|| err(lineno, "bad entry count"))?;
+            stack.push(Frame {
+                indent,
+                name: name.to_string(),
+                fp: FlatFuncProfile {
+                    total,
+                    entry,
+                    ..FlatFuncProfile::default()
+                },
+                site: None,
+            });
+            continue;
+        }
+
+        if site_header {
+            // `off[.disc]@name:total:entry` — a nested inlined profile.
+            while stack.last().map(|f| f.indent >= indent).unwrap_or(false)
+                && stack.len() > 1
+                && stack.last().map(|f| f.indent >= indent).unwrap_or(false)
+            {
+                if stack.last().map(|f| f.indent < indent).unwrap_or(true) {
+                    break;
+                }
+                pop_into(&mut profile, &mut stack);
+            }
+            let (key_part, rest) = line.split_once('@').ok_or_else(|| err(lineno, "bad @"))?;
+            let site = parse_lockey(key_part.trim(), lineno)?;
+            let mut parts = rest.split(':');
+            let name = parts.next().ok_or_else(|| err(lineno, "missing callee"))?;
+            let total = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .ok_or_else(|| err(lineno, "bad total"))?;
+            let entry = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .ok_or_else(|| err(lineno, "bad entry count"))?;
+            if stack.is_empty() {
+                return Err(err(lineno, "call-site profile without a function"));
+            }
+            stack.push(Frame {
+                indent,
+                name: name.to_string(),
+                fp: FlatFuncProfile {
+                    total,
+                    entry,
+                    ..FlatFuncProfile::default()
+                },
+                site: Some(site),
+            });
+            continue;
+        }
+
+        // Body line: `off[.disc]: count`.
+        let (key_part, count_part) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `off: count`"))?;
+        let key = parse_lockey(key_part.trim(), lineno)?;
+        let count: u64 = count_part
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, "bad count"))?;
+        // Attach to the innermost frame whose indent is shallower than ours.
+        while stack.len() > 1 && stack.last().map(|f| f.indent >= indent).unwrap_or(false) {
+            pop_into(&mut profile, &mut stack);
+        }
+        let frame = stack
+            .last_mut()
+            .ok_or_else(|| err(lineno, "body count without a function"))?;
+        frame.fp.body.insert(key, count);
+    }
+    while !stack.is_empty() {
+        pop_into(&mut profile, &mut stack);
+    }
+    Ok(profile)
+}
+
+fn parse_lockey(text: &str, lineno: usize) -> Result<LocKey, ParseError> {
+    let (off, disc) = match text.split_once('.') {
+        Some((o, d)) => (
+            o.parse().map_err(|_| err(lineno, "bad offset"))?,
+            d.parse().map_err(|_| err(lineno, "bad discriminator"))?,
+        ),
+        None => (text.parse().map_err(|_| err(lineno, "bad offset"))?, 0),
+    };
+    Ok(LocKey {
+        line_offset: off,
+        discriminator: disc,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Context (CSSPGO-style)
+// ---------------------------------------------------------------------
+
+/// Serializes a context profile to text, one section per trie node with a
+/// bracketed context line (as `llvm-profgen` prints CS profiles).
+pub fn write_context(profile: &ContextProfile) -> String {
+    let mut out = String::new();
+    let name = |g: u64| {
+        profile
+            .names
+            .get(&g)
+            .cloned()
+            .unwrap_or_else(|| format!("guid.{g:x}"))
+    };
+    fn walk(
+        out: &mut String,
+        node: &ContextNode,
+        path: &mut Vec<FrameKey>,
+        name: &dyn Fn(u64) -> String,
+    ) {
+        let mut ctx: Vec<String> = path
+            .iter()
+            .map(|f| format!("{}:{}", name(f.guid), f.probe))
+            .collect();
+        ctx.push(name(node.guid));
+        out.push_str(&format!("[{}]:{}:{}\n", ctx.join(" @ "), node.total(), node.entry));
+        if node.checksum != 0 {
+            out.push_str(&format!(" checksum: {:#x}\n", node.checksum));
+        }
+        if node.inlined {
+            out.push_str(" inlined: true\n");
+        }
+        for (probe, count) in &node.probes {
+            out.push_str(&format!(" {probe}: {count}\n"));
+        }
+        for ((probe, _), child) in &node.children {
+            path.push(FrameKey {
+                guid: node.guid,
+                probe: *probe,
+            });
+            walk(out, child, path, name);
+            path.pop();
+        }
+    }
+    for node in profile.roots.values() {
+        walk(&mut out, node, &mut Vec::new(), &name);
+    }
+    out
+}
+
+/// Parses the context text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_context(text: &str) -> Result<ContextProfile, ParseError> {
+    let mut profile = ContextProfile::new();
+    let mut current: Option<(Vec<FrameKey>, u64)> = None; // (path, leaf guid)
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            let close = line
+                .find(']')
+                .ok_or_else(|| err(lineno, "unterminated context"))?;
+            let ctx = &line[1..close];
+            let rest = &line[close + 1..];
+            let mut parts = rest.trim_start_matches(':').split(':');
+            let _total: u64 = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .ok_or_else(|| err(lineno, "bad total"))?;
+            let entry: u64 = parts
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .ok_or_else(|| err(lineno, "bad entry"))?;
+
+            let frames: Vec<&str> = ctx.split('@').map(str::trim).collect();
+            let mut path = Vec::with_capacity(frames.len().saturating_sub(1));
+            for f in &frames[..frames.len() - 1] {
+                let (fname, probe) = f
+                    .rsplit_once(':')
+                    .ok_or_else(|| err(lineno, "frame needs `name:probe`"))?;
+                path.push(FrameKey {
+                    guid: function_guid(fname),
+                    probe: probe
+                        .parse()
+                        .map_err(|_| err(lineno, "bad probe index"))?,
+                });
+            }
+            let leaf = frames.last().ok_or_else(|| err(lineno, "empty context"))?;
+            let leaf_guid = function_guid(leaf);
+            profile.names.insert(leaf_guid, leaf.to_string());
+            for (f, key) in frames[..frames.len() - 1].iter().zip(&path) {
+                let fname = f.rsplit_once(':').expect("validated above").0;
+                profile.names.insert(key.guid, fname.to_string());
+            }
+            if entry > 0 {
+                profile.add_entry(&path, leaf_guid, entry);
+            } else {
+                // Materialize the node even with no entries.
+                profile.node_for_path_mut(&path, leaf_guid);
+            }
+            current = Some((path, leaf_guid));
+            continue;
+        }
+        let (path, leaf) = current
+            .as_ref()
+            .ok_or_else(|| err(lineno, "counts before any context header"))?;
+        if let Some(rest) = line.strip_prefix("checksum:") {
+            let v = rest.trim().trim_start_matches("0x");
+            let checksum =
+                u64::from_str_radix(v, 16).map_err(|_| err(lineno, "bad checksum"))?;
+            profile.node_for_path_mut(path, *leaf).checksum = checksum;
+            continue;
+        }
+        if line.starts_with("inlined:") {
+            profile.node_for_path_mut(path, *leaf).inlined = line.ends_with("true");
+            continue;
+        }
+        let (probe, count) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `probe: count`"))?;
+        let probe: u32 = probe.trim().parse().map_err(|_| err(lineno, "bad probe"))?;
+        let count: u64 = count.trim().parse().map_err(|_| err(lineno, "bad count"))?;
+        profile.add_probe_hit(path, *leaf, probe, count);
+    }
+    Ok(profile)
+}
+
+// ---------------------------------------------------------------------
+// Probe profile (flat CSSPGO) — reuses the context writer through a
+// conversion, plus direct JSON for lossless round-trips.
+// ---------------------------------------------------------------------
+
+/// Serializes a probe profile as JSON (lossless).
+pub fn write_probe_json(profile: &ProbeProfile) -> String {
+    serde_json::to_string_pretty(profile).expect("probe profiles are serializable")
+}
+
+/// Parses a probe profile from JSON.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the JSON failure.
+pub fn parse_probe_json(text: &str) -> Result<ProbeProfile, ParseError> {
+    serde_json::from_str(text).map_err(|e| err(e.line(), e.to_string()))
+}
+
+/// Total nested profile nodes (a size metric for reports).
+pub fn probe_profile_nodes(profile: &ProbeProfile) -> usize {
+    fn nodes(p: &ProbeFuncProfile) -> usize {
+        1 + p.callsites.values().map(nodes).sum::<usize>()
+    }
+    profile.funcs.values().map(nodes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_flat() -> FlatProfile {
+        let mut p = FlatProfile::default();
+        let main_guid = function_guid("main");
+        let helper_guid = function_guid("helper");
+        p.names.insert(main_guid, "main".into());
+        p.names.insert(helper_guid, "helper".into());
+        let fp = p.funcs.entry(main_guid).or_default();
+        fp.entry = 25;
+        fp.record_max(LocKey { line_offset: 1, discriminator: 0 }, 500);
+        fp.record_max(LocKey { line_offset: 2, discriminator: 1 }, 480);
+        let nested = fp.callsite_mut(LocKey { line_offset: 3, discriminator: 0 }, helper_guid);
+        nested.entry = 25;
+        nested.record_max(LocKey { line_offset: 0, discriminator: 0 }, 440);
+        p.funcs.get_mut(&main_guid).unwrap().recompute_totals();
+        p
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let p = sample_flat();
+        let text = write_flat(&p);
+        let back = parse_flat(&text).unwrap();
+        assert_eq!(p.funcs, back.funcs, "text:\n{text}");
+        assert_eq!(p.names, back.names);
+    }
+
+    #[test]
+    fn flat_text_is_human_readable() {
+        let text = write_flat(&sample_flat());
+        assert!(text.contains("main:"), "{text}");
+        assert!(text.contains(" 2.1: 480"), "{text}");
+        assert!(text.contains("@helper:"), "{text}");
+    }
+
+    #[test]
+    fn flat_parse_reports_line_numbers() {
+        let e = parse_flat("main:10:5\n bogus line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    fn sample_context() -> ContextProfile {
+        let mut p = ContextProfile::new();
+        let main = function_guid("main");
+        let helper = function_guid("helper");
+        p.names.insert(main, "main".into());
+        p.names.insert(helper, "helper".into());
+        p.add_probe_hit(&[], main, 1, 100);
+        p.add_entry(&[], main, 10);
+        let f = FrameKey { guid: main, probe: 3 };
+        p.add_probe_hit(&[f], helper, 1, 440);
+        p.add_probe_hit(&[f], helper, 2, 60);
+        p.add_entry(&[f], helper, 25);
+        p.node_for_path_mut(&[f], helper).checksum = 0x1f2e;
+        p.node_for_path_mut(&[f], helper).inlined = true;
+        p
+    }
+
+    #[test]
+    fn context_roundtrip() {
+        let p = sample_context();
+        let text = write_context(&p);
+        let back = parse_context(&text).unwrap();
+        assert_eq!(p.total(), back.total(), "text:\n{text}");
+        assert_eq!(p.node_count(), back.node_count());
+        let main = function_guid("main");
+        let helper = function_guid("helper");
+        let f = FrameKey { guid: main, probe: 3 };
+        let node = back.node_for_path(&[f], helper).unwrap();
+        assert_eq!(node.probes[&1], 440);
+        assert_eq!(node.entry, 25);
+        assert_eq!(node.checksum, 0x1f2e);
+        assert!(node.inlined);
+    }
+
+    #[test]
+    fn context_text_matches_llvm_profgen_shape() {
+        let text = write_context(&sample_context());
+        assert!(text.contains("[main]:"), "{text}");
+        assert!(text.contains("[main:3 @ helper]:"), "{text}");
+        assert!(text.contains(" checksum: 0x1f2e"), "{text}");
+    }
+
+    #[test]
+    fn probe_json_roundtrip() {
+        let mut p = ProbeProfile::default();
+        let g = function_guid("f");
+        p.names.insert(g, "f".into());
+        let fp = p.funcs.entry(g).or_default();
+        fp.checksum = 77;
+        fp.record_sum(1, 10);
+        fp.recompute_totals();
+        let back = parse_probe_json(&write_probe_json(&p)).unwrap();
+        assert_eq!(back.funcs[&g].probes[&1], 10);
+        assert_eq!(probe_profile_nodes(&back), 1);
+    }
+
+    #[test]
+    fn real_pipeline_profiles_roundtrip() {
+        // Generate a real profile and round-trip it through text.
+        use crate::correlate::dwarf_profile;
+        use crate::ranges::RangeCounts;
+        use csspgo_codegen::{lower_module, CodegenConfig};
+        use csspgo_sim::{Machine, SimConfig};
+        let src = r#"
+fn h(x) { if (x % 3 == 0) { return x + 1; } return x; }
+fn main(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) { s = s + h(i); i = i + 1; }
+    return s;
+}
+"#;
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::discriminators::run(&mut m);
+        csspgo_opt::run_pipeline(&mut m, &csspgo_opt::OptConfig::default());
+        let b = lower_module(&m, &CodegenConfig::default());
+        let mut machine = Machine::new(
+            &b,
+            SimConfig {
+                sample_period: 37,
+                ..SimConfig::default()
+            },
+        );
+        machine.call("main", &[3000]).unwrap();
+        let samples = machine.take_samples();
+        let mut rc = RangeCounts::default();
+        rc.add_samples(&b, &samples);
+        let profile = dwarf_profile(&b, &rc);
+        let back = parse_flat(&write_flat(&profile)).unwrap();
+        assert_eq!(profile.funcs, back.funcs);
+    }
+}

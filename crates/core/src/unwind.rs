@@ -1,0 +1,521 @@
+//! **Algorithm 1**: reconstructing the calling context of each LBR range
+//! from a synchronized LBR + stack sample (paper §III.B).
+//!
+//! LBR branches are processed in reverse execution order (newest first). A
+//! running context stack starts from the sampled frame-pointer chain and is
+//! surgically adjusted at each call/return boundary:
+//!
+//! * stepping (backwards) over a **call**: the code before the call ran in
+//!   the caller, so the caller's call-site frame pops off the context;
+//! * stepping over a **return** from `F`: the code before ran inside `F`,
+//!   so the call site that had entered `F` (the instruction before the
+//!   return target) pushes onto the context;
+//! * **tail calls** replace their frame: context unchanged.
+//!
+//! Each linear range between consecutive taken branches is attributed with
+//! the context in effect, and inline frames are expanded per probe
+//! (`ExpandInlinedFrames`): every pseudo-probe note carries its own inline
+//! stack, so splitting ranges at inline boundaries happens per anchored
+//! probe.
+//!
+//! The missing-frame inferrer ([`crate::tailcall`]) repairs the initial
+//! stack where tail-call elimination removed frames.
+
+use crate::context::{ContextProfile, FrameKey};
+use crate::tailcall::{InferStats, TailCallGraph};
+use csspgo_codegen::minst::MInstKind;
+use csspgo_codegen::Binary;
+use csspgo_sim::Sample;
+
+/// Collapses adjacent repeated subsequences in a context path (LLVM's
+/// recursion-context compression): `[a b a b c]` → `[a b c]`, `[a a a]` →
+/// `[a]`. Without this, recursive programs blow the context trie up
+/// unboundedly.
+pub fn compress_cycles(path: &mut Vec<FrameKey>) {
+    loop {
+        let mut changed = false;
+        for period in 1..=4usize {
+            let mut i = 0;
+            while i + 2 * period <= path.len() {
+                if path[i..i + period] == path[i + period..i + 2 * period] {
+                    path.drain(i + period..i + 2 * period);
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Context reconstruction engine for one binary.
+pub struct Unwinder<'b> {
+    binary: &'b Binary,
+    tail_graph: Option<&'b TailCallGraph>,
+    /// Maximum context depth kept when attributing (deeper paths keep their
+    /// innermost frames). Recursion would otherwise blow the trie up
+    /// unboundedly — LLVM's CSSPGO caps context depth the same way.
+    pub max_context_depth: usize,
+    /// Tail-call frame recovery statistics.
+    pub infer_stats: InferStats,
+    /// Samples whose stack could not be interpreted at all.
+    pub broken_stacks: u64,
+}
+
+/// One attribution produced by unwinding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hit {
+    /// Probe `index` of function `owner` executed under `path`.
+    Probe {
+        path: Vec<FrameKey>,
+        owner: u64,
+        index: u32,
+    },
+    /// A call entered function `owner` under `path`.
+    Entry { path: Vec<FrameKey>, owner: u64 },
+}
+
+impl<'b> Unwinder<'b> {
+    /// Creates an unwinder; pass a tail-call graph to enable missing-frame
+    /// inference.
+    pub fn new(binary: &'b Binary, tail_graph: Option<&'b TailCallGraph>) -> Self {
+        Unwinder {
+            binary,
+            tail_graph,
+            max_context_depth: 8,
+            infer_stats: InferStats::default(),
+            broken_stacks: 0,
+        }
+    }
+
+    /// Expands the call-site instruction at `idx` into context frames: the
+    /// call probe's inline stack plus the probe itself. `None` when the
+    /// instruction carries no call probe (probe-less builds).
+    fn callsite_frames(&self, idx: usize) -> Option<Vec<FrameKey>> {
+        let note = self.binary.insts[idx]
+            .probes
+            .iter()
+            .rev()
+            .find(|n| matches!(n.kind, csspgo_ir::ProbeKind::Call))?;
+        let mut frames: Vec<FrameKey> = note
+            .inline_stack
+            .iter()
+            .map(|s| FrameKey {
+                guid: self.binary.funcs[s.func.index()].guid,
+                probe: s.probe_index,
+            })
+            .collect();
+        frames.push(FrameKey {
+            guid: note.owner_guid,
+            probe: note.index,
+        });
+        Some(frames)
+    }
+
+    /// Converts the sampled stack into an initial context (outer→inner
+    /// call-site frames), running missing-frame inference across tail-call
+    /// gaps.
+    fn initial_context(&mut self, sample: &Sample) -> Option<Vec<FrameKey>> {
+        // Physical call sites, outermost first.
+        let mut callsites: Vec<usize> = Vec::new();
+        for &ret_addr in sample.stack.iter().skip(1).rev() {
+            let ret_idx = self.binary.index_of_addr(ret_addr)?;
+            if ret_idx == 0 {
+                return None;
+            }
+            let call_idx = ret_idx - 1;
+            if !matches!(self.binary.insts[call_idx].kind, MInstKind::Call { .. }) {
+                self.broken_stacks += 1;
+                return None;
+            }
+            callsites.push(call_idx);
+        }
+
+        let leaf_idx = self.binary.index_of_addr(sample.pc)?;
+        let mut ctx: Vec<FrameKey> = Vec::new();
+        for (k, &cs) in callsites.iter().enumerate() {
+            let MInstKind::Call { callee, .. } = self.binary.insts[cs].kind else {
+                unreachable!("validated above")
+            };
+            // The function the *next* frame actually executes in.
+            let next_func = match callsites.get(k + 1) {
+                Some(&next_cs) => self.binary.func_of[next_cs],
+                None => self.binary.func_of[leaf_idx],
+            };
+            let Some(frames) = self.callsite_frames(cs) else {
+                return None; // probe-less build: no context reconstruction
+            };
+            ctx.extend(frames);
+            if callee != next_func {
+                // Frames are missing between `callee` and `next_func`:
+                // tail-call elimination. Try to infer the unique chain.
+                let path = self
+                    .tail_graph
+                    .and_then(|g| g.unique_path(callee, next_func));
+                match path {
+                    Some(tail_insts) => {
+                        self.infer_stats.recovered += tail_insts.len() as u64;
+                        for ti in tail_insts {
+                            match self.callsite_frames(ti) {
+                                Some(frames) => ctx.extend(frames),
+                                None => return None,
+                            }
+                        }
+                    }
+                    None => {
+                        self.infer_stats.failed += 1;
+                        // Context is only trustworthy from here inward.
+                        ctx.clear();
+                    }
+                }
+            }
+        }
+        Some(ctx)
+    }
+
+    /// Unwinds one sample into probe/entry hits.
+    pub fn unwind(&mut self, sample: &Sample) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        let Some(mut ctx) = self.initial_context(sample) else {
+            return hits;
+        };
+        let Some(pc_idx) = self.binary.index_of_addr(sample.pc) else {
+            return hits;
+        };
+
+        // Resolve LBR entries to instruction indices, newest last.
+        let resolved: Vec<(usize, usize)> = sample
+            .lbr
+            .iter()
+            .filter_map(|&(from, to)| {
+                Some((
+                    self.binary.index_of_addr(from)?,
+                    self.binary.index_of_addr(to)?,
+                ))
+            })
+            .collect();
+
+        let mut window_end = pc_idx;
+        for &(from_idx, to_idx) in resolved.iter().rev() {
+            // Attribute the linear range executed after this branch.
+            self.attribute(&ctx, to_idx, window_end, &mut hits);
+            // Entry hit for calls (the callee runs under the current ctx).
+            match self.binary.insts[from_idx].kind {
+                MInstKind::Call { .. } | MInstKind::TailCall { .. } => {
+                    let callee_fidx = self.binary.func_of[to_idx];
+                    if self.binary.funcs[callee_fidx as usize].entry == to_idx {
+                        let mut path = ctx.clone();
+                        compress_cycles(&mut path);
+                        if path.len() > self.max_context_depth {
+                            path.drain(..path.len() - self.max_context_depth);
+                        }
+                        hits.push(Hit::Entry {
+                            path,
+                            owner: self.binary.funcs[callee_fidx as usize].guid,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            // Step backwards over the branch, adjusting the context.
+            match self.binary.insts[from_idx].kind {
+                MInstKind::Call { .. } | MInstKind::TailCall { .. } => {
+                    // Before the call we were in the caller: its call-site
+                    // frames (as many as the call expands to) pop off. A
+                    // tail call's frame was synthesized by the inferrer, so
+                    // it pops the same way.
+                    if let Some(frames) = self.callsite_frames(from_idx) {
+                        for _ in 0..frames.len() {
+                            ctx.pop();
+                        }
+                    } else {
+                        ctx.clear();
+                    }
+                }
+                MInstKind::Ret { .. } => {
+                    // Before the return we were inside the returning
+                    // function; the call site that entered it pushes on. If
+                    // the call site's static callee is not the returning
+                    // function, tail calls elided frames in between —
+                    // re-run the missing-frame inference.
+                    let callsite = to_idx.checked_sub(1);
+                    let call_target = callsite.and_then(|cs| match self.binary.insts[cs].kind {
+                        MInstKind::Call { callee, .. } => Some((cs, callee)),
+                        _ => None,
+                    });
+                    match call_target {
+                        Some((cs, callee)) => {
+                            match self.callsite_frames(cs) {
+                                Some(frames) => ctx.extend(frames),
+                                None => ctx.clear(),
+                            }
+                            let src_func = self.binary.func_of[from_idx];
+                            if callee != src_func {
+                                match self
+                                    .tail_graph
+                                    .and_then(|g| g.unique_path(callee, src_func))
+                                {
+                                    Some(tail_insts) => {
+                                        self.infer_stats.recovered += tail_insts.len() as u64;
+                                        for ti in tail_insts {
+                                            match self.callsite_frames(ti) {
+                                                Some(frames) => ctx.extend(frames),
+                                                None => {
+                                                    ctx.clear();
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    None => {
+                                        self.infer_stats.failed += 1;
+                                        ctx.clear();
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            // Return into the harness or unknown code.
+                            ctx.clear();
+                        }
+                    }
+                }
+                _ => {}
+            }
+            window_end = from_idx;
+        }
+        hits
+    }
+
+    /// Attributes every probe anchored in `[begin, end]` with `ctx` expanded
+    /// by each probe's own inline stack.
+    fn attribute(&self, ctx: &[FrameKey], begin: usize, end: usize, hits: &mut Vec<Hit>) {
+        if begin > end || self.binary.func_of[begin] != self.binary.func_of[end] {
+            return;
+        }
+        for idx in begin..=end {
+            for note in &self.binary.insts[idx].probes {
+                let mut path: Vec<FrameKey> = ctx.to_vec();
+                path.extend(note.inline_stack.iter().map(|s| FrameKey {
+                    guid: self.binary.funcs[s.func.index()].guid,
+                    probe: s.probe_index,
+                }));
+                compress_cycles(&mut path);
+                if path.len() > self.max_context_depth {
+                    path.drain(..path.len() - self.max_context_depth);
+                }
+                hits.push(Hit::Probe {
+                    path,
+                    owner: note.owner_guid,
+                    index: note.index,
+                });
+            }
+        }
+    }
+
+    /// Unwinds a batch of samples straight into a context profile.
+    pub fn unwind_into(&mut self, samples: &[Sample], profile: &mut ContextProfile) {
+        for s in samples {
+            for hit in self.unwind(s) {
+                match hit {
+                    Hit::Probe { path, owner, index } => {
+                        profile.add_probe_hit(&path, owner, index, 1);
+                    }
+                    Hit::Entry { path, owner } => {
+                        profile.add_entry(&path, owner, 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranges::RangeCounts;
+    use csspgo_codegen::{lower_module, CodegenConfig};
+    use csspgo_sim::{Machine, SimConfig};
+
+    /// The paper's Fig. 4 shape: a shared helper whose behaviour depends on
+    /// the calling context.
+    const SRC: &str = r#"
+fn scalar_add(a, b) { return a + b; }
+fn scalar_sub(a, b) { return a - b; }
+fn scalar_op(a, b, is_add) {
+    if (is_add == 1) { return scalar_add(a, b); }
+    return scalar_sub(a, b);
+}
+fn add_vector_head(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) { s = scalar_op(s, i, 1); i = i + 1; }
+    return s;
+}
+fn sub_vector_head(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) { s = scalar_op(s, i, 0); i = i + 1; }
+    return s;
+}
+fn main(n) {
+    let x = add_vector_head(n);
+    let y = sub_vector_head(n);
+    return x + y;
+}
+"#;
+
+    fn profile_with_contexts(src: &str, arg: i64) -> (Binary, ContextProfile, InferStats) {
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::discriminators::run(&mut m);
+        csspgo_opt::probes::run(&mut m);
+        let b = lower_module(&m, &CodegenConfig::default());
+        let cfg = SimConfig {
+            sample_period: 41,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&b, cfg);
+        machine.call("main", &[arg]).unwrap();
+        let samples = machine.take_samples();
+        let mut rc = RangeCounts::default();
+        rc.add_samples(&b, &samples);
+        let graph = TailCallGraph::build(&b, &rc);
+        let mut profile = ContextProfile::new();
+        let mut uw = Unwinder::new(&b, Some(&graph));
+        uw.unwind_into(&samples, &mut profile);
+        let stats = uw.infer_stats;
+        (b, profile, stats)
+    }
+
+    /// Finds every subtree node with `guid`, noting whether `ancestor` was
+    /// passed through on the way.
+    fn subtree_total_under(
+        node: &crate::context::ContextNode,
+        target: u64,
+        ancestor: u64,
+        under: bool,
+    ) -> u64 {
+        let own = if node.guid == target && under {
+            node.self_total()
+        } else {
+            0
+        };
+        own + node
+            .children
+            .values()
+            .map(|c| subtree_total_under(c, target, ancestor, under || node.guid == ancestor))
+            .sum::<u64>()
+    }
+
+    #[test]
+    fn contexts_distinguish_callers_of_shared_helper() {
+        let (b, profile, _) = profile_with_contexts(SRC, 3000);
+        let guid = |n: &str| b.func_by_name(n).unwrap().guid;
+        // scalar_op must appear under BOTH vector heads as distinct contexts
+        // (somewhere below the main root).
+        let op = guid("scalar_op");
+        let via_add: u64 = profile
+            .roots
+            .values()
+            .map(|r| subtree_total_under(r, op, guid("add_vector_head"), false))
+            .sum();
+        let via_sub: u64 = profile
+            .roots
+            .values()
+            .map(|r| subtree_total_under(r, op, guid("sub_vector_head"), false))
+            .sum();
+        assert!(via_add > 0, "scalar_op context under add_vector_head");
+        assert!(via_sub > 0, "scalar_op context under sub_vector_head");
+    }
+
+    #[test]
+    fn context_profile_reflects_divergent_callees() {
+        let (b, profile, _) = profile_with_contexts(SRC, 3000);
+        let guid = |n: &str| b.func_by_name(n).unwrap().guid;
+        // Under add_vector_head, scalar_add should dominate scalar_sub (and
+        // vice versa) — the paper's Fig. 3b insight.
+        let totals = |ancestor: &str, target: &str| -> u64 {
+            profile
+                .roots
+                .values()
+                .map(|r| subtree_total_under(r, guid(target), guid(ancestor), false))
+                .sum()
+        };
+        let add_in_add = totals("add_vector_head", "scalar_add");
+        let sub_in_add = totals("add_vector_head", "scalar_sub");
+        let add_in_sub = totals("sub_vector_head", "scalar_add");
+        let sub_in_sub = totals("sub_vector_head", "scalar_sub");
+        assert!(add_in_add > sub_in_add, "{add_in_add} vs {sub_in_add}");
+        assert!(sub_in_sub > add_in_sub, "{sub_in_sub} vs {add_in_sub}");
+    }
+
+    #[test]
+    fn tail_call_frames_recovered() {
+        let src = r#"
+fn leaf(n) {
+    let i = 0;
+    while (i < n) { i = i + 1; }
+    return i;
+}
+fn mid(n) { return leaf(n); }
+fn top(n) { let r = mid(n); return r; }
+fn main(n) { return top(n); }
+"#;
+        let (b, profile, stats) = profile_with_contexts(src, 4000);
+        assert!(stats.recovered > 0, "tail frames must be recovered: {stats:?}");
+        // leaf's hot loop must appear under a context mentioning mid.
+        let guid = |n: &str| b.func_by_name(n).unwrap().guid;
+        fn has_leaf_under_mid(
+            node: &crate::context::ContextNode,
+            mid: u64,
+            leaf: u64,
+            under_mid: bool,
+        ) -> bool {
+            if node.guid == leaf && under_mid && node.self_total() > 0 {
+                return true;
+            }
+            node.children
+                .values()
+                .any(|c| has_leaf_under_mid(c, mid, leaf, under_mid || node.guid == mid))
+        }
+        let ok = profile
+            .roots
+            .values()
+            .any(|r| has_leaf_under_mid(r, guid("mid"), guid("leaf"), false));
+        assert!(ok, "leaf must be contextualized under mid despite TCE");
+    }
+
+    #[test]
+    fn compress_cycles_collapses_repeats() {
+        let f = |g: u64, p: u32| FrameKey { guid: g, probe: p };
+        let mut p = vec![f(1, 2), f(1, 2), f(1, 2)];
+        compress_cycles(&mut p);
+        assert_eq!(p, vec![f(1, 2)]);
+        let mut p = vec![f(1, 5), f(1, 7), f(1, 5), f(1, 7), f(2, 1)];
+        compress_cycles(&mut p);
+        assert_eq!(p, vec![f(1, 5), f(1, 7), f(2, 1)]);
+        let mut p = vec![f(1, 5), f(2, 5), f(3, 5)];
+        compress_cycles(&mut p);
+        assert_eq!(p.len(), 3, "aperiodic paths untouched");
+    }
+
+    #[test]
+    fn probeless_binary_produces_no_contexts() {
+        let m = csspgo_lang::compile(SRC, "t").unwrap();
+        let b = lower_module(&m, &CodegenConfig::default());
+        let cfg = SimConfig {
+            sample_period: 41,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&b, cfg);
+        machine.call("main", &[500]).unwrap();
+        let samples = machine.take_samples();
+        let mut profile = ContextProfile::new();
+        let mut uw = Unwinder::new(&b, None);
+        uw.unwind_into(&samples, &mut profile);
+        assert_eq!(profile.total(), 0, "no probes, no probe hits");
+    }
+}

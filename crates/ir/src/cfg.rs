@@ -1,0 +1,178 @@
+//! Control-flow-graph queries: successors, predecessors, orderings,
+//! reachability.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Successors of `bb` (deduplicated, preserving first-seen order).
+pub fn successors(func: &Function, bb: BlockId) -> Vec<BlockId> {
+    let mut out = func.block(bb).successors();
+    let mut seen = Vec::new();
+    out.retain(|b| {
+        if seen.contains(b) {
+            false
+        } else {
+            seen.push(*b);
+            true
+        }
+    });
+    out
+}
+
+/// Predecessor lists for every block, indexed by block id. A block appears
+/// once per predecessor *block* (parallel edges deduplicated).
+pub fn predecessors(func: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for (bid, _) in func.iter_blocks() {
+        for succ in successors(func, bid) {
+            let list: &mut Vec<BlockId> = &mut preds[succ.index()];
+            if !list.contains(&bid) {
+                list.push(bid);
+            }
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from the entry, as a dense bitmap.
+pub fn reachable(func: &Function) -> Vec<bool> {
+    let mut seen = vec![false; func.blocks.len()];
+    let mut stack = vec![func.entry];
+    seen[func.entry.index()] = true;
+    while let Some(bb) = stack.pop() {
+        for succ in successors(func, bb) {
+            if !seen[succ.index()] {
+                seen[succ.index()] = true;
+                stack.push(succ);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse post-order starting at the entry (only reachable blocks).
+pub fn reverse_post_order(func: &Function) -> Vec<BlockId> {
+    let mut post = Vec::with_capacity(func.blocks.len());
+    let mut state = vec![0u8; func.blocks.len()]; // 0=unseen 1=open 2=done
+    // Iterative DFS computing postorder.
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+    state[func.entry.index()] = 1;
+    while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+        let succs = successors(func, bb);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[bb.index()] = 2;
+            post.push(bb);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Marks blocks unreachable from the entry as dead and strips references to
+/// them are not needed (no live block can branch to an unreachable block by
+/// definition). Returns how many blocks were newly marked dead.
+pub fn remove_unreachable(func: &mut Function) -> usize {
+    let live = reachable(func);
+    let mut n = 0;
+    for (i, block) in func.blocks.iter_mut().enumerate() {
+        if !block.dead && !live[i] {
+            block.dead = true;
+            block.insts.clear();
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::{CmpPred, Operand};
+    use crate::module::Module;
+
+    /// entry -> (a | b); a -> join; b -> join; join -> ret; plus one orphan.
+    fn diamond_with_orphan() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare_function("f", 1);
+        {
+            let mut fb = mb.function_builder(f);
+            let entry = fb.entry_block();
+            let a = fb.add_block();
+            let b = fb.add_block();
+            let join = fb.add_block();
+            let orphan = fb.add_block();
+            fb.switch_to(entry);
+            let c = fb.cmp(CmpPred::Eq, Operand::Reg(crate::ids::VReg(0)), Operand::Imm(0));
+            fb.cond_br(Operand::Reg(c), a, b);
+            fb.switch_to(a);
+            fb.br(join);
+            fb.switch_to(b);
+            fb.br(join);
+            fb.switch_to(join);
+            fb.ret(None);
+            fb.switch_to(orphan);
+            fb.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let m = diamond_with_orphan();
+        let f = &m.functions[0];
+        assert_eq!(successors(f, BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        let preds = predecessors(f);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let m = diamond_with_orphan();
+        let f = &m.functions[0];
+        let rpo = reverse_post_order(f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4); // orphan excluded
+        // join must come after both a and b.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn remove_unreachable_kills_orphan() {
+        let mut m = diamond_with_orphan();
+        let f = &mut m.functions[0];
+        assert_eq!(remove_unreachable(f), 1);
+        assert!(f.block(BlockId(4)).dead);
+        assert_eq!(remove_unreachable(f), 0); // idempotent
+    }
+
+    #[test]
+    fn parallel_edges_deduplicated() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare_function("f", 0);
+        {
+            let mut fb = mb.function_builder(f);
+            let entry = fb.entry_block();
+            let t = fb.add_block();
+            fb.switch_to(entry);
+            fb.cond_br(Operand::Imm(1), t, t);
+            fb.switch_to(t);
+            fb.ret(None);
+        }
+        let m = mb.finish();
+        let f = &m.functions[0];
+        assert_eq!(successors(f, BlockId(0)), vec![BlockId(1)]);
+        assert_eq!(predecessors(f)[1], vec![BlockId(0)]);
+    }
+}

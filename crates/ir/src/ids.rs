@@ -1,0 +1,93 @@
+//! Small index newtypes used throughout the IR.
+//!
+//! Each id is a dense index into the owning container (`Module::functions`,
+//! `Function::blocks`, …). Newtypes keep them from being confused with one
+//! another ([C-NEWTYPE]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+
+impl FuncId {
+    /// Sentinel for "no function" (e.g. compiler-synthesized debug scopes).
+    pub const INVALID: FuncId = FuncId(u32::MAX);
+}
+define_id!(
+    /// Identifies a basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+define_id!(
+    /// Identifies a global array within a [`crate::Module`].
+    GlobalId,
+    "g"
+);
+define_id!(
+    /// A virtual register local to one function.
+    VReg,
+    "%"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(FuncId(3).to_string(), "fn3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(GlobalId(7).to_string(), "g7");
+        assert_eq!(VReg(12).to_string(), "%12");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let b = BlockId::from_index(42);
+        assert_eq!(b.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(FuncId(0) < FuncId(1));
+    }
+}

@@ -1,0 +1,147 @@
+//! Textual IR dumps, for debugging and golden tests.
+
+use crate::function::Function;
+use crate::inst::InstKind;
+use crate::module::Module;
+use std::fmt;
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstKind::Copy { dst, src } => write!(f, "{dst} = copy {src}"),
+            InstKind::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            InstKind::Cmp { pred, dst, lhs, rhs } => write!(f, "{dst} = cmp.{pred} {lhs}, {rhs}"),
+            InstKind::Select {
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => write!(f, "{dst} = select {cond}, {on_true}, {on_false}"),
+            InstKind::Load { dst, global, index } => write!(f, "{dst} = load {global}[{index}]"),
+            InstKind::Store { global, index, value } => {
+                write!(f, "store {global}[{index}], {value}")
+            }
+            InstKind::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call {callee}(")?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            InstKind::Ret { value } => match value {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+            InstKind::Br { target } => write!(f, "br {target}"),
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "condbr {cond}, {then_bb}, {else_bb}"),
+            InstKind::Switch {
+                value,
+                cases,
+                default,
+            } => {
+                write!(f, "switch {value} [")?;
+                for (i, (v, b)) in cases.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v} -> {b}")?;
+                }
+                write!(f, "] default {default}")
+            }
+            InstKind::PseudoProbe {
+                owner,
+                index,
+                kind,
+                inline_stack,
+            } => {
+                write!(f, "pseudo_probe {owner}:{index} {kind}")?;
+                for s in inline_stack {
+                    write!(f, " @{s}")?;
+                }
+                Ok(())
+            }
+            InstKind::CounterIncr { counter } => write!(f, "instrprof.increment #{counter}"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func {} ({} params)", self.name, self.num_params)?;
+        if let Some(c) = self.entry_count {
+            write!(f, " entry_count={c}")?;
+        }
+        if let Some(cs) = self.probe_checksum {
+            write!(f, " checksum={cs:#x}")?;
+        }
+        writeln!(f, " {{")?;
+        for bid in self.linear_order() {
+            let block = self.block(bid);
+            write!(f, "{bid}:")?;
+            if let Some(c) = block.count {
+                write!(f, "  ; count {c}")?;
+            }
+            writeln!(f)?;
+            for inst in &block.insts {
+                write!(f, "    {}", inst.kind)?;
+                if !inst.loc.is_none() {
+                    write!(f, "  ; {}", inst.loc)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {}", self.name)?;
+        for g in &self.globals {
+            writeln!(f, "global {}[{}]", g.name, g.size)?;
+        }
+        for func in &self.functions {
+            writeln!(f)?;
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+    use crate::inst::{BinOp, Operand};
+
+    #[test]
+    fn module_dump_contains_structure() {
+        let mut mb = ModuleBuilder::new("demo");
+        mb.add_global("tab", 8, vec![]);
+        let f = mb.declare_function("f", 1);
+        {
+            let mut fb = mb.function_builder(f);
+            let e = fb.entry_block();
+            fb.switch_to(e);
+            fb.set_line(3);
+            let v = fb.bin(BinOp::Add, Operand::Reg(crate::ids::VReg(0)), Operand::Imm(1));
+            fb.ret(Some(Operand::Reg(v)));
+        }
+        let text = mb.finish().to_string();
+        assert!(text.contains("module demo"));
+        assert!(text.contains("global tab[8]"));
+        assert!(text.contains("func f (1 params)"));
+        assert!(text.contains("%1 = add %0, 1  ; !3"));
+        assert!(text.contains("ret %1"));
+    }
+}

@@ -1,0 +1,218 @@
+//! IR well-formedness checks, run after construction and between passes in
+//! debug builds.
+
+use crate::function::Function;
+use crate::ids::{BlockId, FuncId};
+use crate::inst::{InstKind, Operand};
+use crate::module::Module;
+use std::error::Error;
+use std::fmt;
+
+/// A verifier failure: where and what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Offending function.
+    pub func: FuncId,
+    /// Offending block, when applicable.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify failed in {}", self.func)?;
+        if let Some(b) = self.block {
+            write!(f, " at {b}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every function in `module`.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found: a live block without a
+/// terminator, a terminator mid-block, an edge to a dead or out-of-range
+/// block, an out-of-range register or callee, or a dead entry block.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.functions {
+        verify_function(module, func)?;
+    }
+    Ok(())
+}
+
+/// Verifies one function. See [`verify_module`] for the checked properties.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
+    let err = |block: Option<BlockId>, message: String| VerifyError {
+        func: func.id,
+        block,
+        message,
+    };
+
+    if func.entry.index() >= func.blocks.len() || func.block(func.entry).dead {
+        return Err(err(None, "entry block is dead or out of range".into()));
+    }
+
+    for (bid, block) in func.iter_blocks() {
+        let Some(last) = block.insts.last() else {
+            return Err(err(Some(bid), "live block is empty".into()));
+        };
+        if !last.is_terminator() {
+            return Err(err(Some(bid), "live block lacks a terminator".into()));
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if inst.is_terminator() && i + 1 != block.insts.len() {
+                return Err(err(Some(bid), "terminator in the middle of a block".into()));
+            }
+            for op in inst.kind.uses() {
+                if let Operand::Reg(r) = op {
+                    if r.index() >= func.num_vregs() {
+                        return Err(err(Some(bid), format!("use of unallocated register {r}")));
+                    }
+                }
+            }
+            if let Some(d) = inst.kind.def() {
+                if d.index() >= func.num_vregs() {
+                    return Err(err(Some(bid), format!("def of unallocated register {d}")));
+                }
+            }
+            if let InstKind::Call { callee, .. } = &inst.kind {
+                if callee.index() >= module.functions.len() {
+                    return Err(err(Some(bid), format!("call to unknown function {callee}")));
+                }
+            }
+            if let InstKind::Load { global, .. } | InstKind::Store { global, .. } = &inst.kind {
+                if global.index() >= module.globals.len() {
+                    return Err(err(Some(bid), format!("access to unknown global {global}")));
+                }
+            }
+        }
+        for succ in block.successors() {
+            if succ.index() >= func.blocks.len() {
+                return Err(err(Some(bid), format!("edge to out-of-range block {succ}")));
+            }
+            if func.block(succ).dead {
+                return Err(err(Some(bid), format!("edge to dead block {succ}")));
+            }
+        }
+    }
+
+    if let Some(layout) = &func.layout {
+        if layout.hot.first() != Some(&func.entry) {
+            return Err(err(None, "layout does not start with the entry block".into()));
+        }
+        let placed: usize = layout.hot.len() + layout.cold.len();
+        if placed != func.num_live_blocks() {
+            return Err(err(
+                None,
+                format!(
+                    "layout places {placed} blocks but function has {} live blocks",
+                    func.num_live_blocks()
+                ),
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ids::VReg;
+
+    fn tiny() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare_function("f", 0);
+        {
+            let mut fb = mb.function_builder(f);
+            let e = fb.entry_block();
+            fb.switch_to(e);
+            fb.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        assert!(verify_module(&tiny()).is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let mut m = tiny();
+        m.functions[0].block_mut(BlockId(0)).insts.pop();
+        m.functions[0]
+            .block_mut(BlockId(0))
+            .insts
+            .push(crate::inst::Inst::synthetic(InstKind::Copy {
+                dst: VReg(0),
+                src: Operand::Imm(1),
+            }));
+        m.functions[0].reserve_vregs(1);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn unallocated_register_detected() {
+        let mut m = tiny();
+        m.functions[0].block_mut(BlockId(0)).insts.insert(
+            0,
+            crate::inst::Inst::synthetic(InstKind::Copy {
+                dst: VReg(99),
+                src: Operand::Imm(1),
+            }),
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("unallocated"), "{e}");
+    }
+
+    #[test]
+    fn edge_to_dead_block_detected() {
+        let mut m = tiny();
+        let f = &mut m.functions[0];
+        let b = f.add_block();
+        f.block_mut(b).dead = true;
+        f.block_mut(BlockId(0)).insts.pop();
+        f.block_mut(BlockId(0))
+            .insts
+            .push(crate::inst::Inst::synthetic(InstKind::Br { target: b }));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("dead block"), "{e}");
+    }
+
+    #[test]
+    fn call_to_unknown_function_detected() {
+        let mut m = tiny();
+        m.functions[0].block_mut(BlockId(0)).insts.insert(
+            0,
+            crate::inst::Inst::synthetic(InstKind::Call {
+                dst: None,
+                callee: FuncId(42),
+                args: vec![],
+            }),
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("unknown function"), "{e}");
+    }
+
+    #[test]
+    fn error_display_mentions_location() {
+        let e = VerifyError {
+            func: FuncId(1),
+            block: Some(BlockId(2)),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "verify failed in fn1 at bb2: boom");
+    }
+}

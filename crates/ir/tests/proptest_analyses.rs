@@ -1,0 +1,163 @@
+//! Property tests over random CFGs: dominators, loops, reachability and the
+//! CFG checksum must uphold their defining invariants on arbitrary shapes.
+
+use csspgo_ir::builder::ModuleBuilder;
+use csspgo_ir::dom::Dominators;
+use csspgo_ir::inst::{CmpPred, Operand};
+use csspgo_ir::loops::LoopInfo;
+use csspgo_ir::probe::cfg_checksum;
+use csspgo_ir::{cfg, BlockId, Module, VReg};
+use proptest::prelude::*;
+
+/// Builds a function with `n` blocks and pseudo-random branch structure
+/// derived from `edges`: block i terminates with a conditional branch to two
+/// chosen targets, a jump, or a return.
+fn build_cfg(n: usize, edges: &[(u8, u8, u8)]) -> Module {
+    let mut mb = ModuleBuilder::new("prop");
+    let f = mb.declare_function("f", 1);
+    {
+        let mut fb = mb.function_builder(f);
+        let entry = fb.entry_block();
+        let mut blocks = vec![entry];
+        for _ in 1..n {
+            blocks.push(fb.add_block());
+        }
+        for (i, &(kind, a, b)) in edges.iter().enumerate().take(n) {
+            fb.switch_to(blocks[i]);
+            let t1 = blocks[a as usize % n];
+            let t2 = blocks[b as usize % n];
+            match kind % 3 {
+                0 => fb.ret(Some(Operand::Reg(VReg(0)))),
+                1 => fb.br(t1),
+                _ => {
+                    let c = fb.cmp(CmpPred::Gt, Operand::Reg(VReg(0)), Operand::Imm(i as i64));
+                    fb.cond_br(Operand::Reg(c), t1, t2);
+                }
+            }
+        }
+    }
+    mb.finish()
+}
+
+fn cfg_strategy() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn module_always_verifies((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        prop_assert!(csspgo_ir::verify::verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn entry_dominates_every_reachable_block((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let dom = Dominators::compute(f);
+        let reach = cfg::reachable(f);
+        for (i, &r) in reach.iter().enumerate() {
+            let b = BlockId::from_index(i);
+            if r {
+                prop_assert!(dom.dominates(f.entry, b), "entry must dominate {b}");
+                prop_assert!(dom.dominates(b, b), "dominance is reflexive");
+            } else {
+                prop_assert!(!dom.is_reachable(b));
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_a_strict_dominator((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let dom = Dominators::compute(f);
+        for (b, _) in f.iter_blocks() {
+            if let Some(idom) = dom.idom(b) {
+                prop_assert!(dom.dominates(idom, b));
+                prop_assert_ne!(idom, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_is_a_permutation_of_reachable_blocks((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let rpo = cfg::reverse_post_order(f);
+        let reach = cfg::reachable(f);
+        let reach_count = reach.iter().filter(|&&r| r).count();
+        prop_assert_eq!(rpo.len(), reach_count);
+        let mut seen = std::collections::HashSet::new();
+        for b in &rpo {
+            prop_assert!(seen.insert(*b), "duplicate {b} in RPO");
+            prop_assert!(reach[b.index()]);
+        }
+        prop_assert_eq!(rpo.first(), Some(&f.entry));
+    }
+
+    #[test]
+    fn loop_headers_dominate_their_latches((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let dom = Dominators::compute(f);
+        let li = LoopInfo::compute(f);
+        for l in &li.loops {
+            for &latch in &l.latches {
+                prop_assert!(dom.dominates(l.header, latch));
+                prop_assert!(l.contains(latch));
+            }
+            prop_assert!(l.contains(l.header));
+            // Every loop block reaches the header without leaving the loop
+            // (by construction of natural loops, the header dominates all).
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b), "{} !dom {}", l.header, b);
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_stable_and_shape_sensitive((n, edges) in cfg_strategy()) {
+        let m1 = build_cfg(n, &edges);
+        let m2 = build_cfg(n, &edges);
+        prop_assert_eq!(
+            cfg_checksum(&m1.functions[0]),
+            cfg_checksum(&m2.functions[0]),
+            "checksum must be deterministic"
+        );
+    }
+
+    #[test]
+    fn predecessors_and_successors_agree((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let preds = cfg::predecessors(f);
+        for (b, _) in f.iter_blocks() {
+            for s in cfg::successors(f, b) {
+                prop_assert!(preds[s.index()].contains(&b), "{b} -> {s} missing in preds");
+            }
+        }
+        for (i, plist) in preds.iter().enumerate() {
+            let b = BlockId::from_index(i);
+            for &p in plist {
+                prop_assert!(cfg::successors(f, p).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_unreachable_is_idempotent((n, edges) in cfg_strategy()) {
+        let mut m = build_cfg(n, &edges);
+        let f = &mut m.functions[0];
+        cfg::remove_unreachable(f);
+        prop_assert_eq!(cfg::remove_unreachable(f), 0);
+        prop_assert!(csspgo_ir::verify::verify_module(&m).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Abstract syntax tree, with source lines on every node that lowers to
+//! code.
+
+/// A whole source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub functions: Vec<FunctionDecl>,
+}
+
+/// `global name[size];` or `global name[size] = [v0, v1, ...];`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub size: usize,
+    pub init: Vec<i64>,
+    pub line: u32,
+}
+
+/// `fn name(p0, p1, ...) { body }`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    /// Line of the `fn` keyword (the function's header line).
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let { name: String, value: Expr, line: u32 },
+    /// `name = expr;`
+    Assign { name: String, value: Expr, line: u32 },
+    /// `name[index] = expr;`
+    StoreIndex {
+        name: String,
+        index: Expr,
+        value: Expr,
+        line: u32,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `while (cond) { .. }`
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `switch (value) { case k { .. } ... default { .. } }`
+    Switch {
+        value: Expr,
+        cases: Vec<(i64, Vec<Stmt>)>,
+        default: Vec<Stmt>,
+        line: u32,
+    },
+    /// `return;` or `return expr;`
+    Return { value: Option<Expr>, line: u32 },
+    /// `break;`
+    Break { line: u32 },
+    /// `continue;`
+    Continue { line: u32 },
+    /// An expression evaluated for effect (a call).
+    Expr { expr: Expr, line: u32 },
+}
+
+impl Stmt {
+    /// The statement's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Let { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::StoreIndex { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Switch { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::Expr { line, .. } => *line,
+        }
+    }
+}
+
+/// Binary operators at the AST level (short-circuit ops included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `&&` — short-circuit.
+    LogicalAnd,
+    /// `||` — short-circuit.
+    LogicalOr,
+}
+
+/// Expressions; each carries the line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    Int { value: i64, line: u32 },
+    Var { name: String, line: u32 },
+    /// `name[index]` — global array read.
+    Index {
+        name: String,
+        index: Box<Expr>,
+        line: u32,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+        line: u32,
+    },
+    Binary {
+        op: AstBinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` is 1 when x == 0, else 0).
+    Not,
+}
+
+impl Expr {
+    /// The expression's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int { line, .. }
+            | Expr::Var { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Call { line, .. } => *line,
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::CompileError;
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] naming the unexpected token and its line.
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.tokens[self.pos].tok;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), CompileError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!("expected `{tok}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, CompileError> {
+        // Allow a leading minus in constant positions.
+        let neg = self.eat(&Tok::Minus);
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            ref other => Err(CompileError::new(
+                self.line(),
+                format!("expected integer, found `{other}`"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Global => globals.push(self.global_decl()?),
+                Tok::Fn => functions.push(self.function_decl()?),
+                other => {
+                    return Err(CompileError::new(
+                        self.line(),
+                        format!("expected `fn` or `global`, found `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(Program { globals, functions })
+    }
+
+    fn global_decl(&mut self) -> Result<GlobalDecl, CompileError> {
+        let line = self.line();
+        self.expect(Tok::Global)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBracket)?;
+        let size = self.int()?;
+        if size < 0 {
+            return Err(CompileError::new(line, "negative global size"));
+        }
+        self.expect(Tok::RBracket)?;
+        let mut init = Vec::new();
+        if self.eat(&Tok::Assign) {
+            self.expect(Tok::LBracket)?;
+            if !self.eat(&Tok::RBracket) {
+                loop {
+                    init.push(self.int()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDecl {
+            name,
+            size: size as usize,
+            init,
+            line,
+        })
+    }
+
+    fn function_decl(&mut self) -> Result<FunctionDecl, CompileError> {
+        let line = self.line();
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(FunctionDecl {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(CompileError::new(self.line(), "unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let { name, value, line })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Tok::Else) {
+                    if self.peek() == &Tok::If {
+                        // `else if` chains as a nested if.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::Switch => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let value = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let mut cases = Vec::new();
+                let mut default = Vec::new();
+                loop {
+                    if self.eat(&Tok::RBrace) {
+                        break;
+                    }
+                    if self.eat(&Tok::Case) {
+                        let k = self.int()?;
+                        let body = self.block()?;
+                        cases.push((k, body));
+                    } else if self.eat(&Tok::Default) {
+                        default = self.block()?;
+                    } else {
+                        return Err(CompileError::new(
+                            self.line(),
+                            format!("expected `case`, `default` or `}}`, found `{}`", self.peek()),
+                        ));
+                    }
+                }
+                Ok(Stmt::Switch {
+                    value,
+                    cases,
+                    default,
+                    line,
+                })
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            Tok::Ident(name) => {
+                // Could be assignment, indexed store, or a call statement.
+                match &self.tokens[self.pos + 1].tok {
+                    Tok::Assign => {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign { name, value, line })
+                    }
+                    Tok::LBracket => {
+                        // Disambiguate `a[i] = v;` from expression statement
+                        // `a[i];` by parsing the index then checking for `=`.
+                        self.bump();
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        if self.eat(&Tok::Assign) {
+                            let value = self.expr()?;
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::StoreIndex {
+                                name,
+                                index,
+                                value,
+                                line,
+                            })
+                        } else {
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::Expr {
+                                expr: Expr::Index {
+                                    name,
+                                    index: Box::new(index),
+                                    line,
+                                },
+                                line,
+                            })
+                        }
+                    }
+                    _ => {
+                        let expr = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Expr { expr, line })
+                    }
+                }
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected statement, found `{other}`"),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence climbing; higher binds tighter.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::PipePipe => (AstBinOp::LogicalOr, 1),
+                Tok::AmpAmp => (AstBinOp::LogicalAnd, 2),
+                Tok::Pipe => (AstBinOp::Or, 3),
+                Tok::Caret => (AstBinOp::Xor, 4),
+                Tok::Amp => (AstBinOp::And, 5),
+                Tok::EqEq => (AstBinOp::Eq, 6),
+                Tok::NotEq => (AstBinOp::Ne, 6),
+                Tok::Lt => (AstBinOp::Lt, 7),
+                Tok::Le => (AstBinOp::Le, 7),
+                Tok::Gt => (AstBinOp::Gt, 7),
+                Tok::Ge => (AstBinOp::Ge, 7),
+                Tok::Shl => (AstBinOp::Shl, 8),
+                Tok::Shr => (AstBinOp::Shr, 8),
+                Tok::Plus => (AstBinOp::Add, 9),
+                Tok::Minus => (AstBinOp::Sub, 9),
+                Tok::Star => (AstBinOp::Mul, 10),
+                Tok::Slash => (AstBinOp::Div, 10),
+                Tok::Percent => (AstBinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat(&Tok::Minus) {
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+                line,
+            });
+        }
+        if self.eat(&Tok::Bang) {
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+                line,
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int { value: v, line })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(Tok::RParen)?;
+                        }
+                        Ok(Expr::Call { name, args, line })
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        Ok(Expr::Index {
+                            name,
+                            index: Box::new(index),
+                            line,
+                        })
+                    }
+                    _ => Ok(Expr::Var { name, line }),
+                }
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse_src("fn f(a, b) { return a + b; }");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_global_with_init() {
+        let p = parse_src("global t[4] = [1, -2, 3];");
+        assert_eq!(p.globals[0].size, 4);
+        assert_eq!(p.globals[0].init, vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse_src("fn f() { let x = 1 + 2 * 3; return x; }");
+        let Stmt::Let { value, .. } = &p.functions[0].body[0] else {
+            panic!("expected let");
+        };
+        let Expr::Binary { op: AstBinOp::Add, rhs, .. } = value else {
+            panic!("expected add at top: {value:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: AstBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_src("fn f(x) { if (x == 0) { return 1; } else if (x == 1) { return 2; } else { return 3; } }");
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn switch_statement() {
+        let p = parse_src("fn f(x) { switch (x) { case 0 { return 1; } case 1 { return 2; } default { return 0; } } }");
+        let Stmt::Switch { cases, default, .. } = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(default.len(), 1);
+    }
+
+    #[test]
+    fn indexed_store_vs_read() {
+        let p = parse_src("global t[4]; fn f(i) { t[i] = t[i] + 1; return t[i]; }");
+        assert!(matches!(p.functions[0].body[0], Stmt::StoreIndex { .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let toks = lex("fn f() {\n  let = 3;\n}").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn statement_lines_recorded() {
+        let p = parse_src("fn f() {\n  let x = 1;\n  return x;\n}");
+        assert_eq!(p.functions[0].body[0].line(), 2);
+        assert_eq!(p.functions[0].body[1].line(), 3);
+        assert_eq!(p.functions[0].line, 1);
+    }
+
+    #[test]
+    fn logical_ops_parse() {
+        let p = parse_src("fn f(a, b) { return a && b || !a; }");
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(e, Expr::Binary { op: AstBinOp::LogicalOr, .. }));
+    }
+}

@@ -1,0 +1,84 @@
+//! Traditional counter instrumentation (instrumentation-based PGO).
+//!
+//! Inserts a [`InstKind::CounterIncr`] into every basic block. Counters
+//! lower to real load/add/store machine instructions, reproducing the
+//! run-time overhead the paper measures (73% on HHVM), and distinct counters
+//! block code merge exactly as the paper describes ("blocks with probes
+//! incrementing different counters cannot be merged").
+//!
+//! A spanning-tree optimization (Ball–Larus) is deliberately *not*
+//! implemented; the paper's comparison point is plain `-fprofile-generate`
+//! style instrumentation whose cost "is still unacceptable in some
+//! circumstances".
+
+use csspgo_ir::inst::{Inst, InstKind};
+use csspgo_ir::{BlockId, FuncId, Module};
+use std::collections::HashMap;
+
+/// Maps `(function, block)` to the counter id instrumenting that block.
+#[derive(Clone, Debug, Default)]
+pub struct CounterMap {
+    /// Counter id for each instrumented block.
+    pub by_block: HashMap<(FuncId, BlockId), u32>,
+}
+
+impl CounterMap {
+    /// Total number of counters allocated.
+    pub fn len(&self) -> usize {
+        self.by_block.len()
+    }
+
+    /// Whether no counters were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.by_block.is_empty()
+    }
+}
+
+/// Instruments every block of every function; returns the counter map used
+/// later to read exact block counts out of the simulator.
+pub fn run(module: &mut Module) -> CounterMap {
+    let mut map = CounterMap::default();
+    for fid in 0..module.functions.len() {
+        let func_id = FuncId::from_index(fid);
+        let block_ids: Vec<BlockId> = module.functions[fid].iter_blocks().map(|(id, _)| id).collect();
+        for bid in block_ids {
+            let counter = module.alloc_counter();
+            map.by_block.insert((func_id, bid), counter);
+            module.functions[fid]
+                .block_mut(bid)
+                .insts
+                .insert(0, Inst::synthetic(InstKind::CounterIncr { counter }));
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_block_instrumented_with_unique_counter() {
+        let mut m = csspgo_lang::compile(
+            "fn f(x) { if (x > 0) { return 1; } return 2; } fn g() { return f(1); }",
+            "t",
+        )
+        .unwrap();
+        let map = run(&mut m);
+        let total_blocks: usize = m.functions.iter().map(|f| f.num_live_blocks()).sum();
+        assert_eq!(map.len(), total_blocks);
+        assert_eq!(m.num_counters as usize, total_blocks);
+        // Each live block starts with its counter.
+        for f in &m.functions {
+            for (bid, b) in f.iter_blocks() {
+                match b.insts[0].kind {
+                    InstKind::CounterIncr { counter } => {
+                        assert_eq!(map.by_block[&(f.id, bid)], counter);
+                    }
+                    ref other => panic!("expected counter, got {other}"),
+                }
+            }
+        }
+        csspgo_ir::verify::verify_module(&m).unwrap();
+    }
+}

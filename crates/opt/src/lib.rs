@@ -1,0 +1,174 @@
+//! The optimizer pipeline.
+//!
+//! Passes are ordinary functions over [`csspgo_ir::Module`] (or single
+//! functions). They fall into three groups:
+//!
+//! * **Anchoring passes**, run on fresh IR before anything else:
+//!   [`discriminators`] (DWARF-style duplicate-line discriminators),
+//!   [`probes`] (pseudo-probe insertion, paper §III.A) and [`instrument`]
+//!   (traditional counter instrumentation).
+//! * **Mid-level transformations** that both consume and *maintain* profile
+//!   annotation (paper §II.B): [`simplify`], [`tail_dup`], [`licm`],
+//!   [`inliner`], [`unroll`], [`tailmerge`], [`ifconvert`].
+//! * **Late layout passes** driven purely by profile: [`layout`] (ext-TSP
+//!   block ordering + hot/cold function splitting).
+//!
+//! Profile-quality damage is *deliberately realistic*: tail merge destroys
+//! per-block counts for debug-info correlation but is blocked by distinct
+//! probes; tail duplication and unrolling duplicate debug lines (the MAX
+//! heuristic then under-counts) while duplicated probes are summed
+//! correctly.
+
+pub mod callgraph;
+pub mod discriminators;
+pub mod ifconvert;
+pub mod inliner;
+pub mod instrument;
+pub mod layout;
+pub mod licm;
+pub mod probes;
+pub mod simplify;
+pub mod sink;
+pub mod strip;
+pub mod tail_dup;
+pub mod tailmerge;
+pub mod unroll;
+
+use csspgo_ir::probe::ProbeConfig;
+use csspgo_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the whole pipeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OptConfig {
+    /// How strongly probes block optimizations.
+    pub probe: ProbeConfig,
+    /// Callee size (instructions) below which calls are always inlined.
+    pub inline_small_size: usize,
+    /// Callee size limit for hot call sites.
+    pub inline_hot_size: usize,
+    /// Call-site count at or above which a call site counts as hot.
+    pub hot_callsite_count: u64,
+    /// Loop unroll factor.
+    pub unroll_factor: u32,
+    /// Maximum loop body size (instructions) eligible for unrolling.
+    pub unroll_max_body: usize,
+    /// Maximum block size (instructions) eligible for tail duplication.
+    pub tail_dup_max_insts: usize,
+    /// Block count at or below which a block is placed in the cold section.
+    pub cold_count_threshold: u64,
+    pub enable_tail_dup: bool,
+    pub enable_licm: bool,
+    pub enable_sink: bool,
+    pub enable_inline: bool,
+    pub enable_unroll: bool,
+    pub enable_tail_merge: bool,
+    pub enable_if_convert: bool,
+    pub enable_layout: bool,
+    pub enable_split: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            probe: ProbeConfig::default(),
+            inline_small_size: 14,
+            inline_hot_size: 80,
+            hot_callsite_count: 32,
+            unroll_factor: 4,
+            unroll_max_body: 14,
+            tail_dup_max_insts: 4,
+            cold_count_threshold: 0,
+            enable_tail_dup: true,
+            enable_licm: true,
+            enable_sink: true,
+            enable_inline: true,
+            enable_unroll: true,
+            enable_tail_merge: true,
+            enable_if_convert: true,
+            enable_layout: true,
+            enable_split: true,
+        }
+    }
+}
+
+/// Runs the mid-level + late pipeline on an (optionally annotated) module.
+///
+/// Anchoring passes (probes/discriminators/instrumentation) and the
+/// top-down sample-loader inliner are *not* included: the PGO driver in
+/// `csspgo-core` sequences those explicitly around profile annotation.
+pub fn run_pipeline(module: &mut Module, config: &OptConfig) {
+    simplify::run(module);
+    if config.enable_tail_dup {
+        tail_dup::run(module, config);
+        simplify::run(module);
+    }
+    if config.enable_licm {
+        licm::run(module, config);
+    }
+    if config.enable_sink {
+        sink::run(module, config);
+    }
+    if config.enable_inline {
+        inliner::run_bottom_up(module, config);
+        simplify::run(module);
+    }
+    if config.enable_unroll {
+        unroll::run(module, config);
+        simplify::run(module);
+    }
+    if config.enable_tail_merge {
+        tailmerge::run(module);
+    }
+    if config.enable_if_convert {
+        ifconvert::run(module, config);
+        simplify::run(module);
+    }
+    if config.enable_layout {
+        layout::run(module, config);
+    }
+    debug_assert!(
+        csspgo_ir::verify::verify_module(module).is_ok(),
+        "pipeline produced invalid IR: {:?}",
+        csspgo_ir::verify::verify_module(module)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fully_enabled() {
+        let c = OptConfig::default();
+        assert!(c.enable_inline && c.enable_layout && c.enable_tail_merge);
+        assert!(c.inline_small_size < c.inline_hot_size);
+    }
+
+    #[test]
+    fn pipeline_preserves_validity_on_real_program() {
+        let src = r#"
+global acc[4];
+fn helper(x) {
+    if (x > 10) { return x - 10; }
+    return x;
+}
+fn work(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + helper(i);
+        i = i + 1;
+    }
+    acc[0] = s;
+    return s;
+}
+fn main(n) {
+    return work(n);
+}
+"#;
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        run_pipeline(&mut m, &OptConfig::default());
+        csspgo_ir::verify::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure, loop-invariant computations (and loads from globals not
+//! written inside the loop) into a preheader. Hoisted instructions keep
+//! their source lines, so after hoisting a line's copies run at *different*
+//! frequencies — the debug-info correlation then takes the MAX (paper
+//! §III.A, "Code Duplication" discussion of moved instructions).
+//!
+//! When `ProbeConfig::block_code_motion` is set, probed functions are left
+//! untouched (the paper's high-accuracy tuning where probes behave like
+//! stronger barriers).
+
+use crate::OptConfig;
+use csspgo_ir::inst::{Inst, InstKind, Operand};
+use csspgo_ir::loops::LoopInfo;
+use csspgo_ir::{cfg, BlockId, Function, GlobalId, Module, VReg};
+use std::collections::{HashMap, HashSet};
+
+/// Runs LICM on every function.
+pub fn run(module: &mut Module, config: &OptConfig) {
+    for func in &mut module.functions {
+        if config.probe.block_code_motion && func.probe_checksum.is_some() {
+            continue;
+        }
+        run_function(func);
+    }
+}
+
+/// Hoists invariant code in all loops of `func`; returns the number of
+/// hoisted instructions.
+pub fn run_function(func: &mut Function) -> usize {
+    let mut hoisted_total = 0;
+    // Recompute loops after each change batch (preheader insertion mutates
+    // the CFG); bound iterations for safety.
+    for _ in 0..4 {
+        let info = LoopInfo::compute(func);
+        if info.loops.is_empty() {
+            return hoisted_total;
+        }
+        let mut hoisted_this_round = 0;
+
+        // Innermost-ish first: loops with fewer blocks first.
+        let mut loops = info.loops.clone();
+        loops.sort_by_key(|l| l.blocks.len());
+
+        for l in &loops {
+            // Facts about the loop body.
+            let mut defs_in_loop: HashMap<VReg, usize> = HashMap::new();
+            let mut stored_globals: HashSet<GlobalId> = HashSet::new();
+            let mut has_call = false;
+            for &b in &l.blocks {
+                for inst in &func.block(b).insts {
+                    if let Some(d) = inst.kind.def() {
+                        *defs_in_loop.entry(d).or_insert(0) += 1;
+                    }
+                    match inst.kind {
+                        InstKind::Store { global, .. } => {
+                            stored_globals.insert(global);
+                        }
+                        InstKind::Call { .. } => has_call = true,
+                        _ => {}
+                    }
+                }
+            }
+
+            let invariant_op = |op: Operand, defs: &HashMap<VReg, usize>| match op {
+                Operand::Imm(_) => true,
+                Operand::Reg(r) => !defs.contains_key(&r),
+            };
+
+            // Collect hoistable instructions (single static def of their
+            // register inside the loop, invariant operands, pure — or an
+            // invariant load when the loop has no stores to that global and
+            // no calls).
+            let mut to_hoist: Vec<(BlockId, usize)> = Vec::new();
+            for &b in &l.blocks {
+                for (i, inst) in func.block(b).insts.iter().enumerate() {
+                    let hoistable = match &inst.kind {
+                        InstKind::Bin { dst, lhs, rhs, .. } | InstKind::Cmp { dst, lhs, rhs, .. } => {
+                            defs_in_loop.get(dst) == Some(&1)
+                                && invariant_op(*lhs, &defs_in_loop)
+                                && invariant_op(*rhs, &defs_in_loop)
+                        }
+                        InstKind::Load { dst, global, index } => {
+                            !has_call
+                                && !stored_globals.contains(global)
+                                && defs_in_loop.get(dst) == Some(&1)
+                                && invariant_op(*index, &defs_in_loop)
+                        }
+                        _ => false,
+                    };
+                    if hoistable {
+                        to_hoist.push((b, i));
+                    }
+                }
+            }
+            if to_hoist.is_empty() {
+                continue;
+            }
+
+            let preheader = ensure_preheader(func, l.header, &l.blocks);
+            let Some(ph) = preheader else { continue };
+
+            // Remove (in reverse index order per block) and append to the
+            // preheader, preserving original relative order.
+            let mut moved: Vec<Inst> = Vec::new();
+            let mut by_block: HashMap<BlockId, Vec<usize>> = HashMap::new();
+            for (b, i) in &to_hoist {
+                by_block.entry(*b).or_default().push(*i);
+            }
+            // Deterministic block order.
+            let mut blocks: Vec<BlockId> = by_block.keys().copied().collect();
+            blocks.sort();
+            for b in blocks {
+                let mut idxs = by_block.remove(&b).expect("collected above");
+                idxs.sort_unstable();
+                let mut batch = Vec::with_capacity(idxs.len());
+                for &i in idxs.iter().rev() {
+                    batch.push(func.block_mut(b).insts.remove(i));
+                }
+                batch.reverse(); // keep original order within the block
+                moved.extend(batch);
+            }
+            hoisted_this_round += moved.len();
+            let phb = func.block_mut(ph);
+            let term = phb.insts.pop().expect("preheader has terminator");
+            phb.insts.extend(moved);
+            phb.insts.push(term);
+        }
+
+        hoisted_total += hoisted_this_round;
+        if hoisted_this_round == 0 {
+            break;
+        }
+    }
+    hoisted_total
+}
+
+/// Returns the loop preheader, creating one if needed: the unique edge
+/// source into `header` from outside the loop. Returns `None` if the header
+/// is the function entry (no predecessor to hoist into).
+fn ensure_preheader(
+    func: &mut Function,
+    header: BlockId,
+    loop_blocks: &HashSet<BlockId>,
+) -> Option<BlockId> {
+    if header == func.entry {
+        return None;
+    }
+    let preds = cfg::predecessors(func);
+    let outside: Vec<BlockId> = preds[header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !loop_blocks.contains(p))
+        .collect();
+    if outside.is_empty() {
+        return None;
+    }
+    // An existing preheader: single outside pred whose only successor is the
+    // header.
+    if outside.len() == 1 {
+        let p = outside[0];
+        if cfg::successors(func, p) == vec![header] {
+            return Some(p);
+        }
+    }
+    // Create one.
+    let ph = func.add_block();
+    let header_count = func.block(header).count;
+    let back_count: u64 = preds[header.index()]
+        .iter()
+        .filter(|p| loop_blocks.contains(p))
+        .map(|p| func.block(*p).count.unwrap_or(0))
+        .sum();
+    func.block_mut(ph)
+        .insts
+        .push(Inst::synthetic(InstKind::Br { target: header }));
+    func.block_mut(ph).count = header_count.map(|h| h.saturating_sub(back_count));
+    for p in outside {
+        if let Some(t) = func.block_mut(p).terminator_mut() {
+            t.kind
+                .map_successors(|s| if s == header { ph } else { s });
+        }
+    }
+    Some(ph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csspgo_ir::verify::verify_module;
+
+    const SRC: &str = r#"
+global cfgv[4];
+fn f(n, k) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        let c = k * 7;
+        let limit = cfgv[0];
+        s = s + c + limit;
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+
+    #[test]
+    fn hoists_invariant_mul_and_load() {
+        let mut m = csspgo_lang::compile(SRC, "t").unwrap();
+        let n = run_function(&mut m.functions[0]);
+        assert!(n >= 2, "expected k*7 and cfgv[0] hoisted, got {n}");
+        verify_module(&m).unwrap();
+        // The loop body must no longer contain the multiplication.
+        let info = LoopInfo::compute(&m.functions[0]);
+        let l = &info.loops[0];
+        for &b in &l.blocks {
+            for i in &m.functions[0].block(b).insts {
+                assert!(
+                    !matches!(i.kind, InstKind::Bin { op: csspgo_ir::BinOp::Mul, .. }),
+                    "mul must be hoisted out of the loop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loads_not_hoisted_past_stores() {
+        let src = r#"
+global t[4];
+fn f(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + t[0];
+        t[0] = s;
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        run_function(&mut m.functions[0]);
+        verify_module(&m).unwrap();
+        // The load must still be inside the loop.
+        let info = LoopInfo::compute(&m.functions[0]);
+        let l = &info.loops[0];
+        let in_loop_load = l.blocks.iter().any(|&b| {
+            m.functions[0]
+                .block(b)
+                .insts
+                .iter()
+                .any(|i| matches!(i.kind, InstKind::Load { .. }))
+        });
+        assert!(in_loop_load, "load from stored global must not move");
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let mut m = csspgo_lang::compile(SRC, "t").unwrap();
+        let before = format!("{}", &m.functions[0]);
+        run_function(&mut m.functions[0]);
+        let after = format!("{}", &m.functions[0]);
+        assert_ne!(before, after, "licm should change the IR");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn probe_blocking_respected() {
+        let mut m = csspgo_lang::compile(SRC, "t").unwrap();
+        crate::probes::run(&mut m);
+        let mut config = OptConfig::default();
+        config.probe.block_code_motion = true;
+        let before = format!("{}", &m.functions[0]);
+        run(&mut m, &config);
+        assert_eq!(before, format!("{}", &m.functions[0]), "motion must be blocked");
+    }
+}

@@ -1,0 +1,608 @@
+//! The machine: interprets a [`Binary`] with the cost model and PMU.
+
+use crate::pmu::{ICache, Lbr, Predictor, Sample, SampleTimer};
+use crate::rng::XorShift64;
+use crate::SimConfig;
+use csspgo_codegen::minst::MInstKind;
+use csspgo_codegen::Binary;
+use csspgo_ir::inst::Operand;
+use csspgo_ir::VReg;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured step limit was exceeded.
+    StepLimit(u64),
+    /// The named entry function does not exist.
+    NoSuchFunction(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StepLimit(n) => write!(f, "step limit of {n} instructions exceeded"),
+            SimError::NoSuchFunction(name) => write!(f, "no function named `{name}`"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Aggregate run statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// Calls executed (including tail calls).
+    pub calls: u64,
+    /// PMU samples taken.
+    pub samples: u64,
+}
+
+struct Frame {
+    func: u32,
+    regs: Vec<i64>,
+    /// Flat index to resume at in the caller (usize::MAX for the root).
+    ret_pc: usize,
+    /// Caller register receiving the return value.
+    ret_dst: Option<VReg>,
+}
+
+/// An executing machine. Globals persist across [`Machine::call`]s, so a
+/// workload can stage data and issue many requests against one image.
+pub struct Machine<'b> {
+    binary: &'b Binary,
+    config: SimConfig,
+    globals: Vec<Vec<i64>>,
+    counters: Vec<u64>,
+    stats: RunStats,
+    samples: Vec<Sample>,
+    lbr: Lbr,
+    predictor: Predictor,
+    icache: ICache,
+    timer: SampleTimer,
+    skid_rng: XorShift64,
+}
+
+impl<'b> Machine<'b> {
+    /// Creates a machine over `binary`.
+    pub fn new(binary: &'b Binary, config: SimConfig) -> Self {
+        let globals = binary
+            .globals
+            .iter()
+            .map(|g| {
+                let mut v = g.init.clone();
+                v.resize(g.size, 0);
+                v
+            })
+            .collect();
+        Machine {
+            binary,
+            globals,
+            counters: vec![0; binary.num_counters as usize],
+            stats: RunStats::default(),
+            samples: Vec::new(),
+            lbr: Lbr::new(config.lbr_size),
+            predictor: Predictor::new(),
+            icache: ICache::new(),
+            timer: SampleTimer::new(config.sample_period, config.seed),
+            skid_rng: XorShift64::new(config.seed ^ 0xabcd_ef01),
+            config,
+        }
+    }
+
+    /// Overwrites a global array's contents (workload staging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist.
+    pub fn set_global(&mut self, name: &str, values: &[i64]) {
+        let idx = self
+            .binary
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or_else(|| panic!("no global named `{name}`"));
+        let g = &mut self.globals[idx];
+        for (i, v) in values.iter().enumerate().take(g.len()) {
+            g[i] = *v;
+        }
+    }
+
+    /// Reads a global array.
+    pub fn global(&self, name: &str) -> Option<&[i64]> {
+        let idx = self.binary.globals.iter().position(|g| g.name == name)?;
+        Some(&self.globals[idx])
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Instrumentation counter values.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Takes the collected PMU samples.
+    pub fn take_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Calls `name(args)` and runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchFunction`] for an unknown entry, or
+    /// [`SimError::StepLimit`] if execution exceeds the configured limit.
+    pub fn call(&mut self, name: &str, args: &[i64]) -> Result<i64, SimError> {
+        let func = self
+            .binary
+            .func_by_name(name)
+            .ok_or_else(|| SimError::NoSuchFunction(name.to_string()))?;
+        let mut regs = vec![0i64; func.num_vregs.max(args.len())];
+        regs[..args.len()].copy_from_slice(args);
+        let mut frames = vec![Frame {
+            func: self.binary.func_of[func.entry],
+            regs,
+            ret_pc: usize::MAX,
+            ret_dst: None,
+        }];
+        let mut pc = func.entry;
+        let cost = self.config.cost;
+        let mut steps_left = self.config.max_steps.saturating_sub(self.stats.instructions);
+
+        macro_rules! frame {
+            () => {
+                frames.last_mut().expect("non-empty frame stack")
+            };
+        }
+
+        loop {
+            if steps_left == 0 {
+                return Err(SimError::StepLimit(self.config.max_steps));
+            }
+            steps_left -= 1;
+
+            let inst = &self.binary.insts[pc];
+            let addr = self.binary.addrs[pc];
+            self.stats.instructions += 1;
+            let mut cycles = cost.base;
+
+            // Instruction fetch.
+            if self.icache.fetch(addr) {
+                cycles += cost.icache_miss;
+                self.stats.icache_misses += 1;
+            }
+
+            let regs = &mut frame!().regs;
+            let val = |o: Operand, regs: &Vec<i64>| -> i64 {
+                match o {
+                    Operand::Reg(r) => regs[r.index()],
+                    Operand::Imm(v) => v,
+                }
+            };
+
+            let mut next_pc = pc + 1;
+            let mut branch_to: Option<(usize, bool)> = None; // (target, record_in_lbr)
+
+            match &inst.kind {
+                MInstKind::Copy { dst, src } => {
+                    regs[dst.index()] = val(*src, regs);
+                }
+                MInstKind::Bin { op, dst, lhs, rhs } => {
+                    regs[dst.index()] = op.eval(val(*lhs, regs), val(*rhs, regs));
+                }
+                MInstKind::Cmp { pred, dst, lhs, rhs } => {
+                    regs[dst.index()] = pred.eval(val(*lhs, regs), val(*rhs, regs));
+                }
+                MInstKind::Select {
+                    dst,
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    regs[dst.index()] = if val(*cond, regs) != 0 {
+                        val(*on_true, regs)
+                    } else {
+                        val(*on_false, regs)
+                    };
+                    cycles += cost.select;
+                }
+                MInstKind::Load { dst, global, index } => {
+                    let i = val(*index, regs);
+                    let g = &self.globals[global.index()];
+                    regs[dst.index()] = if i >= 0 && (i as usize) < g.len() {
+                        g[i as usize]
+                    } else {
+                        0
+                    };
+                    cycles += cost.mem_op;
+                }
+                MInstKind::Store { global, index, value } => {
+                    let i = val(*index, regs);
+                    let v = val(*value, regs);
+                    let g = &mut self.globals[global.index()];
+                    if i >= 0 && (i as usize) < g.len() {
+                        g[i as usize] = v;
+                    }
+                    cycles += cost.mem_op;
+                }
+                MInstKind::CounterIncr { counter } => {
+                    self.counters[*counter as usize] += 1;
+                    cycles += cost.counter;
+                }
+                MInstKind::SpillLoad { .. } | MInstKind::SpillStore { .. } => {
+                    cycles += cost.mem_op;
+                }
+                MInstKind::Call { dst, callee, args } => {
+                    let target = &self.binary.funcs[*callee as usize];
+                    let mut new_regs = vec![0i64; target.num_vregs.max(args.len())];
+                    for (i, a) in args.iter().enumerate() {
+                        new_regs[i] = val(*a, regs);
+                    }
+                    cycles += cost.call + args.len() as u64;
+                    self.stats.calls += 1;
+                    frames.push(Frame {
+                        func: *callee,
+                        regs: new_regs,
+                        ret_pc: pc + 1,
+                        ret_dst: *dst,
+                    });
+                    branch_to = Some((target.entry, true));
+                }
+                MInstKind::TailCall { callee, args } => {
+                    let target = &self.binary.funcs[*callee as usize];
+                    let mut new_regs = vec![0i64; target.num_vregs.max(args.len())];
+                    for (i, a) in args.iter().enumerate() {
+                        new_regs[i] = val(*a, regs);
+                    }
+                    cycles += cost.call;
+                    self.stats.calls += 1;
+                    // The frame is *replaced*: the caller disappears from
+                    // the frame-pointer chain (TCE, paper §III.B).
+                    let f = frame!();
+                    f.func = *callee;
+                    f.regs = new_regs;
+                    branch_to = Some((target.entry, true));
+                }
+                MInstKind::Ret { value } => {
+                    let v = value.map(|o| val(o, regs)).unwrap_or(0);
+                    cycles += cost.ret;
+                    let finished = frames.pop().expect("ret with a frame");
+                    if frames.is_empty() {
+                        self.stats.cycles += cycles;
+                        return Ok(v);
+                    }
+                    if let Some(d) = finished.ret_dst {
+                        frame!().regs[d.index()] = v;
+                    }
+                    branch_to = Some((finished.ret_pc, true));
+                }
+                MInstKind::Jmp { target } => {
+                    branch_to = Some((*target, true));
+                }
+                MInstKind::JmpIf {
+                    cond,
+                    negate,
+                    target,
+                } => {
+                    let taken = (val(*cond, regs) != 0) ^ negate;
+                    if self.predictor.conditional(addr, taken) {
+                        cycles += cost.mispredict;
+                        self.stats.mispredicts += 1;
+                    }
+                    if taken {
+                        branch_to = Some((*target, true));
+                    }
+                }
+                MInstKind::JmpTable {
+                    value,
+                    targets,
+                    default,
+                } => {
+                    let v = val(*value, regs);
+                    let t = targets
+                        .iter()
+                        .find(|&&(k, _)| k == v)
+                        .map(|&(_, t)| t)
+                        .unwrap_or(*default);
+                    let target_addr = self.binary.addrs[t];
+                    if self.predictor.indirect(addr, target_addr) {
+                        cycles += cost.mispredict;
+                        self.stats.mispredicts += 1;
+                    }
+                    cycles += 1; // table load
+                    branch_to = Some((t, true));
+                }
+            }
+
+            if let Some((t, record)) = branch_to {
+                next_pc = t;
+                if record {
+                    let from = addr;
+                    let to = self.binary.addrs[t];
+                    self.lbr.record(from, to);
+                    self.stats.taken_branches += 1;
+                    cycles += cost.taken_branch;
+                }
+            }
+
+            self.stats.cycles += cycles;
+
+            // PMU sampling: synchronized LBR + stack snapshot.
+            if self.timer.should_fire(self.stats.cycles) {
+                self.stats.samples += 1;
+                let sample_pc = self.binary.addrs[next_pc.min(self.binary.len() - 1)];
+                let mut stack: Vec<u64> = Vec::with_capacity(frames.len());
+                stack.push(sample_pc);
+                for f in frames.iter().rev() {
+                    if f.ret_pc != usize::MAX {
+                        stack.push(self.binary.addrs[f.ret_pc]);
+                    }
+                }
+                // Sampling skid: without PEBS the stack can lag the LBR by
+                // one frame (paper §III.B, "Synchronizing LBR and stack
+                // sample").
+                if !self.config.pebs && stack.len() > 1 && self.skid_rng.chance(1, 3) {
+                    stack.remove(0);
+                }
+                self.samples.push(Sample {
+                    cycle: self.stats.cycles,
+                    pc: sample_pc,
+                    lbr: self.lbr.snapshot(),
+                    stack,
+                });
+            }
+
+            pc = next_pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csspgo_codegen::{lower_module, CodegenConfig};
+    use csspgo_opt::OptConfig;
+
+    fn build(src: &str, optimize: bool) -> Binary {
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        if optimize {
+            csspgo_opt::run_pipeline(&mut m, &OptConfig::default());
+        }
+        lower_module(&m, &CodegenConfig::default())
+    }
+
+    const FIB: &str = r#"
+fn fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+"#;
+
+    #[test]
+    fn computes_fibonacci() {
+        let b = build(FIB, false);
+        let mut m = Machine::new(&b, SimConfig::default());
+        assert_eq!(m.call("fib", &[10]).unwrap(), 55);
+    }
+
+    #[test]
+    fn optimized_code_is_equivalent_and_faster() {
+        let src = r#"
+fn helper(x) { return x * 2 + 1; }
+fn work(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + helper(i);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        let plain = build(src, false);
+        let opt = build(src, true);
+        let mut mp = Machine::new(&plain, SimConfig::default());
+        let mut mo = Machine::new(&opt, SimConfig::default());
+        let rp = mp.call("work", &[500]).unwrap();
+        let ro = mo.call("work", &[500]).unwrap();
+        assert_eq!(rp, ro);
+        assert!(
+            mo.stats().cycles < mp.stats().cycles,
+            "optimized {} vs plain {}",
+            mo.stats().cycles,
+            mp.stats().cycles
+        );
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let src = r#"
+global acc[1];
+fn bump(x) { acc[0] = acc[0] + x; return acc[0]; }
+"#;
+        let b = build(src, false);
+        let mut m = Machine::new(&b, SimConfig::default());
+        assert_eq!(m.call("bump", &[5]).unwrap(), 5);
+        assert_eq!(m.call("bump", &[7]).unwrap(), 12);
+        m.set_global("acc", &[100]);
+        assert_eq!(m.call("bump", &[1]).unwrap(), 101);
+    }
+
+    #[test]
+    fn determinism() {
+        let b = build(FIB, false);
+        let mut m1 = Machine::new(&b, SimConfig { sample_period: 97, ..SimConfig::default() });
+        let mut m2 = Machine::new(&b, SimConfig { sample_period: 97, ..SimConfig::default() });
+        m1.call("fib", &[15]).unwrap();
+        m2.call("fib", &[15]).unwrap();
+        assert_eq!(m1.stats(), m2.stats());
+        assert_eq!(m1.take_samples().len(), m2.take_samples().len());
+    }
+
+    #[test]
+    fn lbr_records_taken_branches_with_calls_and_returns() {
+        let b = build(FIB, false);
+        let cfg = SimConfig {
+            sample_period: 50,
+            ..SimConfig::default()
+        };
+        let mut m = Machine::new(&b, cfg);
+        m.call("fib", &[12]).unwrap();
+        let samples = m.take_samples();
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(s.lbr.len() <= 16);
+            // Every LBR source must decode to a branch instruction.
+            for &(from, _) in &s.lbr {
+                let idx = b.index_of_addr(from).expect("LBR source resolves");
+                assert!(b.insts[idx].kind.is_branch(), "{:?}", b.insts[idx].kind);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_samples_walk_frames() {
+        let src = r#"
+fn leaf(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) { s = s + i; i = i + 1; }
+    return s;
+}
+fn mid(n) { let x = leaf(n); return x; }
+fn top(n) { let x = mid(n); return x; }
+"#;
+        let b = build(src, false);
+        let cfg = SimConfig {
+            sample_period: 23,
+            ..SimConfig::default()
+        };
+        let mut m = Machine::new(&b, cfg);
+        m.call("top", &[3000]).unwrap();
+        let samples = m.take_samples();
+        assert!(!samples.is_empty());
+        // Most samples land in leaf's loop: stack should be 3 deep
+        // (leaf pc, ret->mid, ret->top).
+        let deep = samples.iter().filter(|s| s.stack.len() == 3).count();
+        assert!(
+            deep * 2 > samples.len(),
+            "expected mostly 3-deep stacks, got {deep}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn tail_calls_lose_frames() {
+        let src = r#"
+fn leaf(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) { s = s + i; i = i + 1; }
+    return s;
+}
+fn mid(n) { return leaf(n); }
+fn top(n) { let r = mid(n); return r; }
+"#;
+        let b = build(src, false);
+        // mid's call is a tail call: its frame vanishes.
+        let cfg = SimConfig {
+            sample_period: 23,
+            ..SimConfig::default()
+        };
+        let mut m = Machine::new(&b, cfg);
+        m.call("top", &[3000]).unwrap();
+        let samples = m.take_samples();
+        let deep = samples.iter().filter(|s| s.stack.len() >= 3).count();
+        assert_eq!(
+            deep, 0,
+            "mid must be missing from all stacks (tail-call elimination)"
+        );
+    }
+
+    #[test]
+    fn skid_shortens_some_stacks_without_pebs() {
+        let src = r#"
+fn leaf(n) { let i = 0; while (i < n) { i = i + 1; } return i; }
+fn top(n) { let x = leaf(n); return x; }
+"#;
+        let b = build(src, false);
+        let precise = SimConfig {
+            sample_period: 23,
+            pebs: true,
+            ..SimConfig::default()
+        };
+        let skiddy = SimConfig {
+            sample_period: 23,
+            pebs: false,
+            ..SimConfig::default()
+        };
+        let mut mp = Machine::new(&b, precise);
+        mp.call("top", &[5000]).unwrap();
+        let p_short = mp
+            .take_samples()
+            .iter()
+            .filter(|s| s.stack.len() < 2)
+            .count();
+        let mut ms = Machine::new(&b, skiddy);
+        ms.call("top", &[5000]).unwrap();
+        let s_samples = ms.take_samples();
+        let s_short = s_samples.iter().filter(|s| s.stack.len() < 2).count();
+        assert!(s_short > p_short, "skid must truncate some stacks");
+    }
+
+    #[test]
+    fn counters_give_exact_counts() {
+        let src = r#"
+fn f(n) {
+    let i = 0;
+    while (i < n) { i = i + 1; }
+    return i;
+}
+"#;
+        let mut module = csspgo_lang::compile(src, "t").unwrap();
+        let map = csspgo_opt::instrument::run(&mut module);
+        let b = lower_module(&module, &CodegenConfig::default());
+        let mut m = Machine::new(&b, SimConfig::default());
+        m.call("f", &[77]).unwrap();
+        // The loop-body block must have executed exactly 77 times.
+        let max = m.counters().iter().max().copied().unwrap();
+        assert_eq!(max, 77 + 1, "header executes n+1 times");
+        assert_eq!(map.len(), m.counters().len());
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let src = "fn f() { while (1) { } return 0; }";
+        let b = build(src, false);
+        let cfg = SimConfig {
+            max_steps: 10_000,
+            ..SimConfig::default()
+        };
+        let mut m = Machine::new(&b, cfg);
+        assert!(matches!(m.call("f", &[]), Err(SimError::StepLimit(_))));
+    }
+
+    #[test]
+    fn unknown_function_reported() {
+        let b = build(FIB, false);
+        let mut m = Machine::new(&b, SimConfig::default());
+        assert!(matches!(
+            m.call("nope", &[]),
+            Err(SimError::NoSuchFunction(_))
+        ));
+    }
+}

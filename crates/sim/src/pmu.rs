@@ -1,0 +1,236 @@
+//! The performance-monitoring unit: LBR ring, branch predictor, i-cache,
+//! and the sampling machinery.
+
+use crate::rng::XorShift64;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One PMU sample: a synchronized LBR + call-stack snapshot (paper Fig. 5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sample {
+    /// Cycle at which the sample fired.
+    pub cycle: u64,
+    /// Precise instruction address at the sample point.
+    pub pc: u64,
+    /// The LBR: (source, target) addresses of the most recent *taken*
+    /// branches, oldest first, newest last.
+    pub lbr: Vec<(u64, u64)>,
+    /// The sampled call stack as return addresses, leaf first:
+    /// `stack[0]` is the sampled PC, `stack[1]` the leaf frame's return
+    /// address, and so on up to the root.
+    pub stack: Vec<u64>,
+}
+
+/// Last Branch Record ring buffer.
+#[derive(Clone, Debug)]
+pub struct Lbr {
+    ring: VecDeque<(u64, u64)>,
+    capacity: usize,
+}
+
+impl Lbr {
+    /// Creates an LBR with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Lbr {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records a taken branch.
+    pub fn record(&mut self, from: u64, to: u64) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((from, to));
+    }
+
+    /// Snapshot, oldest first.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.ring.iter().copied().collect()
+    }
+}
+
+/// A 2-bit saturating-counter branch predictor plus a last-target BTB for
+/// indirect jumps.
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    counters: Vec<u8>,
+    btb: Vec<u64>,
+}
+
+const PRED_ENTRIES: usize = 4096;
+
+impl Predictor {
+    /// A fresh predictor (weakly not-taken).
+    pub fn new() -> Self {
+        Predictor {
+            counters: vec![1; PRED_ENTRIES],
+            btb: vec![0; PRED_ENTRIES],
+        }
+    }
+
+    fn slot(addr: u64) -> usize {
+        ((addr >> 1) as usize) % PRED_ENTRIES
+    }
+
+    /// Predicts and updates for a conditional branch at `addr`; returns
+    /// whether the prediction was wrong.
+    pub fn conditional(&mut self, addr: u64, taken: bool) -> bool {
+        let c = &mut self.counters[Self::slot(addr)];
+        let predicted_taken = *c >= 2;
+        if taken && *c < 3 {
+            *c += 1;
+        }
+        if !taken && *c > 0 {
+            *c -= 1;
+        }
+        predicted_taken != taken
+    }
+
+    /// Predicts and updates for an indirect jump at `addr` going to
+    /// `target`; returns whether the prediction was wrong.
+    pub fn indirect(&mut self, addr: u64, target: u64) -> bool {
+        let slot = &mut self.btb[Self::slot(addr)];
+        let miss = *slot != target;
+        *slot = target;
+        miss
+    }
+}
+
+impl Default for Predictor {
+    fn default() -> Self {
+        Predictor::new()
+    }
+}
+
+/// A direct-mapped instruction cache (line-granular).
+#[derive(Clone, Debug)]
+pub struct ICache {
+    tags: Vec<u64>,
+    line_bytes: u64,
+    lines: usize,
+}
+
+impl ICache {
+    /// 16 KiB, 64-byte lines, direct-mapped.
+    pub fn new() -> Self {
+        ICache {
+            tags: vec![u64::MAX; 256],
+            line_bytes: 64,
+            lines: 256,
+        }
+    }
+
+    /// Fetches the line containing `addr`; returns whether it missed.
+    pub fn fetch(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let idx = (line as usize) % self.lines;
+        let miss = self.tags[idx] != line;
+        self.tags[idx] = line;
+        miss
+    }
+}
+
+impl Default for ICache {
+    fn default() -> Self {
+        ICache::new()
+    }
+}
+
+/// Decides when the next sample fires: a fixed period with deterministic
+/// jitter, like a real cycles event with randomization.
+#[derive(Clone, Debug)]
+pub struct SampleTimer {
+    period: u64,
+    next_at: u64,
+    rng: XorShift64,
+}
+
+impl SampleTimer {
+    /// A timer firing roughly every `period` cycles (never when 0).
+    pub fn new(period: u64, seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let jitter = if period > 0 { rng.below(period / 8 + 1) } else { 0 };
+        SampleTimer {
+            period,
+            next_at: period + jitter,
+            rng,
+        }
+    }
+
+    /// Whether a sample fires at `cycle`; advances the timer when it does.
+    pub fn should_fire(&mut self, cycle: u64) -> bool {
+        if self.period == 0 || cycle < self.next_at {
+            return false;
+        }
+        let jitter = self.rng.below(self.period / 8 + 1);
+        self.next_at = cycle + self.period + jitter;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lbr_keeps_newest_entries() {
+        let mut lbr = Lbr::new(3);
+        for i in 0..5u64 {
+            lbr.record(i, i + 100);
+        }
+        let snap = lbr.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0], (2, 102));
+        assert_eq!(snap[2], (4, 104));
+    }
+
+    #[test]
+    fn predictor_learns_a_steady_branch() {
+        let mut p = Predictor::new();
+        // Warm up.
+        for _ in 0..4 {
+            p.conditional(0x40, true);
+        }
+        assert!(!p.conditional(0x40, true), "steady branch predicted");
+        assert!(p.conditional(0x40, false), "surprise flips mispredict");
+    }
+
+    #[test]
+    fn btb_mispredicts_on_target_change() {
+        let mut p = Predictor::new();
+        p.indirect(0x80, 0x1000);
+        assert!(!p.indirect(0x80, 0x1000));
+        assert!(p.indirect(0x80, 0x2000));
+    }
+
+    #[test]
+    fn icache_hits_within_a_line_and_misses_far() {
+        let mut c = ICache::new();
+        assert!(c.fetch(0));
+        assert!(!c.fetch(32)); // same line
+        assert!(c.fetch(64)); // next line
+        // Aliasing at 16 KiB (256 lines * 64B): evicts.
+        assert!(c.fetch(64 + 256 * 64));
+        assert!(c.fetch(64));
+    }
+
+    #[test]
+    fn timer_fires_roughly_at_period() {
+        let mut t = SampleTimer::new(1000, 9);
+        let mut fired = 0;
+        for cycle in 0..100_000u64 {
+            if t.should_fire(cycle) {
+                fired += 1;
+            }
+        }
+        assert!((80..=100).contains(&fired), "fired {fired} times");
+    }
+
+    #[test]
+    fn zero_period_never_fires() {
+        let mut t = SampleTimer::new(0, 9);
+        assert!(!t.should_fire(10_000));
+    }
+}

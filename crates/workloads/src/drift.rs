@@ -1,0 +1,124 @@
+//! Source-drift mutators (paper §III.A).
+//!
+//! "A minor change in the source code such as adding or removing a program
+//! comment, can cause location of subsequent code to shift ... we have
+//! observed minor source drift causing 8% performance loss for a server
+//! workload. This problem is mitigated with pseudo-instrumentation where a
+//! checksum reflecting the shape of the IR control-flow graph is computed
+//! and persisted in the profile."
+
+/// Inserts a comment line before every function definition, shifting every
+/// subsequent line number while leaving the CFG untouched.
+///
+/// AutoFDO's line-offset correlation breaks (offsets within each function
+/// stay intact only for the *first* function; all call-site lines shift);
+/// CSSPGO's checksums still match, so the probe profile applies cleanly.
+pub fn insert_comments(source: &str) -> String {
+    let mut out = String::with_capacity(source.len() + 256);
+    for line in source.lines() {
+        if line.starts_with("fn ") {
+            out.push_str("// drift: reviewed in Q3, see T12345\n");
+            out.push_str("// drift: perf-sensitive, do not touch\n");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Inserts a line-shifting comment *inside* every function body (after the
+/// header), so even intra-function line offsets move. Still CFG-neutral.
+pub fn insert_body_comments(source: &str) -> String {
+    let mut out = String::with_capacity(source.len() + 256);
+    for line in source.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if line.starts_with("fn ") && line.trim_end().ends_with('{') {
+            out.push_str("    // drift: refactor pending\n");
+        }
+    }
+    out
+}
+
+/// A drift that *changes the CFG* of every function: a dead guard branch is
+/// added at the top of each body. CSSPGO must detect this via checksum
+/// mismatch and reject the stale profile rather than mis-apply it.
+pub fn change_cfg(source: &str) -> String {
+    let mut out = String::with_capacity(source.len() + 512);
+    for line in source.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if line.starts_with("fn ") && line.trim_end().ends_with('{') {
+            out.push_str("    if (0 > 1) { return 0 - 987654321; }\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csspgo_ir::probe::cfg_checksum;
+
+    const SRC: &str = "fn f(a) {\n    if (a > 0) {\n        return 1;\n    }\n    return 2;\n}\n";
+
+    fn checksums(src: &str) -> Vec<u64> {
+        let m = csspgo_lang::compile(src, "t").unwrap();
+        m.functions.iter().map(cfg_checksum).collect()
+    }
+
+    #[test]
+    fn comment_drift_keeps_cfg_checksums() {
+        assert_eq!(checksums(SRC), checksums(&insert_comments(SRC)));
+        assert_eq!(checksums(SRC), checksums(&insert_body_comments(SRC)));
+    }
+
+    #[test]
+    fn comment_drift_shifts_lines() {
+        let drifted = insert_body_comments(SRC);
+        let m0 = csspgo_lang::compile(SRC, "t").unwrap();
+        let m1 = csspgo_lang::compile(&drifted, "t").unwrap();
+        let first_line = |m: &csspgo_ir::Module| {
+            m.functions[0]
+                .iter_blocks()
+                .flat_map(|(_, b)| &b.insts)
+                .map(|i| i.loc.line)
+                .find(|&l| l != 0)
+                .unwrap()
+        };
+        assert_ne!(first_line(&m0), first_line(&m1));
+    }
+
+    #[test]
+    fn cfg_drift_changes_checksums() {
+        assert_ne!(checksums(SRC), checksums(&change_cfg(SRC)));
+    }
+
+    #[test]
+    fn drifted_sources_still_compile_for_all_workloads() {
+        for w in crate::server_workloads() {
+            csspgo_lang::compile(&insert_comments(&w.source), "d1").unwrap();
+            csspgo_lang::compile(&insert_body_comments(&w.source), "d2").unwrap();
+            csspgo_lang::compile(&change_cfg(&w.source), "d3").unwrap();
+        }
+    }
+
+    #[test]
+    fn drift_preserves_behaviour_for_comment_mutations() {
+        // Comment drift must not change program semantics.
+        use csspgo_codegen::{lower_module, CodegenConfig};
+        use csspgo_sim::{Machine, SimConfig};
+        let w = crate::ad_finder();
+        let run = |src: &str| {
+            let m = csspgo_lang::compile(src, "t").unwrap();
+            let b = lower_module(&m, &CodegenConfig::default());
+            let mut machine = Machine::new(&b, SimConfig::default());
+            for (name, vals) in &w.setup {
+                machine.set_global(name, vals);
+            }
+            machine.call(&w.entry, &w.eval_calls[0]).unwrap()
+        };
+        assert_eq!(run(&w.source), run(&insert_comments(&w.source)));
+        assert_eq!(run(&w.source), run(&change_cfg(&w.source)));
+    }
+}

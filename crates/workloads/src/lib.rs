@@ -1,0 +1,269 @@
+//! Synthetic workloads mirroring the paper's evaluation set (§IV.A).
+//!
+//! Each workload reproduces the *structural* properties of its production
+//! counterpart that the paper's machinery responds to:
+//!
+//! | Workload | Mirrors | Key structure |
+//! |---|---|---|
+//! | [`ad_ranker`] | AdRanker | scoring loops; a shared combiner whose branch bias depends on the caller (paper Fig. 4 at scale); register pressure |
+//! | [`ad_retriever`] | AdRetriever | index scans, branchy filters, tail-call chains |
+//! | [`ad_finder`] | AdFinder | hash probing with collision chains; shared lookup helper |
+//! | [`hhvm`] | HHVM | bytecode interpreter: switch dispatch, biased handlers, shared value-stack helpers |
+//! | [`haas`] | HaaS/Hermes | second VM: expression evaluation, recursion, tail calls |
+//! | [`client_compiler`] | Clang bootstrap | many functions touched briefly — wide coverage, short run (the client-workload sampling ceiling) |
+//!
+//! Traffic is generated deterministically from seeds; training and
+//! evaluation use the same distribution with different seeds (the paper's
+//! "live traffic duplicated through two systems" becomes a train/eval
+//! split).
+
+pub mod drift;
+mod programs;
+
+pub use csspgo_core::workload::Workload;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic request stream: `n` calls of `arity` arguments in
+/// `[lo, hi)`.
+fn requests(seed: u64, n: usize, args: &[(i64, i64)]) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            args.iter()
+                .map(|&(lo, hi)| rng.random_range(lo..hi))
+                .collect()
+        })
+        .collect()
+}
+
+/// Deterministic array contents.
+fn table(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// Builds every server workload (the Fig. 6/7 set).
+pub fn server_workloads() -> Vec<Workload> {
+    vec![ad_ranker(), ad_retriever(), ad_finder(), hhvm(), haas()]
+}
+
+/// AdRanker: feature-vector scoring. Two ranking heads (`rank_clicks`,
+/// `rank_convs`) drive the shared `combine` helper with *opposite* branch
+/// bias — the paper's Fig. 4 context-sensitivity pattern — and the scoring
+/// loop keeps enough live state to pressure the register allocator.
+pub fn ad_ranker() -> Workload {
+    let mut w = Workload::new(
+        "ad_ranker",
+        programs::AD_RANKER,
+        "serve",
+        requests(11, 220, &[(0, 48), (1, 4)]),
+        requests(12, 220, &[(0, 48), (1, 4)]),
+    );
+    w.setup = vec![
+        ("features".into(), table(101, 4096, -64, 64)),
+        ("weights_click".into(), table(102, 64, 0, 32)),
+        ("weights_conv".into(), table(103, 64, 0, 32)),
+    ];
+    w
+}
+
+/// AdRetriever: posting-list scans with branchy filters and a tail-call
+/// filter chain (frame-pointer chains genuinely break here).
+pub fn ad_retriever() -> Workload {
+    let mut w = Workload::new(
+        "ad_retriever",
+        programs::AD_RETRIEVER,
+        "retrieve",
+        requests(21, 260, &[(0, 512), (1, 9)]),
+        requests(22, 260, &[(0, 512), (1, 9)]),
+    );
+    w.setup = vec![
+        ("index".into(), table(201, 8192, 0, 1024)),
+        ("bounds".into(), table(202, 64, 8, 120)),
+    ];
+    w
+}
+
+/// AdFinder: open-addressing hash probing with collision chains; the probe
+/// helper is shared between the lookup and insert paths.
+pub fn ad_finder() -> Workload {
+    let mut w = Workload::new(
+        "ad_finder",
+        programs::AD_FINDER,
+        "find_batch",
+        requests(31, 240, &[(1, 1 << 30), (24, 72)]),
+        requests(32, 240, &[(1, 1 << 30), (24, 72)]),
+    );
+    w.setup = vec![("htable".into(), vec![0; 4096])];
+    w
+}
+
+/// HHVM: a bytecode interpreter with switch dispatch, strongly biased
+/// opcode mix, and shared value-stack helpers called from every handler.
+pub fn hhvm() -> Workload {
+    // The "bytecode" programs the VM executes: a mix dominated by
+    // arithmetic and compare-branches, with rare expensive opcodes.
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut code: Vec<i64> = Vec::new();
+    for _ in 0..600 {
+        // opcode distribution: 0..=9, heavily biased
+        let op: i64 = match rng.random_range(0..100) {
+            0..=34 => 0,  // push-const
+            35..=59 => 1, // add
+            60..=74 => 2, // sub
+            75..=84 => 3, // mul
+            85..=90 => 4, // dup
+            91..=94 => 5, // cmp-lt
+            95..=96 => 6, // jump-if (short hop)
+            97 => 7,      // mod
+            98 => 8,      // expensive: checksum loop
+            _ => 9,       // swap
+        };
+        code.push(op);
+        code.push(rng.random_range(1..50)); // operand
+    }
+    let mut w = Workload::new(
+        "hhvm",
+        programs::HHVM,
+        "run_vm",
+        requests(42, 110, &[(0, 280), (220, 560)]),
+        requests(43, 110, &[(0, 280), (220, 560)]),
+    );
+    w.setup = vec![("code".into(), code), ("vstack".into(), vec![0; 256])];
+    w
+}
+
+/// HaaS: a Hermes-flavoured second VM — recursive expression evaluation
+/// over a tree encoded in globals, with tail-called evaluation helpers.
+pub fn haas() -> Workload {
+    // Expression tree nodes: kind (0 leaf, 1 add, 2 mul, 3 max, 4 call),
+    // lhs index, rhs index / value.
+    let mut rng = StdRng::seed_from_u64(51);
+    let n = 512usize;
+    let mut kind = vec![0i64; n];
+    let mut lhs = vec![0i64; n];
+    let mut rhs = vec![0i64; n];
+    for i in 1..n {
+        // children always at lower indices: an acyclic DAG
+        if i < 8 {
+            kind[i] = 0;
+            rhs[i] = rng.random_range(1..100);
+        } else {
+            kind[i] = match rng.random_range(0..100) {
+                0..=39 => 1,
+                40..=69 => 2,
+                70..=89 => 3,
+                _ => 4,
+            };
+            lhs[i] = rng.random_range(1..i as i64);
+            rhs[i] = rng.random_range(1..i as i64);
+        }
+    }
+    let mut w = Workload::new(
+        "haas",
+        programs::HAAS,
+        "execute",
+        requests(52, 200, &[(8, 40), (1, 64)]),
+        requests(53, 200, &[(8, 40), (1, 64)]),
+    );
+    w.setup = vec![
+        ("nkind".into(), kind),
+        ("nlhs".into(), lhs),
+        ("nrhs".into(), rhs),
+    ];
+    w
+}
+
+/// The client workload (§IV.D): a compiler-shaped program with *many* small
+/// phases, each touched briefly, run a handful of times — so sampling
+/// covers far less of the executed code than instrumentation does.
+pub fn client_compiler() -> Workload {
+    let mut w = Workload::new(
+        "client_compiler",
+        programs::CLIENT_COMPILER,
+        "compile_unit",
+        requests(61, 24, &[(1, 1 << 20), (3, 30)]),
+        requests(62, 24, &[(1, 1 << 20), (3, 30)]),
+    );
+    w.setup = vec![("src".into(), table(601, 2048, 1, 96))];
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csspgo_codegen::{lower_module, CodegenConfig};
+    use csspgo_sim::{Machine, SimConfig};
+
+    fn smoke(w: &Workload) -> (u64, i64) {
+        let m = csspgo_lang::compile(&w.source, &w.name).expect("workload compiles");
+        let b = lower_module(&m, &CodegenConfig::default());
+        let mut machine = Machine::new(&b, SimConfig::default());
+        for (name, vals) in &w.setup {
+            machine.set_global(name, vals);
+        }
+        let mut acc = 0i64;
+        for args in w.train_calls.iter().take(3) {
+            acc = acc.wrapping_add(machine.call(&w.entry, args).expect("runs"));
+        }
+        (machine.stats().instructions, acc)
+    }
+
+    #[test]
+    fn all_workloads_compile_and_run() {
+        for w in server_workloads().iter().chain([client_compiler()].iter()) {
+            let (insts, _) = smoke(w);
+            assert!(insts > 1_000, "{} too trivial: {insts} insts", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let (i1, r1) = smoke(&ad_ranker());
+        let (i2, r2) = smoke(&ad_ranker());
+        assert_eq!(i1, i2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn train_and_eval_streams_differ() {
+        for w in server_workloads() {
+            assert_ne!(w.train_calls, w.eval_calls, "{}", w.name);
+            assert_eq!(w.train_calls.len(), w.eval_calls.len());
+        }
+    }
+
+    #[test]
+    fn optimized_workloads_stay_correct() {
+        for w in server_workloads().iter().chain([client_compiler()].iter()) {
+            let mut m = csspgo_lang::compile(&w.source, &w.name).unwrap();
+            let plain = lower_module(&m, &CodegenConfig::default());
+            csspgo_opt::run_pipeline(&mut m, &csspgo_opt::OptConfig::default());
+            let opt = lower_module(&m, &CodegenConfig::default());
+
+            let run = |b: &csspgo_codegen::Binary| {
+                let mut machine = Machine::new(b, SimConfig::default());
+                for (name, vals) in &w.setup {
+                    machine.set_global(name, vals);
+                }
+                let mut acc = 0i64;
+                for args in w.eval_calls.iter().take(3) {
+                    acc = acc.wrapping_add(machine.call(&w.entry, args).unwrap());
+                }
+                acc
+            };
+            assert_eq!(run(&plain), run(&opt), "{} miscompiled", w.name);
+        }
+    }
+
+    #[test]
+    fn hhvm_bytecode_is_biased() {
+        let w = hhvm();
+        let code = &w.setup[0].1;
+        let cheap = code.chunks(2).filter(|c| c[0] <= 3).count();
+        let total = code.len() / 2;
+        assert!(cheap * 2 > total, "arithmetic ops should dominate");
+    }
+}

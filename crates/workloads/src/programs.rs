@@ -1,0 +1,640 @@
+//! MiniLang source text for every workload.
+
+/// AdRanker: two ranking heads drive a shared combiner with opposite branch
+/// bias; the service entry keeps many values live (register pressure).
+pub const AD_RANKER: &str = r#"
+global features[4096];
+global weights_click[64];
+global weights_conv[64];
+
+fn combine(mode, acc, v) {
+    if (mode == 1) {
+        if (v > 0) {
+            return acc + v;
+        }
+        return acc + v / 4;
+    }
+    if (v > acc) {
+        return v;
+    }
+    return acc;
+}
+
+fn boost(x, k) {
+    let b = x;
+    if (b < 0) {
+        b = 0 - b;
+    }
+    let j = 0;
+    while (j < k) {
+        b = b + (b >> 3) + 1;
+        j = j + 1;
+    }
+    return b;
+}
+
+fn dot_click(base, len) {
+    let i = 0;
+    let acc = 0;
+    while (i < len) {
+        let f = features[(base + i) % 4096];
+        let w = weights_click[i % 64];
+        acc = combine(1, acc, f * w);
+        i = i + 1;
+    }
+    return acc;
+}
+
+fn dot_conv(base, len) {
+    let i = 0;
+    let acc = 0;
+    while (i < len) {
+        let f = features[(base + i) % 4096];
+        let w = weights_conv[i % 64];
+        acc = combine(2, acc, f * w);
+        i = i + 1;
+    }
+    return acc;
+}
+
+fn calibrate(score, slot) {
+    if (slot % 31 == 0) {
+        // rare recalibration path: bulky, cold
+        let t0 = score * 3 + 11;
+        let t1 = t0 * 5 + 13;
+        let t2 = t1 * 7 + 17;
+        let t3 = t2 * 11 + 19;
+        let t4 = t3 % 1000003;
+        let t5 = t4 + t0 % 97;
+        let t6 = t5 + t1 % 89;
+        let t7 = t6 + t2 % 83;
+        return t7 % 100000;
+    }
+    return score;
+}
+
+fn serve(slot, lane) {
+    let base = slot * 64;
+    let a0 = dot_click(base, 48);
+    let a1 = dot_conv(base, 48);
+    let a2 = dot_click(base + 7, 24);
+    let a3 = dot_conv(base + 7, 24);
+    let b0 = boost(a0, 3);
+    let b1 = boost(a1, 5);
+    let b2 = boost(a2, 2);
+    let b3 = boost(a3, 4);
+    let c0 = a0 + b1;
+    let c1 = a1 + b0;
+    let c2 = a2 + b3;
+    let c3 = a3 + b2;
+    let d0 = c0 * 3 - c1;
+    let d1 = c2 * 3 - c3;
+    let mix = d0 + d1 + (b0 - b3) * lane;
+    let cal = calibrate(mix, slot);
+    return cal + c0 + c1 + c2 + c3 - b1 - b2;
+}
+"#;
+
+/// AdRetriever: posting-list scan through a tail-called filter chain, with
+/// a rare heavy rerank path.
+pub const AD_RETRIEVER: &str = r#"
+global index[8192];
+global bounds[64];
+
+fn accept(v) {
+    if ((v >> 4) % 5 == 0) {
+        return 2;
+    }
+    return 1;
+}
+
+fn filter_odd(v) {
+    if ((v & 1) == 1) {
+        return accept(v);
+    }
+    return 0;
+}
+
+fn filter_mod(v) {
+    if (v % 3 == 0) {
+        return accept(v);
+    }
+    return filter_odd(v);
+}
+
+fn filter_range(v, lo) {
+    if (v < lo) {
+        return 0;
+    }
+    return filter_mod(v);
+}
+
+fn rerank(acc, start) {
+    let i = 0;
+    let r = acc;
+    while (i < 40) {
+        r = r + index[(start + i * 17) % 8192] % 13;
+        i = i + 1;
+    }
+    return r;
+}
+
+fn scan(start, len, lo) {
+    let i = 0;
+    let hits = 0;
+    while (i < len) {
+        let v = index[(start + i) % 8192];
+        hits = hits + filter_range(v, lo);
+        i = i + 1;
+    }
+    return hits;
+}
+
+fn retrieve(start, sel) {
+    let lo = bounds[sel % 64];
+    let len = 48 + (sel % 9) * 8;
+    let hits = scan(start, len, lo);
+    if (hits % 97 == 0) {
+        hits = rerank(hits, start);
+    }
+    return hits;
+}
+"#;
+
+/// AdFinder: open-addressing hash table; the probe loop is shared between
+/// the lookup path (mostly hits) and the insert path (mostly finds empty
+/// slots) — divergent behaviour per context.
+pub const AD_FINDER: &str = r#"
+global htable[4096];
+
+fn hashmix(k) {
+    let h = k ^ (k >> 13);
+    h = h * 2654435761;
+    h = h ^ (h >> 17);
+    if (h < 0) {
+        h = 0 - h;
+    }
+    return h;
+}
+
+fn probe(key, want_empty) {
+    let h = hashmix(key) % 4096;
+    let i = 0;
+    let found = 0 - 1;
+    while (i < 24) {
+        let slot = (h + i) % 4096;
+        let cur = htable[slot];
+        if (want_empty == 1) {
+            if (cur == 0) {
+                found = slot;
+                break;
+            }
+        } else {
+            if (cur == key) {
+                found = slot;
+                break;
+            }
+            if (cur == 0) {
+                break;
+            }
+        }
+        i = i + 1;
+    }
+    return found;
+}
+
+fn insert(key) {
+    let slot = probe(key, 1);
+    if (slot >= 0) {
+        htable[slot] = key;
+        return 1;
+    }
+    return 0;
+}
+
+fn lookup(key) {
+    let slot = probe(key, 0);
+    if (slot >= 0) {
+        return 1;
+    }
+    return 0;
+}
+
+fn find_batch(seed, n) {
+    let s = seed;
+    let i = 0;
+    let found = 0;
+    while (i < n) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) {
+            s = 0 - s;
+        }
+        let key = s % 50021 + 1;
+        if (i % 11 == 0) {
+            found = found + insert(key);
+        } else {
+            found = found + lookup(key);
+        }
+        i = i + 1;
+    }
+    return found;
+}
+"#;
+
+/// HHVM: a stack-machine bytecode interpreter. Dispatch is a switch over a
+/// biased opcode mix; stack helpers are shared by every handler.
+pub const HHVM: &str = r#"
+global code[1200];
+global vstack[256];
+
+fn push(sp, v) {
+    if (sp < 256) {
+        vstack[sp] = v;
+    }
+    return sp + 1;
+}
+
+fn top(sp) {
+    if (sp > 0) {
+        return vstack[sp - 1];
+    }
+    return 0;
+}
+
+fn checksum(x, n) {
+    let i = 0;
+    let h = x;
+    while (i < n) {
+        h = (h * 31 + 7) % 1000003;
+        i = i + 1;
+    }
+    return h;
+}
+
+fn binop_add(sp) {
+    if (sp >= 2) {
+        let b = vstack[sp - 1];
+        let a = vstack[sp - 2];
+        vstack[sp - 2] = a + b;
+        return sp - 1;
+    }
+    return push(sp, 1);
+}
+
+fn binop_sub(sp) {
+    if (sp >= 2) {
+        let b = vstack[sp - 1];
+        let a = vstack[sp - 2];
+        vstack[sp - 2] = a - b;
+        return sp - 1;
+    }
+    return push(sp, 2);
+}
+
+fn binop_mul(sp) {
+    if (sp >= 2) {
+        let b = vstack[sp - 1];
+        let a = vstack[sp - 2];
+        vstack[sp - 2] = (a * b) % 1000003;
+        return sp - 1;
+    }
+    return push(sp, 3);
+}
+
+fn run_vm(entry, steps) {
+    let pc = entry * 2;
+    let sp = 0;
+    let acc = 0;
+    let step = 0;
+    while (step < steps) {
+        let op = code[pc];
+        let arg = code[pc + 1];
+        switch (op) {
+            case 0 {
+                sp = push(sp, arg);
+            }
+            case 1 {
+                sp = binop_add(sp);
+            }
+            case 2 {
+                sp = binop_sub(sp);
+            }
+            case 3 {
+                sp = binop_mul(sp);
+            }
+            case 4 {
+                sp = push(sp, top(sp));
+            }
+            case 5 {
+                let t = top(sp);
+                if (t < arg) {
+                    sp = push(sp, 1);
+                } else {
+                    sp = push(sp, 0);
+                }
+            }
+            case 6 {
+                if (top(sp) != 0) {
+                    pc = pc + 2 * (arg % 7);
+                }
+            }
+            case 7 {
+                if (sp >= 1) {
+                    vstack[sp - 1] = vstack[sp - 1] % (arg + 1);
+                }
+            }
+            case 8 {
+                acc = acc + checksum(arg, 60);
+            }
+            default {
+                if (sp >= 2) {
+                    let a = vstack[sp - 1];
+                    vstack[sp - 1] = vstack[sp - 2];
+                    vstack[sp - 2] = a;
+                }
+            }
+        }
+        if (sp > 200) {
+            sp = 8;
+        }
+        pc = pc + 2;
+        if (pc >= 1198) {
+            pc = 0;
+        }
+        step = step + 1;
+    }
+    return acc + sp + top(sp);
+}
+"#;
+
+/// HaaS: a Hermes-flavoured VM evaluating an expression DAG with recursion
+/// and a tail-called dispatch helper.
+pub const HAAS: &str = r#"
+global nkind[512];
+global nlhs[512];
+global nrhs[512];
+
+fn max2(a, b) {
+    if (a > b) {
+        return a;
+    }
+    return b;
+}
+
+fn clampmul(a, b) {
+    let m = a * b;
+    if (m > 1000003) {
+        m = m % 1000003;
+    }
+    if (m < 0 - 1000003) {
+        m = m % 1000003;
+    }
+    return m;
+}
+
+fn dispatch_call(ix, depth) {
+    return eval_node(ix % 512, depth + 1);
+}
+
+fn eval_node(ix, depth) {
+    if (depth > 20) {
+        return 1;
+    }
+    let k = nkind[ix];
+    if (k == 0) {
+        return nrhs[ix];
+    }
+    if (k == 1) {
+        return eval_node(nlhs[ix], depth + 1) + eval_node(nrhs[ix], depth + 1);
+    }
+    if (k == 2) {
+        return clampmul(eval_node(nlhs[ix], depth + 1), eval_node(nrhs[ix], depth + 1));
+    }
+    if (k == 3) {
+        return max2(eval_node(nlhs[ix], depth + 1), eval_node(nrhs[ix], depth + 1));
+    }
+    return dispatch_call(nlhs[ix], depth);
+}
+
+fn execute(root, reps) {
+    let i = 0;
+    let acc = 0;
+    while (i < reps) {
+        acc = (acc + eval_node((root + i) % 512, 0)) % 100000007;
+        i = i + 1;
+    }
+    return acc;
+}
+"#;
+
+/// The client workload: a compiler-shaped program. Many distinct small
+/// phases each run briefly per "translation unit", so one short training
+/// run leaves large parts of the code under-sampled — the paper's client
+/// workload coverage ceiling.
+pub const CLIENT_COMPILER: &str = r#"
+global src[2048];
+global toks[2048];
+global syms[512];
+
+fn is_space(c) {
+    if (c == 32) { return 1; }
+    if (c == 9) { return 1; }
+    return 0;
+}
+fn is_digit(c) {
+    if (c >= 48) {
+        if (c <= 57) { return 1; }
+    }
+    return 0;
+}
+fn is_alpha(c) {
+    if (c >= 65) {
+        if (c <= 90) { return 1; }
+    }
+    if (c >= 97) {
+        if (c <= 122) { return 1; }
+    }
+    return 0;
+}
+fn classify(c) {
+    if (is_space(c) == 1) { return 0; }
+    if (is_digit(c) == 1) { return 1; }
+    if (is_alpha(c) == 1) { return 2; }
+    return 3;
+}
+fn lex(n) {
+    let i = 0;
+    let t = 0;
+    while (i < n) {
+        let c = src[i];
+        toks[t] = classify(c) * 256 + c;
+        t = t + 1;
+        i = i + 1;
+    }
+    return t;
+}
+fn hash_name(h, c) {
+    return (h * 33 + c) % 511;
+}
+fn intern(tok) {
+    let h = hash_name(5381, tok) % 512;
+    let i = 0;
+    while (i < 8) {
+        let slot = (h + i) % 512;
+        if (syms[slot] == tok) { return slot; }
+        if (syms[slot] == 0) {
+            syms[slot] = tok;
+            return slot;
+        }
+        i = i + 1;
+    }
+    return h;
+}
+fn parse_primary(t, n) {
+    if (t >= n) { return 1; }
+    let k = toks[t] >> 8;
+    if (k == 1) { return 2; }
+    if (k == 2) {
+        intern(toks[t]);
+        return 2;
+    }
+    return 1;
+}
+fn parse_expr(t, n, depth) {
+    if (depth > 6) { return 1; }
+    let w = parse_primary(t, n);
+    if (t + w < n) {
+        let k = toks[t + w] >> 8;
+        if (k == 3) {
+            return w + 1 + parse_expr(t + w + 1, n, depth + 1);
+        }
+    }
+    return w;
+}
+fn parse(n) {
+    let t = 0;
+    let stmts = 0;
+    while (t < n) {
+        t = t + parse_expr(t, n, 0);
+        stmts = stmts + 1;
+    }
+    return stmts;
+}
+fn fold_constants(n) {
+    let i = 0;
+    let folded = 0;
+    while (i + 2 < n) {
+        let a = toks[i] >> 8;
+        let b = toks[i + 2] >> 8;
+        if (a == 1) {
+            if (b == 1) {
+                toks[i] = 1 * 256 + 48;
+                folded = folded + 1;
+                i = i + 2;
+            }
+        }
+        i = i + 1;
+    }
+    return folded;
+}
+fn strength_reduce(x) {
+    if (x % 2 == 0) { return x >> 1; }
+    if (x % 3 == 0) { return x / 3; }
+    return x;
+}
+fn licm_score(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + strength_reduce(toks[i] & 255);
+        i = i + 1;
+    }
+    return s;
+}
+fn regalloc_pressure(n) {
+    let i = 0;
+    let p = 0;
+    let live = 0;
+    while (i < n) {
+        let k = toks[i] >> 8;
+        if (k == 2) { live = live + 1; }
+        if (k == 0) {
+            if (live > 0) { live = live - 1; }
+        }
+        if (live > p) { p = live; }
+        i = i + 1;
+    }
+    return p;
+}
+fn sched_weight(op) {
+    switch (op) {
+        case 0 { return 1; }
+        case 1 { return 2; }
+        case 2 { return 2; }
+        case 3 { return 4; }
+        default { return 3; }
+    }
+}
+fn schedule(n) {
+    let i = 0;
+    let cost = 0;
+    while (i < n) {
+        cost = cost + sched_weight(toks[i] >> 8);
+        i = i + 1;
+    }
+    return cost;
+}
+fn emit_inst(k, c) {
+    let enc = k * 1024 + c;
+    if (k == 3) {
+        enc = enc + 65536;
+    }
+    return enc;
+}
+fn emit(n) {
+    let i = 0;
+    let bytes = 0;
+    while (i < n) {
+        let e = emit_inst(toks[i] >> 8, toks[i] & 255);
+        bytes = bytes + (e & 7) + 2;
+        i = i + 1;
+    }
+    return bytes;
+}
+fn peephole(n) {
+    let i = 0;
+    let wins = 0;
+    while (i + 1 < n) {
+        let a = toks[i] & 255;
+        let b = toks[i + 1] & 255;
+        if (a == b) { wins = wins + 1; }
+        i = i + 1;
+    }
+    return wins;
+}
+fn link_relocs(n, seed) {
+    let i = 0;
+    let h = seed;
+    while (i < n) {
+        h = hash_name(h, toks[i] & 255);
+        i = i + 4;
+    }
+    return h;
+}
+fn compile_unit(seed, passes) {
+    let n = 512 + seed % 1024;
+    if (n > 2048) { n = 2048; }
+    let t = lex(n);
+    let stmts = parse(t);
+    let total = stmts;
+    let p = 0;
+    while (p < passes) {
+        total = total + fold_constants(t) + licm_score(t) % 97;
+        total = total + regalloc_pressure(t) + schedule(t) % 89;
+        total = total + peephole(t) % 83;
+        p = p + 1;
+    }
+    total = total + emit(t) % 79 + link_relocs(t, seed) % 73;
+    return total % 1000000007;
+}
+"#;

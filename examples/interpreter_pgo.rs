@@ -1,0 +1,44 @@
+//! PGO on an interpreter (the HHVM-shaped workload): every variant, with
+//! the microarchitectural breakdown that explains *where* each one wins.
+//!
+//! ```sh
+//! cargo run --release --example interpreter_pgo
+//! ```
+
+use csspgo::core::pipeline::{run_pgo_cycle, PgoVariant, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = csspgo::workloads::hhvm().scaled(0.5);
+    let config = PipelineConfig::default();
+
+    println!(
+        "{:<22} {:>10} {:>8} {:>9} {:>8} {:>7} {:>7}",
+        "variant", "cycles", "taken", "mispred", "icache", "calls", "text"
+    );
+    let mut baseline = 0u64;
+    for variant in PgoVariant::ALL {
+        let o = run_pgo_cycle(&workload, variant, &config)?;
+        println!(
+            "{:<22} {:>10} {:>8} {:>9} {:>8} {:>7} {:>7}",
+            variant.to_string(),
+            o.eval.cycles,
+            o.eval.taken_branches,
+            o.eval.mispredicts,
+            o.eval.icache_misses,
+            o.eval.calls,
+            o.sections.text
+        );
+        if variant == PgoVariant::AutoFdo {
+            baseline = o.eval.cycles;
+        }
+        if variant == PgoVariant::CsspgoFull && baseline > 0 {
+            let gain = (baseline as f64 - o.eval.cycles as f64) / baseline as f64 * 100.0;
+            println!("  ↳ full CSSPGO vs AutoFDO: {gain:+.2}%");
+        }
+    }
+    println!("\nreading the breakdown:");
+    println!("  • taken branches drop when layout puts hot successors on the fall-through path");
+    println!("  • calls drop when the (pre-)inliner flattens the hot dispatch handlers");
+    println!("  • icache misses drop when cold handlers are split into the cold section");
+    Ok(())
+}

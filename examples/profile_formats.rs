@@ -1,0 +1,78 @@
+//! Profile persistence: generate a real AutoFDO-style text profile and a
+//! CSSPGO context profile from one simulated production run, print both, and
+//! round-trip them through their parsers.
+//!
+//! ```sh
+//! cargo run --release --example profile_formats
+//! ```
+
+use csspgo::codegen::{lower_module, CodegenConfig};
+use csspgo::core::context::ContextProfile;
+use csspgo::core::correlate::dwarf_profile;
+use csspgo::core::ranges::RangeCounts;
+use csspgo::core::tailcall::TailCallGraph;
+use csspgo::core::textprof;
+use csspgo::core::unwind::Unwinder;
+use csspgo::sim::{Machine, SimConfig};
+
+const SRC: &str = r#"
+fn weigh(x) {
+    if (x % 5 == 0) { return x * 2; }
+    return x;
+}
+fn serve(q, n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + weigh(q + i);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Profiling build (probes + full pipeline) and a production run.
+    let mut module = csspgo::lang::compile(SRC, "svc")?;
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    csspgo::opt::run_pipeline(&mut module, &csspgo::opt::OptConfig::default());
+    let binary = lower_module(&module, &CodegenConfig::default());
+
+    let mut machine = Machine::new(
+        &binary,
+        SimConfig {
+            sample_period: 97,
+            ..SimConfig::default()
+        },
+    );
+    for q in 0..40 {
+        machine.call("serve", &[q, 300])?;
+    }
+    let samples = machine.take_samples();
+    let mut rc = RangeCounts::default();
+    rc.add_samples(&binary, &samples);
+
+    // --- AutoFDO-style flat text profile ---
+    let flat = dwarf_profile(&binary, &rc);
+    let flat_text = textprof::write_flat(&flat);
+    println!("--- flat (AutoFDO-style) profile ---\n{flat_text}");
+    let parsed = textprof::parse_flat(&flat_text)?;
+    assert_eq!(parsed.funcs, flat.funcs, "flat round-trip");
+
+    // --- CSSPGO context profile ---
+    let graph = TailCallGraph::build(&binary, &rc);
+    let mut ctx = ContextProfile::new();
+    let mut unwinder = Unwinder::new(&binary, Some(&graph));
+    unwinder.unwind_into(&samples, &mut ctx);
+    for f in &binary.funcs {
+        ctx.names.insert(f.guid, f.name.clone());
+    }
+    let ctx_text = textprof::write_context(&ctx);
+    println!("--- context (CSSPGO) profile ---\n{ctx_text}");
+    let parsed = textprof::parse_context(&ctx_text)?;
+    assert_eq!(parsed.total(), ctx.total(), "context round-trip");
+
+    println!("both formats round-tripped losslessly ✓");
+    Ok(())
+}

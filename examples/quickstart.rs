@@ -1,0 +1,73 @@
+//! Quickstart: run one full CSSPGO cycle on a small service and compare it
+//! with the AutoFDO baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use csspgo::core::pipeline::{run_pgo_cycle, PgoVariant, PipelineConfig};
+use csspgo::core::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny service: a hot scoring loop with a rare, bulky error path.
+    let source = r#"
+global weights[256];
+
+fn sanitize(x) {
+    if (x % 251 == 0) {
+        // rare slow path
+        let a = x * 3 + 1;
+        let b = a * 5 + 2;
+        let c = b * 7 + 3;
+        return (a + b + c) % 1000003;
+    }
+    return x;
+}
+
+fn score(q, n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        let w = weights[(q + i) % 256];
+        s = s + sanitize(w * i);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+    let weights: Vec<i64> = (0..256).map(|i| (i * 37 + 11) % 100).collect();
+    let mut workload = Workload::new(
+        "quickstart",
+        source,
+        "score",
+        (0..50).map(|i| vec![i * 7, 400]).collect(),
+        (0..50).map(|i| vec![i * 7 + 3, 400]).collect(),
+    );
+    workload.setup = vec![("weights".into(), weights)];
+
+    let config = PipelineConfig::default();
+    println!("variant                 eval cycles    text bytes");
+    let mut baseline = None;
+    for variant in [
+        PgoVariant::O2,
+        PgoVariant::AutoFdo,
+        PgoVariant::CsspgoFull,
+    ] {
+        let outcome = run_pgo_cycle(&workload, variant, &config)?;
+        println!(
+            "{:<22} {:>12} {:>13}",
+            variant.to_string(),
+            outcome.eval.cycles,
+            outcome.sections.text
+        );
+        if variant == PgoVariant::AutoFdo {
+            baseline = Some(outcome.eval.cycles);
+        }
+        if variant == PgoVariant::CsspgoFull {
+            let base = baseline.expect("AutoFDO ran first");
+            let gain = (base as f64 - outcome.eval.cycles as f64) / base as f64 * 100.0;
+            println!("\nCSSPGO vs AutoFDO: {gain:+.2}% cycles");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,334 @@
+//! `csspgo` — the command-line driver tying the toolchain together, in the
+//! shape of the paper's workflow (`clang` + `perf` + `llvm-profgen`):
+//!
+//! ```text
+//! csspgo compile service.mini -o service.bin --probes
+//! csspgo run service.bin --entry serve --args 3,1 --repeat 100 \
+//!        --sample-period 199 --samples-out samples.json
+//! csspgo profgen service.bin --samples samples.json --format context -o service.prof
+//! csspgo pgo service.mini --entry serve --variant csspgo --train 3,1 --eval 4,2
+//! ```
+//!
+//! Everything is file-based: binaries and samples serialize as JSON,
+//! profiles as the LLVM-style text formats in
+//! [`csspgo::core::textprof`].
+
+use csspgo::codegen::{lower_module, Binary, CodegenConfig};
+use csspgo::core::context::ContextProfile;
+use csspgo::core::correlate::{dwarf_profile, probe_profile};
+use csspgo::core::pipeline::{run_pgo_cycle, PgoVariant, PipelineConfig};
+use csspgo::core::ranges::RangeCounts;
+use csspgo::core::tailcall::TailCallGraph;
+use csspgo::core::textprof;
+use csspgo::core::unwind::Unwinder;
+use csspgo::core::Workload;
+use csspgo::sim::{Machine, Sample, SimConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("profgen") => cmd_profgen(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("pgo") => cmd_pgo(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `csspgo help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("csspgo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        r#"csspgo — context-sensitive sampling-based PGO toolchain
+
+USAGE:
+  csspgo compile <src> -o <out.bin> [--probes] [--instrument] [--no-opt]
+  csspgo run <bin> --entry <fn> [--args a,b] [--repeat N]
+             [--sample-period N] [--samples-out <file>]
+  csspgo profgen <bin> --samples <file> --format flat|probe|context
+             [-o <file>]
+  csspgo merge --format flat|context <prof1> <prof2> ... [-o <file>]
+  csspgo pgo <src> --entry <fn> --variant o2|instr|autofdo|probe|csspgo
+             [--train a,b] [--eval a,b] [--repeat N]
+
+Sources are MiniLang (.mini); binaries and samples are JSON; profiles use
+the LLVM-style text formats."#
+    );
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_args_list(s: &str) -> Result<Vec<i64>, String> {
+    if s.is_empty() {
+        return Ok(vec![]);
+    }
+    s.split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad argument `{p}`")))
+        .collect()
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let src_path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("compile: missing source file")?;
+    let out = opt_value(args, "-o").ok_or("compile: missing -o <out>")?;
+    let source =
+        std::fs::read_to_string(src_path).map_err(|e| format!("reading {src_path}: {e}"))?;
+    let mut module =
+        csspgo::lang::compile(&source, src_path).map_err(|e| format!("{src_path}: {e}"))?;
+    csspgo::opt::discriminators::run(&mut module);
+    if has_flag(args, "--probes") {
+        csspgo::opt::probes::run(&mut module);
+    }
+    if has_flag(args, "--instrument") {
+        csspgo::opt::instrument::run(&mut module);
+    }
+    if !has_flag(args, "--no-opt") {
+        csspgo::opt::run_pipeline(&mut module, &csspgo::opt::OptConfig::default());
+    }
+    let binary = lower_module(&module, &CodegenConfig::default());
+    let json = serde_json::to_string(&binary).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} instructions, text {} B, debug {} B, probe metadata {} B",
+        binary.len(),
+        binary.sections.text,
+        binary.sections.debug_line,
+        binary.sections.pseudo_probe
+    );
+    Ok(())
+}
+
+fn load_binary(path: &str) -> Result<Binary, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("{path}: not a csspgo binary: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let bin_path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("run: missing binary")?;
+    let entry = opt_value(args, "--entry").ok_or("run: missing --entry")?;
+    let call_args = parse_args_list(&opt_value(args, "--args").unwrap_or_default())?;
+    let repeat: u64 = opt_value(args, "--repeat")
+        .map(|v| v.parse().map_err(|_| "bad --repeat"))
+        .transpose()?
+        .unwrap_or(1);
+    let period: u64 = opt_value(args, "--sample-period")
+        .map(|v| v.parse().map_err(|_| "bad --sample-period"))
+        .transpose()?
+        .unwrap_or(0);
+
+    let binary = load_binary(bin_path)?;
+    let mut machine = Machine::new(
+        &binary,
+        SimConfig {
+            sample_period: period,
+            ..SimConfig::default()
+        },
+    );
+    let mut last = 0;
+    for _ in 0..repeat {
+        last = machine
+            .call(&entry, &call_args)
+            .map_err(|e| e.to_string())?;
+    }
+    let stats = machine.stats();
+    println!("result: {last}");
+    println!(
+        "cycles: {}  instructions: {}  taken: {}  mispredicts: {}  icache misses: {}  samples: {}",
+        stats.cycles,
+        stats.instructions,
+        stats.taken_branches,
+        stats.mispredicts,
+        stats.icache_misses,
+        stats.samples
+    );
+    if let Some(out) = opt_value(args, "--samples-out") {
+        let samples = machine.take_samples();
+        let json = serde_json::to_string(&samples).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {} samples to {out}", samples.len());
+    }
+    Ok(())
+}
+
+fn cmd_profgen(args: &[String]) -> Result<(), String> {
+    let bin_path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("profgen: missing binary")?;
+    let samples_path = opt_value(args, "--samples").ok_or("profgen: missing --samples")?;
+    let format = opt_value(args, "--format").unwrap_or_else(|| "flat".into());
+    let binary = load_binary(bin_path)?;
+    let samples: Vec<Sample> = {
+        let json = std::fs::read_to_string(&samples_path)
+            .map_err(|e| format!("reading {samples_path}: {e}"))?;
+        serde_json::from_str(&json).map_err(|e| format!("{samples_path}: {e}"))?
+    };
+    let mut rc = RangeCounts::default();
+    rc.add_samples(&binary, &samples);
+
+    let text = match format.as_str() {
+        "flat" => textprof::write_flat(&dwarf_profile(&binary, &rc)),
+        "probe" => textprof::write_probe_json(&probe_profile(&binary, &rc)),
+        "context" => {
+            let graph = TailCallGraph::build(&binary, &rc);
+            let mut profile = ContextProfile::new();
+            let mut unwinder = Unwinder::new(&binary, Some(&graph));
+            unwinder.unwind_into(&samples, &mut profile);
+            for f in &binary.funcs {
+                profile.names.insert(f.guid, f.name.clone());
+            }
+            textprof::write_context(&profile)
+        }
+        other => return Err(format!("unknown --format `{other}`")),
+    };
+    match opt_value(args, "-o") {
+        Some(out) => {
+            std::fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote {out} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let format = opt_value(args, "--format").unwrap_or_else(|| "flat".into());
+    let out = opt_value(args, "-o");
+    let inputs: Vec<&String> = {
+        // Positional arguments: everything not a flag and not a flag value.
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") || *a == "-o" {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    if inputs.len() < 2 {
+        return Err("merge: need at least two profiles".into());
+    }
+    let read =
+        |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let text = match format.as_str() {
+        "flat" => {
+            let mut acc = textprof::parse_flat(&read(inputs[0])?)
+                .map_err(|e| format!("{}: {e}", inputs[0]))?;
+            for p in &inputs[1..] {
+                let next =
+                    textprof::parse_flat(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
+                csspgo::core::merge::merge_flat(&mut acc, &next);
+            }
+            textprof::write_flat(&acc)
+        }
+        "context" => {
+            let mut acc = textprof::parse_context(&read(inputs[0])?)
+                .map_err(|e| format!("{}: {e}", inputs[0]))?;
+            for p in &inputs[1..] {
+                let next =
+                    textprof::parse_context(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
+                csspgo::core::merge::merge_context(&mut acc, &next);
+            }
+            textprof::write_context(&acc)
+        }
+        other => return Err(format!("unknown --format `{other}`")),
+    };
+    match out {
+        Some(o) => {
+            std::fs::write(&o, &text).map_err(|e| format!("writing {o}: {e}"))?;
+            println!("wrote {o} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_pgo(args: &[String]) -> Result<(), String> {
+    let src_path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("pgo: missing source file")?;
+    let entry = opt_value(args, "--entry").ok_or("pgo: missing --entry")?;
+    let variant = match opt_value(args, "--variant").as_deref() {
+        Some("o2") => PgoVariant::O2,
+        Some("instr") => PgoVariant::Instr,
+        Some("autofdo") => PgoVariant::AutoFdo,
+        Some("probe") => PgoVariant::CsspgoProbeOnly,
+        Some("csspgo") | None => PgoVariant::CsspgoFull,
+        Some(other) => return Err(format!("unknown --variant `{other}`")),
+    };
+    let train = parse_args_list(&opt_value(args, "--train").unwrap_or_default())?;
+    let eval = parse_args_list(&opt_value(args, "--eval").unwrap_or_else(|| {
+        opt_value(args, "--train").unwrap_or_default()
+    }))?;
+    let repeat: usize = opt_value(args, "--repeat")
+        .map(|v| v.parse().map_err(|_| "bad --repeat"))
+        .transpose()?
+        .unwrap_or(10);
+
+    let source =
+        std::fs::read_to_string(src_path).map_err(|e| format!("reading {src_path}: {e}"))?;
+    let workload = Workload::new(
+        src_path.as_str(),
+        source,
+        entry,
+        vec![train; repeat],
+        vec![eval; repeat],
+    );
+    let config = PipelineConfig::default();
+    let outcome = run_pgo_cycle(&workload, variant, &config).map_err(|e| e.to_string())?;
+    println!("variant: {}", outcome.variant);
+    println!("profiling: {} cycles, {} samples", outcome.profiling.cycles, outcome.profiling.samples);
+    println!(
+        "annotation: {} functions, {} stale, {} inlines replayed, plan {}",
+        outcome.annotate_stats.annotated,
+        outcome.annotate_stats.stale,
+        outcome.annotate_stats.replayed_inlines,
+        outcome.plan_len
+    );
+    println!(
+        "final binary: text {} B (+{} B debug, +{} B probe metadata)",
+        outcome.sections.text, outcome.sections.debug_line, outcome.sections.pseudo_probe
+    );
+    println!(
+        "evaluation: {} cycles / {} instructions ({} taken, {} mispredicted, {} icache misses)",
+        outcome.eval.cycles,
+        outcome.eval.instructions,
+        outcome.eval.taken_branches,
+        outcome.eval.mispredicts,
+        outcome.eval.icache_misses
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Integration tests for the paper's source-drift story (§III.A).
+
+use csspgo::core::pipeline::{
+    run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig,
+};
+use csspgo::workloads::drift;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        sample_period: 101,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn csspgo_is_immune_to_comment_drift() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let drifted = drift::insert_body_comments(&w.source);
+    let clean = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg()).unwrap();
+    let after = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted).unwrap();
+    assert_eq!(after.annotate_stats.stale, 0, "comments must not look stale");
+    assert_eq!(
+        clean.eval.cycles, after.eval.cycles,
+        "CFG checksums make CSSPGO drift-transparent"
+    );
+    assert_eq!(clean.eval_result_hash, after.eval_result_hash);
+}
+
+#[test]
+fn autofdo_profile_degrades_under_comment_drift() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let drifted = drift::insert_body_comments(&w.source);
+    let clean = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg()).unwrap();
+    let after = run_pgo_cycle_drifted(&w, PgoVariant::AutoFdo, &cfg(), &drifted).unwrap();
+    // The line-shifted profile mis-applies; the paper observed ~8% loss.
+    assert!(
+        after.eval.cycles > clean.eval.cycles,
+        "expected a drift penalty: clean {} vs drifted {}",
+        clean.eval.cycles,
+        after.eval.cycles
+    );
+    assert_eq!(clean.eval_result_hash, after.eval_result_hash);
+}
+
+#[test]
+fn csspgo_rejects_cfg_changing_drift_via_checksums() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let drifted = drift::change_cfg(&w.source);
+    let after = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted).unwrap();
+    assert!(
+        after.annotate_stats.stale > 0,
+        "CFG change must be detected as a checksum mismatch"
+    );
+}
