@@ -119,7 +119,12 @@ fn bench_inference(c: &mut Criterion) {
 fn bench_compile_pipeline(c: &mut Criterion) {
     let w = csspgo_workloads::hhvm();
     c.bench_function("compile/frontend", |b| {
-        b.iter(|| csspgo_lang::compile(&w.source, &w.name).unwrap().functions.len())
+        b.iter(|| {
+            csspgo_lang::compile(&w.source, &w.name)
+                .unwrap()
+                .functions
+                .len()
+        })
     });
     c.bench_function("compile/full_pipeline_with_probes", |b| {
         b.iter(|| {

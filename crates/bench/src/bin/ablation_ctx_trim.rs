@@ -32,7 +32,13 @@ fn main() {
         csspgo_opt::probes::run(&mut m);
         csspgo_opt::run_pipeline(&mut m, &cfg.opt);
         let b = csspgo_codegen::lower_module(&m, &cfg.codegen);
-        let mut machine = Machine::new(&b, SimConfig { sample_period: cfg.sample_period, ..SimConfig::default() });
+        let mut machine = Machine::new(
+            &b,
+            SimConfig {
+                sample_period: cfg.sample_period,
+                ..SimConfig::default()
+            },
+        );
         for (n, v) in &w.setup {
             machine.set_global(n, v);
         }

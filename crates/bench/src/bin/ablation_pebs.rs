@@ -27,7 +27,9 @@ fn main() {
 
     let autofdo = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg).expect("autofdo");
 
-    println!("| sampling | broken stacks | context samples | trie nodes | full CSSPGO vs AutoFDO |");
+    println!(
+        "| sampling | broken stacks | context samples | trie nodes | full CSSPGO vs AutoFDO |"
+    );
     println!("|---|---|---|---|---|");
     for pebs in [true, false] {
         cfg.pebs = pebs;
@@ -62,7 +64,11 @@ fn main() {
         let outcome = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).expect("full");
         println!(
             "| {} | {} | {} | {} | {:+.2}% |",
-            if pebs { "PEBS (`:upp`)" } else { "no PEBS (skid)" },
+            if pebs {
+                "PEBS (`:upp`)"
+            } else {
+                "no PEBS (skid)"
+            },
             uw.broken_stacks,
             profile.total(),
             profile.node_count(),

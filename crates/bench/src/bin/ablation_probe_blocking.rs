@@ -18,7 +18,9 @@ fn main() {
     println!("# Ablation — probe optimization-blocking strength (hhvm), scale={scale}");
     let w = csspgo_workloads::hhvm().scaled(scale);
 
-    println!("| probe tuning | probed binary cycles | overhead vs unprobed | block overlap vs instr |");
+    println!(
+        "| probe tuning | probed binary cycles | overhead vs unprobed | block overlap vs instr |"
+    );
     println!("|---|---|---|---|");
     let (plain, _) = build_and_run(&w, false, &cfg).expect("plain build");
     for (name, probe_cfg) in [
@@ -27,13 +29,15 @@ fn main() {
     ] {
         cfg.opt.probe = probe_cfg;
         let (probed, _) = build_and_run(&w, true, &cfg).expect("probed build");
-        let overhead =
-            (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
+        let overhead = (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
         let o = run_variants(&w, &[PgoVariant::CsspgoFull, PgoVariant::Instr], &cfg);
         let overlap = program_overlap(
             &o[&PgoVariant::CsspgoFull].quality_counts,
             &o[&PgoVariant::Instr].quality_counts,
         ) * 100.0;
-        println!("| {name} | {} | {overhead:+.3}% | {overlap:.1}% |", probed.cycles);
+        println!(
+            "| {name} | {} | {overhead:+.3}% | {overlap:.1}% |",
+            probed.cycles
+        );
     }
 }

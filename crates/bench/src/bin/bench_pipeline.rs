@@ -1,0 +1,59 @@
+//! Perf trajectory of the PGO cycle itself: per-stage wall times
+//! (compile, simulate, correlate, pre-inline, recompile, evaluate) for
+//! every server workload, written to `BENCH_pipeline.json` so perf work
+//! across PRs has a measurable baseline.
+//!
+//! Output path defaults to `BENCH_pipeline.json` in the working directory;
+//! override with the `BENCH_PIPELINE_OUT` environment variable.
+
+use csspgo_bench::{
+    experiment_config, par_map, traffic_scale, write_pipeline_bench, PipelineBenchRecord,
+};
+use csspgo_core::pipeline::{run_pgo_cycle, PgoVariant};
+
+fn main() {
+    let cfg = experiment_config();
+    let scale = traffic_scale();
+    let variants = [
+        PgoVariant::AutoFdo,
+        PgoVariant::CsspgoProbeOnly,
+        PgoVariant::CsspgoFull,
+    ];
+
+    let workloads: Vec<_> = csspgo_workloads::server_workloads()
+        .into_iter()
+        .map(|w| w.scaled(scale))
+        .collect();
+    // Workload × variant fan-out: each pair is an independent PGO cycle.
+    let pairs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| variants.iter().map(move |&v| (w.clone(), v)))
+        .collect();
+    let records: Vec<PipelineBenchRecord> = par_map(pairs, |(w, v)| {
+        let o = run_pgo_cycle(&w, v, &cfg).unwrap_or_else(|e| panic!("{} / {v}: {e}", w.name));
+        PipelineBenchRecord::new(&w.name, v, &o.stage_times)
+    });
+
+    println!("# Pipeline stage wall times (ms), scale={scale}");
+    println!("| workload | variant | compile | simulate | correlate | pre-inline | recompile | evaluate | total |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in &records {
+        println!(
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            r.workload,
+            r.variant,
+            r.compile_ms,
+            r.simulate_ms,
+            r.correlate_ms,
+            r.preinline_ms,
+            r.recompile_ms,
+            r.evaluate_ms,
+            r.total_ms
+        );
+    }
+
+    let path =
+        std::env::var("BENCH_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    write_pipeline_bench(&path, &records).expect("write pipeline bench records");
+    println!("\nwrote {} records to {path}", records.len());
+}

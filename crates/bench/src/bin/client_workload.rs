@@ -6,7 +6,9 @@
 //! executed code than instrumentation does. The coverage ratio is printed
 //! to make that mechanism visible.
 
-use csspgo_bench::{experiment_config, improvement_pct, run_variants, size_delta_pct, traffic_scale};
+use csspgo_bench::{
+    experiment_config, improvement_pct, run_variants, size_delta_pct, traffic_scale,
+};
 use csspgo_core::pipeline::PgoVariant;
 
 fn main() {

@@ -59,8 +59,7 @@ fn main() {
     for (name, probe) in points {
         cfg.opt.probe = probe;
         let (probed, _) = build_and_run(&w, true, &cfg).expect("probed build");
-        let overhead =
-            (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
+        let overhead = (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
         let o = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).expect("full cycle");
         println!(
             "| {name} | {overhead:+.3} | {:+.2}% |",

@@ -10,7 +10,7 @@
 //! * on HHVM, instrumentation PGO tops the chart and CSSPGO bridges a
 //!   majority of the AutoFDO↔Instr gap (paper: >60%).
 
-use csspgo_bench::{experiment_config, improvement_pct, run_variants, traffic_scale};
+use csspgo_bench::{experiment_config, improvement_pct, par_map, run_variants, traffic_scale};
 use csspgo_core::pipeline::PgoVariant;
 
 fn main() {
@@ -20,8 +20,13 @@ fn main() {
     println!("| workload | AutoFDO cycles | probe-only Δ% | full CSSPGO Δ% | Instr PGO Δ% | probe share of gain |");
     println!("|---|---|---|---|---|---|");
 
-    for w in csspgo_workloads::server_workloads() {
-        let w = w.scaled(scale);
+    // Workload-level fan-out on top of run_variants' variant-level one;
+    // rows come back in input order, so the report is deterministic.
+    let workloads: Vec<_> = csspgo_workloads::server_workloads()
+        .into_iter()
+        .map(|w| w.scaled(scale))
+        .collect();
+    let rows = par_map(workloads, |w| {
         let outcomes = run_variants(
             &w,
             &[
@@ -36,16 +41,26 @@ fn main() {
         let probe = improvement_pct(base, outcomes[&PgoVariant::CsspgoProbeOnly].eval.cycles);
         let full = improvement_pct(base, outcomes[&PgoVariant::CsspgoFull].eval.cycles);
         let instr = improvement_pct(base, outcomes[&PgoVariant::Instr].eval.cycles);
-        let share = if full.abs() > 1e-9 { probe / full * 100.0 } else { 0.0 };
-        println!(
+        let share = if full.abs() > 1e-9 {
+            probe / full * 100.0
+        } else {
+            0.0
+        };
+        let mut lines = vec![format!(
             "| {} | {} | {probe:+.2} | {full:+.2} | {instr:+.2} | {share:.0}% |",
             w.name, base
-        );
+        )];
         if w.name == "hhvm" && instr > 0.0 {
             let bridged = full / instr * 100.0;
-            println!(
+            lines.push(format!(
                 "|   ↳ hhvm gap bridged: CSSPGO covers {bridged:.0}% of the Instr-PGO gap (paper: >60%) | | | | | |"
-            );
+            ));
+        }
+        lines
+    });
+    for lines in rows {
+        for line in lines {
+            println!("{line}");
         }
     }
 }

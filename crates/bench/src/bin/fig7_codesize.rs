@@ -4,7 +4,7 @@
 //! workloads, and full CSSPGO (with the more selective pre-inliner) is
 //! smaller than probe-only; one workload (HaaS) stays within ±1%.
 
-use csspgo_bench::{experiment_config, run_variants, size_delta_pct, traffic_scale};
+use csspgo_bench::{experiment_config, par_map, run_variants, size_delta_pct, traffic_scale};
 use csspgo_core::pipeline::PgoVariant;
 
 fn main() {
@@ -13,8 +13,11 @@ fn main() {
     println!("# Fig. 7 — text size vs AutoFDO (negative = smaller), scale={scale}");
     println!("| workload | AutoFDO text | probe-only Δ% | full CSSPGO Δ% |");
     println!("|---|---|---|---|");
-    for w in csspgo_workloads::server_workloads() {
-        let w = w.scaled(scale);
+    let workloads: Vec<_> = csspgo_workloads::server_workloads()
+        .into_iter()
+        .map(|w| w.scaled(scale))
+        .collect();
+    let rows = par_map(workloads, |w| {
         let o = run_variants(
             &w,
             &[
@@ -27,6 +30,9 @@ fn main() {
         let base = o[&PgoVariant::AutoFdo].sections.text;
         let probe = size_delta_pct(base, o[&PgoVariant::CsspgoProbeOnly].sections.text);
         let full = size_delta_pct(base, o[&PgoVariant::CsspgoFull].sections.text);
-        println!("| {} | {} | {probe:+.2} | {full:+.2} |", w.name, base);
+        format!("| {} | {} | {probe:+.2} | {full:+.2} |", w.name, base)
+    });
+    for line in rows {
+        println!("{line}");
     }
 }

@@ -6,7 +6,7 @@
 //! inserted pseudo-probes block undesirable optimizations"). Contrast with
 //! the instrumented binary's slowdown (the 73% of Table I).
 
-use csspgo_bench::{experiment_config, traffic_scale};
+use csspgo_bench::{experiment_config, par_map, traffic_scale};
 use csspgo_core::pipeline::build_and_run;
 
 fn main() {
@@ -15,15 +15,23 @@ fn main() {
     println!("# Fig. 8 — pseudo-instrumentation run-time overhead, scale={scale}");
     println!("| workload | no probes (cycles) | probes (cycles) | overhead % |");
     println!("|---|---|---|---|");
-    for w in csspgo_workloads::server_workloads() {
-        let w = w.scaled(scale);
-        let (plain, _) = build_and_run(&w, false, &cfg).expect("plain build runs");
-        let (probed, _) = build_and_run(&w, true, &cfg).expect("probed build runs");
-        let overhead =
-            (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
-        println!(
+    let workloads: Vec<_> = csspgo_workloads::server_workloads()
+        .into_iter()
+        .map(|w| w.scaled(scale))
+        .collect();
+    let rows = par_map(workloads, |w| {
+        // The probe/no-probe builds of one workload are independent too.
+        let ((plain, _), (probed, _)) = rayon::join(
+            || build_and_run(&w, false, &cfg).expect("plain build runs"),
+            || build_and_run(&w, true, &cfg).expect("probed build runs"),
+        );
+        let overhead = (probed.cycles as f64 - plain.cycles as f64) / plain.cycles as f64 * 100.0;
+        format!(
             "| {} | {} | {} | {overhead:+.3} |",
             w.name, plain.cycles, probed.cycles
-        );
+        )
+    });
+    for line in rows {
+        println!("{line}");
     }
 }

@@ -14,7 +14,9 @@ fn main() {
     let scale = traffic_scale();
     let _ = scale;
     println!("# Fig. 9 — metadata size as % of total binary size");
-    println!("| workload | text | debug info | probe metadata | probe % of total | debug % of total |");
+    println!(
+        "| workload | text | debug info | probe metadata | probe % of total | debug % of total |"
+    );
     println!("|---|---|---|---|---|---|");
     let mut probe_pcts = Vec::new();
     for w in csspgo_workloads::server_workloads() {

@@ -41,9 +41,7 @@ fn main() {
         overlap(PgoVariant::CsspgoFull),
         overlap(PgoVariant::Instr),
     );
-    let ovh = |v: PgoVariant| {
-        (o[&v].profiling.cycles as f64 - base_cycles) / base_cycles * 100.0
-    };
+    let ovh = |v: PgoVariant| (o[&v].profiling.cycles as f64 - base_cycles) / base_cycles * 100.0;
     println!(
         "| profiling overhead | 0.00% | {:+.2}% | {:+.2}% | {:+.2}% |",
         ovh(PgoVariant::CsspgoProbeOnly),

@@ -22,7 +22,10 @@ fn main() {
         } else {
             100.0
         };
-        println!("| {} | {} | {} | {rate:.0}% |", w.name, s.recovered, s.failed);
+        println!(
+            "| {} | {} | {} | {rate:.0}% |",
+            w.name, s.recovered, s.failed
+        );
     }
     println!("\n(paper: > 2/3 recovered)");
 }

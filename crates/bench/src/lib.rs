@@ -1,17 +1,32 @@
 //! Shared harness utilities for the experiment binaries (`fig6_perf`,
 //! `fig7_codesize`, …) that regenerate the paper's tables and figures.
+//!
+//! PGO cycles are independent per (workload, variant) pair, so the harness
+//! fans them out across a thread pool ([`run_variants`], [`par_map`]) and
+//! reduces outcomes deterministically: results are re-ordered by the
+//! variants' presentation order before the behavioural-equivalence check,
+//! so completion order never changes what gets compared or printed.
 
-use csspgo_core::pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig};
+use csspgo_core::pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig, StageTimes};
 use csspgo_core::Workload;
+use rayon::prelude::*;
+use serde::Serialize;
 use std::collections::HashMap;
 
 /// Scale factor applied to workload traffic; override with the
 /// `CSSPGO_SCALE` environment variable (e.g. `0.1` for a quick pass).
+/// An unparsable value warns on stderr and falls back to `1.0`.
 pub fn traffic_scale() -> f64 {
-    std::env::var("CSSPGO_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    match std::env::var("CSSPGO_SCALE") {
+        Err(_) => 1.0,
+        Ok(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: CSSPGO_SCALE={raw:?} is not a number; using scale 1.0");
+                1.0
+            }
+        },
+    }
 }
 
 /// The standard experiment configuration.
@@ -19,18 +34,51 @@ pub fn experiment_config() -> PipelineConfig {
     PipelineConfig::default()
 }
 
-/// Runs every requested variant for a workload, asserting behavioural
-/// equivalence across variants (same eval-result hash).
+/// Fans `f` out over `items` on the thread pool, returning results in input
+/// order so printed reports stay deterministic. Thread count follows
+/// `RAYON_NUM_THREADS`.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    items.into_par_iter().map(f).collect()
+}
+
+/// Presentation rank of a variant (its index in [`PgoVariant::ALL`]).
+fn variant_rank(v: PgoVariant) -> usize {
+    PgoVariant::ALL
+        .iter()
+        .position(|&x| x == v)
+        .unwrap_or(PgoVariant::ALL.len())
+}
+
+/// Runs every requested variant for a workload concurrently, asserting
+/// behavioural equivalence across variants (same eval-result hash).
+///
+/// The reduction is deterministic regardless of which cycle finishes
+/// first: outcomes are sorted by presentation order before hashes are
+/// compared, so a divergence is always reported against the same baseline
+/// variant.
 pub fn run_variants(
     workload: &Workload,
     variants: &[PgoVariant],
     config: &PipelineConfig,
 ) -> HashMap<PgoVariant, PgoOutcome> {
+    let mut outcomes: Vec<(PgoVariant, PgoOutcome)> = variants
+        .to_vec()
+        .into_par_iter()
+        .map(|v| {
+            let o = run_pgo_cycle(workload, v, config)
+                .unwrap_or_else(|e| panic!("{} / {v}: {e}", workload.name));
+            (v, o)
+        })
+        .collect();
+    outcomes.sort_by_key(|(v, _)| variant_rank(*v));
     let mut out = HashMap::new();
     let mut hash: Option<u64> = None;
-    for &v in variants {
-        let o = run_pgo_cycle(workload, v, config)
-            .unwrap_or_else(|e| panic!("{} / {v}: {e}", workload.name));
+    for (v, o) in outcomes {
         match hash {
             None => hash = Some(o.eval_result_hash),
             Some(h) => assert_eq!(
@@ -45,18 +93,69 @@ pub fn run_variants(
 }
 
 /// Percentage improvement of `new` over `base` (positive = faster).
+/// A zero baseline yields `0.0` rather than a NaN/∞ that would poison
+/// downstream aggregation.
 pub fn improvement_pct(base_cycles: u64, new_cycles: u64) -> f64 {
+    if base_cycles == 0 {
+        return 0.0;
+    }
     (base_cycles as f64 - new_cycles as f64) / base_cycles as f64 * 100.0
 }
 
-/// Percentage size delta of `new` vs `base` (negative = smaller).
+/// Percentage size delta of `new` vs `base` (negative = smaller). A zero
+/// baseline yields `0.0` (see [`improvement_pct`]).
 pub fn size_delta_pct(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
     (new as f64 - base as f64) / base as f64 * 100.0
 }
 
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
+}
+
+/// One (workload, variant) entry of `BENCH_pipeline.json`: per-stage wall
+/// times of a PGO cycle, in milliseconds.
+#[derive(Clone, Debug, Serialize)]
+pub struct PipelineBenchRecord {
+    pub workload: String,
+    pub variant: String,
+    pub compile_ms: f64,
+    pub simulate_ms: f64,
+    pub correlate_ms: f64,
+    pub preinline_ms: f64,
+    pub recompile_ms: f64,
+    pub evaluate_ms: f64,
+    pub total_ms: f64,
+}
+
+impl PipelineBenchRecord {
+    /// Builds a record from a cycle's [`StageTimes`].
+    pub fn new(workload: &str, variant: PgoVariant, t: &StageTimes) -> Self {
+        PipelineBenchRecord {
+            workload: workload.to_string(),
+            variant: variant.to_string(),
+            compile_ms: t.compile_ms,
+            simulate_ms: t.simulate_ms,
+            correlate_ms: t.correlate_ms,
+            preinline_ms: t.preinline_ms,
+            recompile_ms: t.recompile_ms,
+            evaluate_ms: t.evaluate_ms,
+            total_ms: t.total_ms(),
+        }
+    }
+}
+
+/// Writes the perf-trajectory records as pretty JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_pipeline_bench(path: &str, records: &[PipelineBenchRecord]) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(records).expect("stage times always serialize");
+    std::fs::write(path, json)
 }
 
 #[cfg(test)]
@@ -68,5 +167,68 @@ mod tests {
         assert_eq!(improvement_pct(100, 95), 5.0);
         assert_eq!(improvement_pct(100, 105), -5.0);
         assert_eq!(size_delta_pct(100, 95), -5.0);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide() {
+        assert_eq!(improvement_pct(0, 50), 0.0);
+        assert_eq!(size_delta_pct(0, 50), 0.0);
+        assert!(improvement_pct(0, 0).is_finite());
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let squares = par_map((0..64u64).collect(), |x| x * x);
+        assert_eq!(squares, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_run_variants_matches_sequential_hashes() {
+        let src = r#"
+fn work(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + i * 3;
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        let w = Workload::new("mini", src, "work", vec![vec![400]; 2], vec![vec![401]; 2]);
+        let cfg = PipelineConfig {
+            sample_period: 61,
+            ..PipelineConfig::default()
+        };
+        let out = run_variants(&w, &PgoVariant::ALL, &cfg);
+        assert_eq!(out.len(), PgoVariant::ALL.len());
+        let first = out[&PgoVariant::O2].eval_result_hash;
+        for v in PgoVariant::ALL {
+            assert_eq!(out[&v].eval_result_hash, first);
+        }
+        // Sequential reference: same hashes, same outcome fields that matter.
+        for v in [PgoVariant::AutoFdo, PgoVariant::CsspgoFull] {
+            let seq = run_pgo_cycle(&w, v, &cfg).unwrap();
+            assert_eq!(seq.eval_result_hash, out[&v].eval_result_hash);
+            assert_eq!(seq.eval.cycles, out[&v].eval.cycles);
+            assert_eq!(seq.sections.text, out[&v].sections.text);
+        }
+    }
+
+    #[test]
+    fn pipeline_bench_records_serialize() {
+        let t = StageTimes {
+            compile_ms: 1.0,
+            simulate_ms: 2.0,
+            correlate_ms: 3.0,
+            preinline_ms: 0.5,
+            recompile_ms: 4.0,
+            evaluate_ms: 1.5,
+        };
+        let rec = PipelineBenchRecord::new("hhvm", PgoVariant::CsspgoFull, &t);
+        assert_eq!(rec.total_ms, t.total_ms());
+        let json = serde_json::to_string(&vec![rec]).unwrap();
+        assert!(json.contains("\"correlate_ms\""), "{json}");
+        assert!(json.contains("hhvm"), "{json}");
     }
 }

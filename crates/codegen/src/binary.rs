@@ -55,6 +55,9 @@ impl BinFunc {
     }
 }
 
+/// One debug frame: `(scope function, line, discriminator)`.
+pub type DebugFrame = (FuncId, u32, u32);
+
 /// A fully laid-out program.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Binary {
@@ -74,6 +77,13 @@ pub struct Binary {
     pub num_counters: u32,
     /// Data memory image (copied from the module's globals).
     pub globals: Vec<Global>,
+    /// Flat frame arena: every instruction's debug-frame chain
+    /// (outermost call site first, leaf last), concatenated. Built once at
+    /// construction so [`Binary::debug_frames`] is an allocation-free slice
+    /// borrow; correlation queries it per nonzero-count instruction.
+    pub frame_table: Vec<DebugFrame>,
+    /// Per-instruction `(start, len)` span into [`Binary::frame_table`].
+    pub frame_spans: Vec<(u32, u32)>,
 }
 
 impl Binary {
@@ -111,35 +121,54 @@ impl Binary {
         self.funcs.iter().find(|f| f.name == name)
     }
 
+    /// Builds the flat frame arena for a laid-out instruction stream: the
+    /// per-instruction debug-frame chains of [`Binary::debug_frames`],
+    /// concatenated, plus the `(start, len)` span of each instruction.
+    pub fn compute_frame_table(
+        insts: &[MInst],
+        func_of: &[u32],
+        funcs: &[BinFunc],
+    ) -> (Vec<DebugFrame>, Vec<(u32, u32)>) {
+        let mut table = Vec::new();
+        let mut spans = Vec::with_capacity(insts.len());
+        for (idx, inst) in insts.iter().enumerate() {
+            let loc = &inst.loc;
+            let start = table.len() as u32;
+            if loc.is_none() {
+                spans.push((start, 0));
+                continue;
+            }
+            table.extend(
+                loc.inline_stack
+                    .iter()
+                    .map(|s| (s.func, s.line, s.discriminator)),
+            );
+            let leaf_scope = if loc.scope == FuncId::INVALID {
+                funcs[func_of[idx] as usize].id
+            } else {
+                loc.scope
+            };
+            table.push((leaf_scope, loc.line, loc.discriminator));
+            spans.push((start, table.len() as u32 - start));
+        }
+        (table, spans)
+    }
+
     /// DWARF-style symbolization of instruction `idx`: the chain of
     /// `(function, line, discriminator)` frames, outermost call site first,
     /// the instruction's own (leaf) frame last. Empty when the instruction
-    /// has no line info.
-    pub fn debug_frames(&self, idx: usize) -> Vec<(FuncId, u32, u32)> {
-        let loc = &self.insts[idx].loc;
-        if loc.is_none() {
-            return Vec::new();
-        }
-        let mut frames: Vec<(FuncId, u32, u32)> = loc
-            .inline_stack
-            .iter()
-            .map(|s| (s.func, s.line, s.discriminator))
-            .collect();
-        let leaf_scope = if loc.scope == FuncId::INVALID {
-            self.funcs[self.func_of[idx] as usize].id
-        } else {
-            loc.scope
-        };
-        frames.push((leaf_scope, loc.line, loc.discriminator));
-        frames
+    /// has no line info. Borrows from the precomputed frame arena — no
+    /// allocation per query.
+    pub fn debug_frames(&self, idx: usize) -> &[DebugFrame] {
+        let (start, len) = self.frame_spans[idx];
+        &self.frame_table[start as usize..(start + len) as usize]
     }
 
     /// The *function identity* inline stack at `idx`: outermost function
     /// first, leaf (innermost inlined) function last. This is the
     /// `GetInlinedFrames` of the paper's Algorithms 1 and 3.
-    pub fn inlined_funcs(&self, idx: usize) -> Vec<FuncId> {
-        let frames = self.debug_frames(idx);
-        frames.into_iter().map(|(f, _, _)| f).collect()
+    pub fn inlined_funcs(&self, idx: usize) -> impl Iterator<Item = FuncId> + '_ {
+        self.debug_frames(idx).iter().map(|&(f, _, _)| f)
     }
 
     /// Total number of instructions.

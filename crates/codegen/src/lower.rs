@@ -61,13 +61,13 @@ pub fn lower_module(module: &Module, config: &CodegenConfig) -> Binary {
         let mut stream = l.hot.clone();
         apply_fixups(&mut stream, &l.hot_fixups, &block_flat[i]);
         insts.extend(stream);
-        func_of.extend(std::iter::repeat(i as u32).take(l.hot.len()));
+        func_of.extend(std::iter::repeat_n(i as u32, l.hot.len()));
     }
     for (i, l) in lowerings.iter().enumerate() {
         let mut stream = l.cold.clone();
         apply_fixups(&mut stream, &l.cold_fixups, &block_flat[i]);
         insts.extend(stream);
-        func_of.extend(std::iter::repeat(i as u32).take(l.cold.len()));
+        func_of.extend(std::iter::repeat_n(i as u32, l.cold.len()));
     }
 
     // ----- addresses -----
@@ -80,7 +80,7 @@ pub fn lower_module(module: &Module, config: &CodegenConfig) -> Binary {
             addr += COLD_SECTION_GAP; // cold section starts far away
         }
         if func_of[idx] != prev_func {
-            addr = (addr + FUNC_ALIGN - 1) / FUNC_ALIGN * FUNC_ALIGN;
+            addr = addr.div_ceil(FUNC_ALIGN) * FUNC_ALIGN;
             prev_func = func_of[idx];
         }
         addrs.push(addr);
@@ -107,6 +107,7 @@ pub fn lower_module(module: &Module, config: &CodegenConfig) -> Binary {
     }
 
     let sections = measure_sections(&insts, &funcs);
+    let (frame_table, frame_spans) = Binary::compute_frame_table(&insts, &func_of, &funcs);
 
     Binary {
         insts,
@@ -116,6 +117,8 @@ pub fn lower_module(module: &Module, config: &CodegenConfig) -> Binary {
         sections,
         num_counters: module.num_counters,
         globals: module.globals.clone(),
+        frame_table,
+        frame_spans,
     }
 }
 
@@ -319,7 +322,12 @@ fn lower_stream(
                         spills,
                     );
                 }
-                InstKind::Cmp { pred, dst, lhs, rhs } => {
+                InstKind::Cmp {
+                    pred,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     lower_simple(
                         &mut out,
                         &mut pending_probes,
@@ -368,7 +376,11 @@ fn lower_stream(
                         spills,
                     );
                 }
-                InstKind::Store { global, index, value } => {
+                InstKind::Store {
+                    global,
+                    index,
+                    value,
+                } => {
                     emit(
                         &mut out,
                         &mut pending_probes,
@@ -629,7 +641,9 @@ fn main(n) {
             match &inst.kind {
                 MInstKind::Jmp { target } => assert!(*target < b.len()),
                 MInstKind::JmpIf { target, .. } => assert!(*target < b.len()),
-                MInstKind::JmpTable { targets, default, .. } => {
+                MInstKind::JmpTable {
+                    targets, default, ..
+                } => {
                     assert!(*default < b.len());
                     for (_, t) in targets {
                         assert!(*t < b.len());
@@ -660,9 +674,10 @@ fn main(n) {
                 ..CodegenConfig::default()
             },
         );
-        assert!(
-            !b.insts.iter().any(|i| matches!(i.kind, MInstKind::TailCall { .. })),
-        );
+        assert!(!b
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, MInstKind::TailCall { .. })),);
         m.name.clear(); // silence unused-mut lint paranoia
     }
 
@@ -674,13 +689,16 @@ fn main(n) {
         // Probes add no text bytes: a probe-built binary has the same text
         // size as a probe-free one (modulo none here since no opt ran).
         let plain = build(SRC, false, false);
-        assert_eq!(b.sections.text, plain.sections.text, "probes are metadata-only");
+        assert_eq!(
+            b.sections.text, plain.sections.text,
+            "probes are metadata-only"
+        );
         assert!(b.sections.pseudo_probe > 0);
         assert_eq!(plain.sections.pseudo_probe, 0);
     }
 
     #[test]
-    fn entry_points_into_own_hot_range(){
+    fn entry_points_into_own_hot_range() {
         let b = build(SRC, false, true);
         for f in &b.funcs {
             assert!(f.entry >= f.hot_range.0 && f.entry < f.hot_range.1, "{f:?}");

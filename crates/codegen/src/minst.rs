@@ -196,10 +196,13 @@ mod tests {
     #[test]
     fn counter_incr_is_expensive() {
         // The instrumented build's overhead comes from here.
-        assert!(MInstKind::CounterIncr { counter: 0 }.size() > MInstKind::Copy {
-            dst: VReg(0),
-            src: Operand::Imm(0)
-        }
-        .size());
+        assert!(
+            MInstKind::CounterIncr { counter: 0 }.size()
+                > MInstKind::Copy {
+                    dst: VReg(0),
+                    src: Operand::Imm(0)
+                }
+                .size()
+        );
     }
 }

@@ -110,7 +110,9 @@ pub fn plan_spills(func: &Function, num_regs: usize) -> SpillPlan {
             .iter()
             .map(|&b| (b, point_pressure(b, &plan.slots)))
             .max_by_key(|&(_, p)| p);
-        let Some((worst_bid, pressure)) = worst else { break };
+        let Some((worst_bid, pressure)) = worst else {
+            break;
+        };
         if pressure <= num_regs {
             break;
         }
@@ -140,12 +142,16 @@ mod tests {
     fn pressured(k: usize) -> csspgo_ir::Module {
         // let v0..v{k-1} each computed from the param, all summed at the end
         // via a call boundary... a long expression keeps them alive.
-        let decls: String = (0..k).map(|i| format!("    let v{i} = a + {i};\n")).collect();
-        let sum = (0..k).map(|i| format!("v{i}")).collect::<Vec<_>>().join(" + ");
+        let decls: String = (0..k)
+            .map(|i| format!("    let v{i} = a + {i};\n"))
+            .collect();
+        let sum = (0..k)
+            .map(|i| format!("v{i}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
         // A branch in the middle keeps the values live across blocks.
-        let src = format!(
-            "fn f(a) {{\n{decls}    if (a > 0) {{ a = a + 1; }}\n    return {sum};\n}}"
-        );
+        let src =
+            format!("fn f(a) {{\n{decls}    if (a > 0) {{ a = a + 1; }}\n    return {sum};\n}}");
         csspgo_lang::compile(&src, "t").unwrap()
     }
 

@@ -72,7 +72,7 @@ fn inlined_funcs_report_the_frame_chain() {
     let helper = b.func_by_name("helper").unwrap();
     let mut saw_inlined = false;
     for idx in main.hot_range.0..main.hot_range.1 {
-        let funcs = b.inlined_funcs(idx);
+        let funcs: Vec<_> = b.inlined_funcs(idx).collect();
         if funcs.len() >= 2 {
             assert_eq!(funcs[0], main.id, "outermost frame is the host");
             if funcs.contains(&helper.id) {

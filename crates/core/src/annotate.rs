@@ -262,8 +262,7 @@ pub fn csspgo_annotate(
                             plan.should_inline(&path)
                         }
                         None => {
-                            let enclosing =
-                                probe_navigate(&fp, module, &probe_stack, fid);
+                            let enclosing = probe_navigate(&fp, module, &probe_stack, fid);
                             match enclosing {
                                 Some(e) => {
                                     let callee_guid = module.func(*callee).guid;
@@ -494,9 +493,27 @@ mod tests {
         let fp = profile.funcs.entry(guid).or_default();
         // fn on line 1; cond on line 2 (offset 1); return 1 on line 3
         // (offset 2); return 2 on line 5 (offset 4).
-        fp.record_max(LocKey { line_offset: 1, discriminator: 0 }, 100);
-        fp.record_max(LocKey { line_offset: 2, discriminator: 0 }, 90);
-        fp.record_max(LocKey { line_offset: 4, discriminator: 0 }, 10);
+        fp.record_max(
+            LocKey {
+                line_offset: 1,
+                discriminator: 0,
+            },
+            100,
+        );
+        fp.record_max(
+            LocKey {
+                line_offset: 2,
+                discriminator: 0,
+            },
+            90,
+        );
+        fp.record_max(
+            LocKey {
+                line_offset: 4,
+                discriminator: 0,
+            },
+            10,
+        );
         fp.entry = 100;
         fp.recompute_totals();
         let stats = autofdo_annotate(&mut m, &profile, &AnnotateConfig::default());

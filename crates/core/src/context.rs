@@ -24,7 +24,7 @@ pub struct FrameKey {
 }
 
 /// One function profiled under one calling context.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContextNode {
     /// The profiled function.
     pub guid: u64,
@@ -54,12 +54,16 @@ impl ContextNode {
 
     /// Number of nodes in this subtree.
     pub fn node_count(&self) -> usize {
-        1 + self.children.values().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children
+            .values()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 }
 
 /// The whole-program context trie.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContextProfile {
     /// Root contexts (un-inlined outermost functions) by GUID.
     pub roots: BTreeMap<u64, ContextNode>,
@@ -75,7 +79,13 @@ impl ContextProfile {
 
     /// Adds `count` samples of probe `probe_index` of function `owner_guid`
     /// reached via `path` (outer→inner frames; empty for top-level code).
-    pub fn add_probe_hit(&mut self, path: &[FrameKey], owner_guid: u64, probe_index: u32, count: u64) {
+    pub fn add_probe_hit(
+        &mut self,
+        path: &[FrameKey],
+        owner_guid: u64,
+        probe_index: u32,
+        count: u64,
+    ) {
         let node = self.node_for_path_mut(path, owner_guid);
         *node.probes.entry(probe_index).or_insert(0) += count;
     }
@@ -160,13 +170,21 @@ impl ContextProfile {
                     let child = node.children.remove(&key).expect("key collected above");
                     merges.push(child);
                 } else {
-                    walk(node.children.get_mut(&key).expect("hot child"), threshold, merges);
+                    walk(
+                        node.children.get_mut(&key).expect("hot child"),
+                        threshold,
+                        merges,
+                    );
                 }
             }
         }
         let roots: Vec<u64> = self.roots.keys().copied().collect();
         for g in roots {
-            walk(self.roots.get_mut(&g).expect("root"), threshold, &mut merges);
+            walk(
+                self.roots.get_mut(&g).expect("root"),
+                threshold,
+                &mut merges,
+            );
         }
         while let Some(node) = merges.pop() {
             self.merge_into_base(node, &mut merges);
@@ -300,7 +318,7 @@ mod tests {
         cp.add_probe_hit(&[], 1, 1, 5); // main body
         cp.add_probe_hit(&[fk(1, 3)], 9, 1, 100); // callee via probe 3
         cp.add_probe_hit(&[fk(1, 4)], 9, 1, 40); // callee via probe 4
-        // Mark only the probe-3 context inlined.
+                                                 // Mark only the probe-3 context inlined.
         cp.roots
             .get_mut(&1)
             .unwrap()

@@ -232,8 +232,18 @@ fn main(n) {
         let (bd, rcd) = profile_run(false, true);
         let pd = dwarf_profile(&bd, &rcd);
         let main_guid = bp.func_by_name("main").unwrap().guid;
-        let probe_max = pp.funcs[&main_guid].probes.values().max().copied().unwrap_or(0);
-        let dwarf_max = pd.funcs[&main_guid].body.values().max().copied().unwrap_or(0);
+        let probe_max = pp.funcs[&main_guid]
+            .probes
+            .values()
+            .max()
+            .copied()
+            .unwrap_or(0);
+        let dwarf_max = pd.funcs[&main_guid]
+            .body
+            .values()
+            .max()
+            .copied()
+            .unwrap_or(0);
         assert!(
             probe_max as f64 >= dwarf_max as f64 * 0.9,
             "probe sums ({probe_max}) should not lose to dwarf max ({dwarf_max})"

@@ -14,6 +14,8 @@
 //!   duplication, CFG-checksum staleness detection);
 //! * [`unwind`] — **Algorithm 1**: reconstructing the calling context of
 //!   every LBR range from synchronized LBR + stack samples;
+//! * [`shard`] — parallel sharded sample ingestion (chunk → partial
+//!   profiles → count-additive merge, bit-identical to sequential);
 //! * [`tailcall`] — the missing-frame inferrer for tail-call-broken stacks;
 //! * [`inference`] — profile inference (flow-conservation repair, the
 //!   Profi stand-in used by *all* sampling variants, per the paper's setup);
@@ -36,10 +38,11 @@ pub mod pipeline;
 pub mod preinline;
 pub mod profile;
 pub mod ranges;
+pub mod shard;
 pub mod tailcall;
 pub mod textprof;
 pub mod unwind;
 pub mod workload;
 
-pub use pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig};
+pub use pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig, StageTimes};
 pub use workload::Workload;

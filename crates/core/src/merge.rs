@@ -46,8 +46,7 @@ pub fn merge_probe(a: &mut ProbeProfile, b: &ProbeProfile) {
                 a.funcs.insert(*guid, fp.clone());
             }
             Some(existing) => {
-                if existing.checksum != 0 && fp.checksum != 0 && existing.checksum != fp.checksum
-                {
+                if existing.checksum != 0 && fp.checksum != 0 && existing.checksum != fp.checksum {
                     if fp.total > existing.total {
                         *existing = fp.clone();
                     }

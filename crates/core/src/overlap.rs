@@ -30,8 +30,7 @@ pub fn function_overlap(f: &HashMap<BlockId, u64>, gt: &HashMap<BlockId, u64>) -
         return if f_total == gt_total { 1.0 } else { 0.0 };
     }
     let mut d = 0.0;
-    let blocks: std::collections::HashSet<BlockId> =
-        f.keys().chain(gt.keys()).copied().collect();
+    let blocks: std::collections::HashSet<BlockId> = f.keys().chain(gt.keys()).copied().collect();
     for v in blocks {
         let fv = f.get(&v).copied().unwrap_or(0) as f64 / f_total as f64;
         let gv = gt.get(&v).copied().unwrap_or(0) as f64 / gt_total as f64;

@@ -10,13 +10,11 @@ use crate::annotate::{
     autofdo_annotate, collect_block_counts, csspgo_annotate, instr_annotate, AnnotateConfig,
     AnnotateStats,
 };
-use crate::context::ContextProfile;
 use crate::correlate::{dwarf_profile, probe_profile};
 use crate::overlap::BlockCounts;
 use crate::preinline::{run_preinliner, to_inline_plan, PreInlineConfig};
-use crate::ranges::RangeCounts;
+use crate::shard::{sharded_context_profile, sharded_range_counts};
 use crate::tailcall::{InferStats, TailCallGraph};
-use crate::unwind::Unwinder;
 use crate::workload::Workload;
 use csspgo_codegen::{lower_module, Binary, CodegenConfig, SectionSizes};
 use csspgo_ir::Module;
@@ -25,6 +23,7 @@ use csspgo_sim::{Machine, RunStats, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// The PGO variants evaluated in the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -94,6 +93,9 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Simulator step budget per run.
     pub max_steps: u64,
+    /// Sample-ingestion shard count (`0` = one shard per available thread).
+    /// Any value produces bit-identical profiles; see [`crate::shard`].
+    pub ingest_shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -109,8 +111,46 @@ impl Default for PipelineConfig {
             pebs: true,
             seed: 0xC55,
             max_steps: 40_000_000_000,
+            ingest_shards: 0,
         }
     }
+}
+
+/// Per-stage wall times of one PGO cycle, in milliseconds. Emitted into
+/// `BENCH_pipeline.json` by the bench harness so perf work has a measurable
+/// trajectory across PRs.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Profiling build (frontend + opt + lowering).
+    pub compile_ms: f64,
+    /// Profiling run under the simulator.
+    pub simulate_ms: f64,
+    /// Profile generation: range counts, correlation / context unwinding,
+    /// trimming — everything between samples and a compiler profile,
+    /// *except* the pre-inliner.
+    pub correlate_ms: f64,
+    /// Pre-inliner (full CSSPGO only; 0 otherwise).
+    pub preinline_ms: f64,
+    /// Optimized rebuild (annotate + opt + lowering).
+    pub recompile_ms: f64,
+    /// Evaluation run on the final binary.
+    pub evaluate_ms: f64,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total_ms(&self) -> f64 {
+        self.compile_ms
+            + self.simulate_ms
+            + self.correlate_ms
+            + self.preinline_ms
+            + self.recompile_ms
+            + self.evaluate_ms
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 /// Pipeline failure.
@@ -173,6 +213,8 @@ pub struct PgoOutcome {
     pub plan_len: usize,
     /// Tail-call missing-frame inference stats (full CSSPGO).
     pub infer_stats: InferStats,
+    /// Wall time spent in each pipeline stage.
+    pub stage_times: StageTimes,
 }
 
 /// Runs one full PGO cycle for `workload` with `variant`.
@@ -212,9 +254,11 @@ pub fn run_pgo_cycle_drifted(
         context_nodes_after_trim: 0,
         plan_len: 0,
         infer_stats: InferStats::default(),
+        stage_times: StageTimes::default(),
     };
 
     // ---------- profiling build ----------
+    let stage_start = Instant::now();
     let mut counter_map = None;
     let profiling_binary = if variant == PgoVariant::O2 {
         None
@@ -230,8 +274,10 @@ pub fn run_pgo_cycle_drifted(
         csspgo_opt::run_pipeline(&mut module, &config.opt);
         Some(lower_module(&module, &config.codegen))
     };
+    outcome.stage_times.compile_ms = ms_since(stage_start);
 
     // ---------- profiling run ("in production") ----------
+    let stage_start = Instant::now();
     let mut samples = Vec::new();
     let mut counters: Vec<u64> = Vec::new();
     if let Some(binary) = &profiling_binary {
@@ -259,6 +305,7 @@ pub fn run_pgo_cycle_drifted(
         samples = machine.take_samples();
         counters = machine.counters().to_vec();
     }
+    outcome.stage_times.simulate_ms = ms_since(stage_start);
 
     // ---------- profile generation ----------
     enum Generated {
@@ -269,32 +316,34 @@ pub fn run_pgo_cycle_drifted(
     }
 
     // The plan references the *fresh build module*; compile it first.
+    // (Frontend time for the optimized build counts toward `recompile_ms`.)
+    let stage_start = Instant::now();
     let mut build_module = csspgo_lang::compile(build_source, &workload.name)?;
     csspgo_opt::discriminators::run(&mut build_module);
     if variant.uses_probes() {
         csspgo_opt::probes::run(&mut build_module);
     }
+    let build_frontend_ms = ms_since(stage_start);
 
+    let stage_start = Instant::now();
+    let mut preinline_ms = 0.0;
     let generated = match (variant, &profiling_binary) {
         (PgoVariant::O2, _) | (_, None) => Generated::None,
         (PgoVariant::AutoFdo, Some(binary)) => {
-            let mut rc = RangeCounts::default();
-            rc.add_samples(binary, &samples);
+            let rc = sharded_range_counts(binary, &samples, config.ingest_shards);
             Generated::Flat(dwarf_profile(binary, &rc))
         }
         (PgoVariant::CsspgoProbeOnly, Some(binary)) => {
-            let mut rc = RangeCounts::default();
-            rc.add_samples(binary, &samples);
+            let rc = sharded_range_counts(binary, &samples, config.ingest_shards);
             Generated::Probe(probe_profile(binary, &rc), None)
         }
         (PgoVariant::CsspgoFull, Some(binary)) => {
-            let mut rc = RangeCounts::default();
-            rc.add_samples(binary, &samples);
+            let rc = sharded_range_counts(binary, &samples, config.ingest_shards);
             let tail_graph = TailCallGraph::build(binary, &rc);
-            let mut ctx_profile = ContextProfile::new();
-            let mut unwinder = Unwinder::new(binary, Some(&tail_graph));
-            unwinder.unwind_into(&samples, &mut ctx_profile);
-            outcome.infer_stats = unwinder.infer_stats;
+            let unwound =
+                sharded_context_profile(binary, Some(&tail_graph), &samples, config.ingest_shards);
+            let mut ctx_profile = unwound.profile;
+            outcome.infer_stats = unwound.infer_stats;
             let checksums = binary
                 .funcs
                 .iter()
@@ -304,9 +353,11 @@ pub fn run_pgo_cycle_drifted(
             outcome.context_nodes_before_trim = ctx_profile.node_count();
             ctx_profile.trim_cold(config.trim_threshold);
             outcome.context_nodes_after_trim = ctx_profile.node_count();
+            let preinline_start = Instant::now();
             let pre = run_preinliner(&mut ctx_profile, binary, &config.preinline);
             outcome.plan_len = pre.plan_paths.len();
             let plan = to_inline_plan(&pre.plan_paths, &build_module);
+            preinline_ms = ms_since(preinline_start);
             let mut probe_prof = ctx_profile.to_probe_profile();
             // Context entry counts can be sparse; fall back to plain LBR
             // entry counts where missing.
@@ -327,6 +378,8 @@ pub fn run_pgo_cycle_drifted(
             Generated::Counters(exact)
         }
     };
+    outcome.stage_times.correlate_ms = ms_since(stage_start) - preinline_ms;
+    outcome.stage_times.preinline_ms = preinline_ms;
 
     // ---------- quality snapshot (no replay, common CFG) ----------
     {
@@ -355,6 +408,7 @@ pub fn run_pgo_cycle_drifted(
     }
 
     // ---------- optimized build ----------
+    let stage_start = Instant::now();
     match &generated {
         Generated::None => {}
         Generated::Flat(p) => {
@@ -383,11 +437,14 @@ pub fn run_pgo_cycle_drifted(
     }
     let final_binary = lower_module(&build_module, &config.codegen);
     outcome.sections = final_binary.sections;
+    outcome.stage_times.recompile_ms = build_frontend_ms + ms_since(stage_start);
 
     // ---------- evaluation run ----------
+    let stage_start = Instant::now();
     let (stats, hash) = evaluate(&final_binary, workload, config)?;
     outcome.eval = stats;
     outcome.eval_result_hash = hash;
+    outcome.stage_times.evaluate_ms = ms_since(stage_start);
     Ok(outcome)
 }
 
@@ -470,13 +527,7 @@ fn score(n) {
     return s;
 }
 "#;
-        Workload::new(
-            "tiny",
-            src,
-            "score",
-            vec![vec![900]; 4],
-            vec![vec![901]; 4],
-        )
+        Workload::new("tiny", src, "score", vec![vec![900]; 4], vec![vec![901]; 4])
     }
 
     fn quick_config() -> PipelineConfig {
@@ -580,7 +631,13 @@ fn score(n) {
     return s;
 }
 "#;
-        let w = Workload::new("layouty", src, "score", vec![vec![1500]; 3], vec![vec![1501]; 3]);
+        let w = Workload::new(
+            "layouty",
+            src,
+            "score",
+            vec![vec![1500]; 3],
+            vec![vec![1501]; 3],
+        );
         let cfg = quick_config();
         let o2 = run_pgo_cycle(&w, PgoVariant::O2, &cfg).unwrap();
         let instr = run_pgo_cycle(&w, PgoVariant::Instr, &cfg).unwrap();

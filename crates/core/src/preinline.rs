@@ -58,14 +58,13 @@ impl Default for PreInlineConfig {
 pub fn context_sizes(binary: &Binary) -> HashMap<Vec<u64>, u64> {
     let mut sizes: HashMap<Vec<u64>, u64> = HashMap::new();
     for idx in 0..binary.len() {
-        let frames = binary.inlined_funcs(idx);
-        if frames.is_empty() {
-            continue;
-        }
-        let mut path: Vec<u64> = frames
-            .iter()
+        let mut path: Vec<u64> = binary
+            .inlined_funcs(idx)
             .map(|f| binary.funcs[f.index()].guid)
             .collect();
+        if path.is_empty() {
+            continue;
+        }
         let size = binary.insts[idx].size as u64;
         *sizes.entry(path.clone()).or_insert(0) += size;
         // Ensure every ancestor context exists (possibly at 0), so "fully
@@ -287,7 +286,9 @@ fn detach_not_inlined(node: &mut ContextNode, promotions: &mut Vec<ContextNode>)
 
 /// Structurally merges `src` into `dst` (same function).
 fn merge_structural(dst: &mut ContextNode, src: ContextNode) {
-    debug_assert!(dst.guid == 0 || dst.guid == src.guid || dst.probes.is_empty() || src.probes.is_empty() || dst.guid == src.guid);
+    debug_assert!(
+        dst.guid == 0 || dst.guid == src.guid || dst.probes.is_empty() || src.probes.is_empty()
+    );
     if dst.guid == 0 {
         dst.guid = src.guid;
     }
@@ -390,8 +391,7 @@ mod tests {
         assert_eq!(result.inlined, 1, "only the hot context inlines");
         assert_eq!(result.plan_paths, vec![vec![fk(main_guid, 3)]]);
         // Hot context still nested & marked.
-        let hot_node = cp
-            .roots[&main_guid]
+        let hot_node = cp.roots[&main_guid]
             .children
             .get(&(3, hot_guid))
             .expect("hot child kept");

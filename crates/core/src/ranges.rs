@@ -10,7 +10,7 @@ use csspgo_sim::Sample;
 use std::collections::HashMap;
 
 /// Aggregated LBR-derived counts, in flat instruction indices.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RangeCounts {
     /// `[begin, end]` (inclusive) linear ranges with occurrence counts.
     pub ranges: HashMap<(usize, usize), u64>,
@@ -25,9 +25,10 @@ impl RangeCounts {
         for window in lbr.windows(2) {
             let (_, to_prev) = window[0];
             let (from_next, _) = window[1];
-            let (Some(begin), Some(end)) =
-                (binary.index_of_addr(to_prev), binary.index_of_addr(from_next))
-            else {
+            let (Some(begin), Some(end)) = (
+                binary.index_of_addr(to_prev),
+                binary.index_of_addr(from_next),
+            ) else {
                 continue;
             };
             // A sane linear range stays within one function and moves
@@ -51,12 +52,23 @@ impl RangeCounts {
         }
     }
 
+    /// Merges another accumulation into this one (count-additive; used to
+    /// combine per-shard partial counts).
+    pub fn merge(&mut self, other: &RangeCounts) {
+        for (&key, &c) in &other.ranges {
+            *self.ranges.entry(key).or_insert(0) += c;
+        }
+        for (&key, &c) in &other.branches {
+            *self.branches.entry(key).or_insert(0) += c;
+        }
+    }
+
     /// Derives per-instruction execution counts from the ranges.
     pub fn inst_counts(&self, binary: &Binary) -> Vec<u64> {
         let mut counts = vec![0u64; binary.len()];
         for (&(begin, end), &c) in &self.ranges {
-            for idx in begin..=end.min(binary.len() - 1) {
-                counts[idx] += c;
+            for slot in &mut counts[begin..=end.min(binary.len() - 1)] {
+                *slot += c;
             }
         }
         counts
@@ -141,11 +153,7 @@ fn main(n) {
         // edge* guarantees branches inside hot. The call edge should appear
         // at least once across thousands of samples because LBR windows
         // cover early execution too.
-        let hot_idx = b
-            .funcs
-            .iter()
-            .position(|f| f.name == "hot")
-            .unwrap() as u32;
+        let hot_idx = b.funcs.iter().position(|f| f.name == "hot").unwrap() as u32;
         // Weak assertion: map exists and contains no impossible entries.
         for (fidx, c) in &entries {
             assert!(*c > 0);

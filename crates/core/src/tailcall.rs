@@ -58,6 +58,7 @@ impl TailCallGraph {
         let mut stack_path: Vec<usize> = Vec::new();
         let mut visited: HashSet<u32> = HashSet::new();
 
+        #[allow(clippy::too_many_arguments)]
         fn dfs(
             g: &HashMap<u32, HashMap<u32, usize>>,
             cur: u32,
@@ -148,7 +149,11 @@ fn main(n) { let r = a(n); return r; }
     fn graph_captures_tail_edges() {
         let (b, rc) = setup();
         let g = TailCallGraph::build(&b, &rc);
-        assert!(g.edge_count() >= 2, "a->b and b->c expected, got {}", g.edge_count());
+        assert!(
+            g.edge_count() >= 2,
+            "a->b and b->c expected, got {}",
+            g.edge_count()
+        );
         let _ = b;
     }
 
@@ -156,11 +161,11 @@ fn main(n) { let r = a(n); return r; }
     fn unique_chain_is_recovered() {
         let (b, rc) = setup();
         let g = TailCallGraph::build(&b, &rc);
-        let fidx = |name: &str| {
-            b.funcs.iter().position(|f| f.name == name).unwrap() as u32
-        };
+        let fidx = |name: &str| b.funcs.iter().position(|f| f.name == name).unwrap() as u32;
         // main's frame shows a; execution is in c: the missing frames a→b→c.
-        let path = g.unique_path(fidx("a"), fidx("c")).expect("unique path a->..->c");
+        let path = g
+            .unique_path(fidx("a"), fidx("c"))
+            .expect("unique path a->..->c");
         assert_eq!(path.len(), 2, "two tail-call frames (in a and b)");
         // And a direct edge query.
         let short = g.unique_path(fidx("b"), fidx("c")).unwrap();

@@ -87,7 +87,10 @@ fn write_flat_func(
     names: &BTreeMap<u64, String>,
 ) {
     let pad = " ".repeat(depth);
-    out.push_str(&format!("{header_prefix}{name}:{}:{}\n", fp.total, fp.entry));
+    out.push_str(&format!(
+        "{header_prefix}{name}:{}:{}\n",
+        fp.total, fp.entry
+    ));
     for (key, count) in &fp.body {
         if key.discriminator == 0 {
             out.push_str(&format!("{pad} {}: {count}\n", key.line_offset));
@@ -291,7 +294,12 @@ pub fn write_context(profile: &ContextProfile) -> String {
             .map(|f| format!("{}:{}", name(f.guid), f.probe))
             .collect();
         ctx.push(name(node.guid));
-        out.push_str(&format!("[{}]:{}:{}\n", ctx.join(" @ "), node.total(), node.entry));
+        out.push_str(&format!(
+            "[{}]:{}:{}\n",
+            ctx.join(" @ "),
+            node.total(),
+            node.entry
+        ));
         if node.checksum != 0 {
             out.push_str(&format!(" checksum: {:#x}\n", node.checksum));
         }
@@ -355,9 +363,7 @@ pub fn parse_context(text: &str) -> Result<ContextProfile, ParseError> {
                     .ok_or_else(|| err(lineno, "frame needs `name:probe`"))?;
                 path.push(FrameKey {
                     guid: function_guid(fname),
-                    probe: probe
-                        .parse()
-                        .map_err(|_| err(lineno, "bad probe index"))?,
+                    probe: probe.parse().map_err(|_| err(lineno, "bad probe index"))?,
                 });
             }
             let leaf = frames.last().ok_or_else(|| err(lineno, "empty context"))?;
@@ -381,8 +387,7 @@ pub fn parse_context(text: &str) -> Result<ContextProfile, ParseError> {
             .ok_or_else(|| err(lineno, "counts before any context header"))?;
         if let Some(rest) = line.strip_prefix("checksum:") {
             let v = rest.trim().trim_start_matches("0x");
-            let checksum =
-                u64::from_str_radix(v, 16).map_err(|_| err(lineno, "bad checksum"))?;
+            let checksum = u64::from_str_radix(v, 16).map_err(|_| err(lineno, "bad checksum"))?;
             profile.node_for_path_mut(path, *leaf).checksum = checksum;
             continue;
         }
@@ -439,11 +444,35 @@ mod tests {
         p.names.insert(helper_guid, "helper".into());
         let fp = p.funcs.entry(main_guid).or_default();
         fp.entry = 25;
-        fp.record_max(LocKey { line_offset: 1, discriminator: 0 }, 500);
-        fp.record_max(LocKey { line_offset: 2, discriminator: 1 }, 480);
-        let nested = fp.callsite_mut(LocKey { line_offset: 3, discriminator: 0 }, helper_guid);
+        fp.record_max(
+            LocKey {
+                line_offset: 1,
+                discriminator: 0,
+            },
+            500,
+        );
+        fp.record_max(
+            LocKey {
+                line_offset: 2,
+                discriminator: 1,
+            },
+            480,
+        );
+        let nested = fp.callsite_mut(
+            LocKey {
+                line_offset: 3,
+                discriminator: 0,
+            },
+            helper_guid,
+        );
         nested.entry = 25;
-        nested.record_max(LocKey { line_offset: 0, discriminator: 0 }, 440);
+        nested.record_max(
+            LocKey {
+                line_offset: 0,
+                discriminator: 0,
+            },
+            440,
+        );
         p.funcs.get_mut(&main_guid).unwrap().recompute_totals();
         p
     }
@@ -479,7 +508,10 @@ mod tests {
         p.names.insert(helper, "helper".into());
         p.add_probe_hit(&[], main, 1, 100);
         p.add_entry(&[], main, 10);
-        let f = FrameKey { guid: main, probe: 3 };
+        let f = FrameKey {
+            guid: main,
+            probe: 3,
+        };
         p.add_probe_hit(&[f], helper, 1, 440);
         p.add_probe_hit(&[f], helper, 2, 60);
         p.add_entry(&[f], helper, 25);
@@ -497,7 +529,10 @@ mod tests {
         assert_eq!(p.node_count(), back.node_count());
         let main = function_guid("main");
         let helper = function_guid("helper");
-        let f = FrameKey { guid: main, probe: 3 };
+        let f = FrameKey {
+            guid: main,
+            probe: 3,
+        };
         let node = back.node_for_path(&[f], helper).unwrap();
         assert_eq!(node.probes[&1], 440);
         assert_eq!(node.entry, 25);

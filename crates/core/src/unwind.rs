@@ -465,7 +465,10 @@ fn top(n) { let r = mid(n); return r; }
 fn main(n) { return top(n); }
 "#;
         let (b, profile, stats) = profile_with_contexts(src, 4000);
-        assert!(stats.recovered > 0, "tail frames must be recovered: {stats:?}");
+        assert!(
+            stats.recovered > 0,
+            "tail frames must be recovered: {stats:?}"
+        );
         // leaf's hot loop must appear under a context mentioning mid.
         let guid = |n: &str| b.func_by_name(n).unwrap().guid;
         fn has_leaf_under_mid(

@@ -70,7 +70,13 @@ mod tests {
 
     #[test]
     fn scaled_keeps_at_least_one_call() {
-        let w = Workload::new("w", "fn f(){return 0;}", "f", vec![vec![1]; 100], vec![vec![2]; 100]);
+        let w = Workload::new(
+            "w",
+            "fn f(){return 0;}",
+            "f",
+            vec![vec![1]; 100],
+            vec![vec![2]; 100],
+        );
         let s = w.scaled(0.01);
         assert_eq!(s.train_calls.len(), 1);
         let s = w.scaled(0.25);

@@ -105,12 +105,18 @@ fn probe_profile_with_nested(m: &Module) -> ProbeProfile {
     profile.names.insert(m.func(main).guid, "main".into());
     profile.names.insert(m.func(helper).guid, "helper".into());
     let fp = profile.funcs.entry(m.func(main).guid).or_default();
-    fp.checksum = m.func(main).probe_checksum.unwrap_or_else(|| cfg_checksum(m.func(main)));
+    fp.checksum = m
+        .func(main)
+        .probe_checksum
+        .unwrap_or_else(|| cfg_checksum(m.func(main)));
     fp.entry = 50;
     fp.record_sum(1, 500);
     fp.record_sum(call_probe, 500);
     let nested = fp.callsite_mut(call_probe, m.func(helper).guid);
-    nested.checksum = m.func(helper).probe_checksum.unwrap_or_else(|| cfg_checksum(m.func(helper)));
+    nested.checksum = m
+        .func(helper)
+        .probe_checksum
+        .unwrap_or_else(|| cfg_checksum(m.func(helper)));
     nested.record_sum(1, 500);
     profile
         .funcs
@@ -137,7 +143,12 @@ fn plan_replay_is_exact_not_heuristic() {
     let mut m = fresh(true);
     let profile = probe_profile_with_nested(&m);
     let empty_plan = InlinePlan::new();
-    let stats = csspgo_annotate(&mut m, &profile, Some(&empty_plan), &AnnotateConfig::default());
+    let stats = csspgo_annotate(
+        &mut m,
+        &profile,
+        Some(&empty_plan),
+        &AnnotateConfig::default(),
+    );
     assert_eq!(stats.replayed_inlines, 0, "empty plan inlines nothing");
     assert_eq!(call_count(&m, "main"), 1);
 

@@ -29,7 +29,9 @@ impl ModuleBuilder {
     /// [`ModuleBuilder::function_builder`].
     pub fn declare_function(&mut self, name: impl Into<String>, num_params: usize) -> FuncId {
         let id = FuncId::from_index(self.module.functions.len());
-        self.module.functions.push(Function::new(id, name, num_params));
+        self.module
+            .functions
+            .push(Function::new(id, name, num_params));
         id
     }
 
@@ -95,7 +97,8 @@ impl<'m> FunctionBuilder<'m> {
     ///
     /// [`switch_to`]: FunctionBuilder::switch_to
     pub fn current_block(&self) -> BlockId {
-        self.current.expect("no current block; call switch_to first")
+        self.current
+            .expect("no current block; call switch_to first")
     }
 
     /// Sets the source line attached to subsequent instructions.
@@ -153,7 +156,12 @@ impl<'m> FunctionBuilder<'m> {
     /// `dst = lhs <pred> rhs`; returns `dst`.
     pub fn cmp(&mut self, pred: CmpPred, lhs: Operand, rhs: Operand) -> VReg {
         let dst = self.new_vreg();
-        self.emit(InstKind::Cmp { pred, dst, lhs, rhs });
+        self.emit(InstKind::Cmp {
+            pred,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -166,7 +174,11 @@ impl<'m> FunctionBuilder<'m> {
 
     /// `global[index] = value`.
     pub fn store(&mut self, global: GlobalId, index: Operand, value: Operand) {
-        self.emit(InstKind::Store { global, index, value });
+        self.emit(InstKind::Store {
+            global,
+            index,
+            value,
+        });
     }
 
     /// Calls `callee`, returning the register holding its result.

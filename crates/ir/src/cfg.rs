@@ -54,7 +54,7 @@ pub fn reachable(func: &Function) -> Vec<bool> {
 pub fn reverse_post_order(func: &Function) -> Vec<BlockId> {
     let mut post = Vec::with_capacity(func.blocks.len());
     let mut state = vec![0u8; func.blocks.len()]; // 0=unseen 1=open 2=done
-    // Iterative DFS computing postorder.
+                                                  // Iterative DFS computing postorder.
     let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
     state[func.entry.index()] = 1;
     while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
@@ -111,7 +111,11 @@ mod tests {
             let join = fb.add_block();
             let orphan = fb.add_block();
             fb.switch_to(entry);
-            let c = fb.cmp(CmpPred::Eq, Operand::Reg(crate::ids::VReg(0)), Operand::Imm(0));
+            let c = fb.cmp(
+                CmpPred::Eq,
+                Operand::Reg(crate::ids::VReg(0)),
+                Operand::Imm(0),
+            );
             fb.cond_br(Operand::Reg(c), a, b);
             fb.switch_to(a);
             fb.br(join);
@@ -142,7 +146,7 @@ mod tests {
         let rpo = reverse_post_order(f);
         assert_eq!(rpo[0], BlockId(0));
         assert_eq!(rpo.len(), 4); // orphan excluded
-        // join must come after both a and b.
+                                  // join must come after both a and b.
         let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
         assert!(pos(BlockId(3)) > pos(BlockId(1)));
         assert!(pos(BlockId(3)) > pos(BlockId(2)));

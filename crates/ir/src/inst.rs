@@ -260,7 +260,10 @@ impl InstKind {
     pub fn is_terminator(&self) -> bool {
         matches!(
             self,
-            InstKind::Ret { .. } | InstKind::Br { .. } | InstKind::CondBr { .. } | InstKind::Switch { .. }
+            InstKind::Ret { .. }
+                | InstKind::Br { .. }
+                | InstKind::CondBr { .. }
+                | InstKind::Switch { .. }
         )
     }
 
@@ -268,7 +271,9 @@ impl InstKind {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             InstKind::Br { target } => vec![*target],
-            InstKind::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             InstKind::Switch { cases, default, .. } => {
                 let mut out: Vec<BlockId> = cases.iter().map(|&(_, b)| b).collect();
                 out.push(*default);
@@ -282,7 +287,9 @@ impl InstKind {
     pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             InstKind::Br { target } => *target = f(*target),
-            InstKind::CondBr { then_bb, else_bb, .. } => {
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -326,9 +333,9 @@ impl InstKind {
             InstKind::Ret { value } => value.iter().copied().collect(),
             InstKind::CondBr { cond, .. } => vec![*cond],
             InstKind::Switch { value, .. } => vec![*value],
-            InstKind::Br { .. }
-            | InstKind::PseudoProbe { .. }
-            | InstKind::CounterIncr { .. } => Vec::new(),
+            InstKind::Br { .. } | InstKind::PseudoProbe { .. } | InstKind::CounterIncr { .. } => {
+                Vec::new()
+            }
         }
     }
 
@@ -372,9 +379,7 @@ impl InstKind {
             }
             InstKind::CondBr { cond, .. } => map(cond, &mut f),
             InstKind::Switch { value, .. } => map(value, &mut f),
-            InstKind::Br { .. }
-            | InstKind::PseudoProbe { .. }
-            | InstKind::CounterIncr { .. } => {}
+            InstKind::Br { .. } | InstKind::PseudoProbe { .. } | InstKind::CounterIncr { .. } => {}
         }
     }
 
@@ -508,11 +513,14 @@ mod tests {
             lhs: Operand::Reg(VReg(0)),
             rhs: Operand::Reg(VReg(1)),
         };
-        add.map_uses(|r| if r == VReg(0) { Operand::Imm(7) } else { Operand::Reg(r) });
-        assert_eq!(
-            add.uses(),
-            vec![Operand::Imm(7), Operand::Reg(VReg(1))]
-        );
+        add.map_uses(|r| {
+            if r == VReg(0) {
+                Operand::Imm(7)
+            } else {
+                Operand::Reg(r)
+            }
+        });
+        assert_eq!(add.uses(), vec![Operand::Imm(7), Operand::Reg(VReg(1))]);
         // def untouched
         assert_eq!(add.def(), Some(VReg(2)));
     }

@@ -10,7 +10,12 @@ impl fmt::Display for InstKind {
         match self {
             InstKind::Copy { dst, src } => write!(f, "{dst} = copy {src}"),
             InstKind::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
-            InstKind::Cmp { pred, dst, lhs, rhs } => write!(f, "{dst} = cmp.{pred} {lhs}, {rhs}"),
+            InstKind::Cmp {
+                pred,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = cmp.{pred} {lhs}, {rhs}"),
             InstKind::Select {
                 dst,
                 cond,
@@ -18,7 +23,11 @@ impl fmt::Display for InstKind {
                 on_false,
             } => write!(f, "{dst} = select {cond}, {on_true}, {on_false}"),
             InstKind::Load { dst, global, index } => write!(f, "{dst} = load {global}[{index}]"),
-            InstKind::Store { global, index, value } => {
+            InstKind::Store {
+                global,
+                index,
+                value,
+            } => {
                 write!(f, "store {global}[{index}], {value}")
             }
             InstKind::Call { dst, callee, args } => {
@@ -134,7 +143,11 @@ mod tests {
             let e = fb.entry_block();
             fb.switch_to(e);
             fb.set_line(3);
-            let v = fb.bin(BinOp::Add, Operand::Reg(crate::ids::VReg(0)), Operand::Imm(1));
+            let v = fb.bin(
+                BinOp::Add,
+                Operand::Reg(crate::ids::VReg(0)),
+                Operand::Imm(1),
+            );
             fb.ret(Some(Operand::Reg(v)));
         }
         let text = mb.finish().to_string();

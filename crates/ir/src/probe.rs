@@ -188,7 +188,11 @@ mod tests {
                 if branchy {
                     let t = fb.add_block();
                     let e = fb.add_block();
-                    let c = fb.cmp(crate::inst::CmpPred::Eq, Operand::Imm(constant), Operand::Imm(0));
+                    let c = fb.cmp(
+                        crate::inst::CmpPred::Eq,
+                        Operand::Imm(constant),
+                        Operand::Imm(0),
+                    );
                     fb.cond_br(Operand::Reg(c), t, e);
                     fb.switch_to(t);
                     fb.ret(Some(Operand::Imm(1)));

@@ -107,7 +107,10 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
 
     if let Some(layout) = &func.layout {
         if layout.hot.first() != Some(&func.entry) {
-            return Err(err(None, "layout does not start with the entry block".into()));
+            return Err(err(
+                None,
+                "layout does not start with the entry block".into(),
+            ));
         }
         let placed: usize = layout.hot.len() + layout.cold.len();
         if placed != func.num_live_blocks() {

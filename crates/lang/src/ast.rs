@@ -31,9 +31,17 @@ pub struct FunctionDecl {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Stmt {
     /// `let name = expr;`
-    Let { name: String, value: Expr, line: u32 },
+    Let {
+        name: String,
+        value: Expr,
+        line: u32,
+    },
     /// `name = expr;`
-    Assign { name: String, value: Expr, line: u32 },
+    Assign {
+        name: String,
+        value: Expr,
+        line: u32,
+    },
     /// `name[index] = expr;`
     StoreIndex {
         name: String,
@@ -117,8 +125,14 @@ pub enum AstBinOp {
 /// Expressions; each carries the line it starts on.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Expr {
-    Int { value: i64, line: u32 },
-    Var { name: String, line: u32 },
+    Int {
+        value: i64,
+        line: u32,
+    },
+    Var {
+        name: String,
+        line: u32,
+    },
     /// `name[index]` — global array read.
     Index {
         name: String,

@@ -152,9 +152,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                     i += 1;
                 }
                 let text = &source[start..i];
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| CompileError::new(line, format!("integer literal `{text}` out of range")))?;
+                let value: i64 = text.parse().map_err(|_| {
+                    CompileError::new(line, format!("integer literal `{text}` out of range"))
+                })?;
                 tokens.push(Token {
                     tok: Tok::Int(value),
                     line,
@@ -162,9 +162,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &source[start..i];

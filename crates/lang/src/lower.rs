@@ -19,7 +19,10 @@ pub fn lower(program: &Program, module_name: &str) -> Result<Module, CompileErro
     let mut globals: HashMap<String, GlobalId> = HashMap::new();
     for g in &program.globals {
         if globals.contains_key(&g.name) {
-            return Err(CompileError::new(g.line, format!("duplicate global `{}`", g.name)));
+            return Err(CompileError::new(
+                g.line,
+                format!("duplicate global `{}`", g.name),
+            ));
         }
         let id = mb.add_global(g.name.clone(), g.size, g.init.clone());
         globals.insert(g.name.clone(), id);
@@ -28,7 +31,10 @@ pub fn lower(program: &Program, module_name: &str) -> Result<Module, CompileErro
     let mut funcs: HashMap<String, (FuncId, usize)> = HashMap::new();
     for f in &program.functions {
         if funcs.contains_key(&f.name) {
-            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+            return Err(CompileError::new(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
         let id = mb.declare_function(f.name.clone(), f.params.len());
         funcs.insert(f.name.clone(), (id, f.params.len()));
@@ -97,7 +103,11 @@ impl LowerCtx<'_, '_> {
     fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         self.fb.set_line(stmt.line());
         match stmt {
-            Stmt::Let { name, value, line: _ } => {
+            Stmt::Let {
+                name,
+                value,
+                line: _,
+            } => {
                 let v = self.lower_expr(value)?;
                 // Bind (or rebind) the name to a dedicated register so later
                 // assignments can overwrite it.
@@ -228,16 +238,18 @@ impl LowerCtx<'_, '_> {
                 Ok(())
             }
             Stmt::Break { line } => {
-                let (_, brk) = *self.loop_stack.last().ok_or_else(|| {
-                    CompileError::new(*line, "`break` outside of a loop")
-                })?;
+                let (_, brk) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "`break` outside of a loop"))?;
                 self.fb.br(brk);
                 Ok(())
             }
             Stmt::Continue { line } => {
-                let (cont, _) = *self.loop_stack.last().ok_or_else(|| {
-                    CompileError::new(*line, "`continue` outside of a loop")
-                })?;
+                let (cont, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "`continue` outside of a loop"))?;
                 self.fb.br(cont);
                 Ok(())
             }
@@ -258,9 +270,10 @@ impl LowerCtx<'_, '_> {
                 .map(|&r| Operand::Reg(r))
                 .ok_or_else(|| CompileError::new(*line, format!("unknown variable `{name}`"))),
             Expr::Index { name, index, line } => {
-                let g = *self.globals.get(name).ok_or_else(|| {
-                    CompileError::new(*line, format!("unknown global `{name}`"))
-                })?;
+                let g = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(*line, format!("unknown global `{name}`")))?;
                 let idx = self.lower_expr(index)?;
                 self.fb.set_line(*line);
                 Ok(Operand::Reg(self.fb.load(g, idx)))

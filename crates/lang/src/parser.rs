@@ -166,7 +166,10 @@ impl<'a> Parser<'a> {
         let mut stmts = Vec::new();
         while !self.eat(&Tok::RBrace) {
             if self.peek() == &Tok::Eof {
-                return Err(CompileError::new(self.line(), "unexpected end of input in block"));
+                return Err(CompileError::new(
+                    self.line(),
+                    "unexpected end of input in block",
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -236,7 +239,10 @@ impl<'a> Parser<'a> {
                     } else {
                         return Err(CompileError::new(
                             self.line(),
-                            format!("expected `case`, `default` or `}}`, found `{}`", self.peek()),
+                            format!(
+                                "expected `case`, `default` or `}}`, found `{}`",
+                                self.peek()
+                            ),
                         ));
                     }
                 }
@@ -465,10 +471,21 @@ mod tests {
         let Stmt::Let { value, .. } = &p.functions[0].body[0] else {
             panic!("expected let");
         };
-        let Expr::Binary { op: AstBinOp::Add, rhs, .. } = value else {
+        let Expr::Binary {
+            op: AstBinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected add at top: {value:?}");
         };
-        assert!(matches!(**rhs, Expr::Binary { op: AstBinOp::Mul, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: AstBinOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -517,6 +534,12 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
             panic!();
         };
-        assert!(matches!(e, Expr::Binary { op: AstBinOp::LogicalOr, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: AstBinOp::LogicalOr,
+                ..
+            }
+        ));
     }
 }

@@ -161,7 +161,8 @@ mod tests {
 
     #[test]
     fn mutual_recursion_shares_scc() {
-        let (m, g) = graph("fn a(x) { return b(x); } fn b(x) { return a(x); } fn c() { return a(1); }");
+        let (m, g) =
+            graph("fn a(x) { return b(x); } fn b(x) { return a(x); } fn c() { return a(1); }");
         let a = m.find_function("a").unwrap();
         let b = m.find_function("b").unwrap();
         let c = m.find_function("c").unwrap();

@@ -35,20 +35,21 @@ pub fn run(module: &mut Module) {
                 if line == 0 {
                     continue;
                 }
-                let disc = *local.entry(line).or_insert_with(|| {
-                    match line_first_block.get(&line) {
-                        None => {
-                            line_first_block.insert(line, b);
-                            0
-                        }
-                        Some(&first) if first == b => 0,
-                        Some(_) => {
-                            let d = line_next_disc.entry(line).or_insert(0);
-                            *d += 1;
-                            *d
-                        }
-                    }
-                });
+                let disc =
+                    *local
+                        .entry(line)
+                        .or_insert_with(|| match line_first_block.get(&line) {
+                            None => {
+                                line_first_block.insert(line, b);
+                                0
+                            }
+                            Some(&first) if first == b => 0,
+                            Some(_) => {
+                                let d = line_next_disc.entry(line).or_insert(0);
+                                *d += 1;
+                                *d
+                            }
+                        });
                 if disc != 0 {
                     inst.loc.discriminator = disc;
                 }
@@ -81,7 +82,10 @@ mod tests {
         assert!(blocks.len() >= 3, "short-circuit should span blocks");
         // Distinct blocks must not all share discriminator 0.
         let discs: HashSet<u32> = per_block.iter().map(|&(_, d)| d).collect();
-        assert!(discs.len() >= 2, "expected distinct discriminators, got {discs:?}");
+        assert!(
+            discs.len() >= 2,
+            "expected distinct discriminators, got {discs:?}"
+        );
         // Within one block, one line has one discriminator.
         let mut seen: HashMap<(usize, u32), u32> = HashMap::new();
         for &(b, d) in &per_block {

@@ -63,8 +63,11 @@ pub fn run_function(func: &mut Function, config: &OptConfig) -> usize {
         let preds = cfg::predecessors(func);
         let mut found: Option<(BlockId, BlockId, BlockId)> = None;
         for (p, block) in func.iter_blocks() {
-            let Some(InstKind::CondBr { cond, then_bb, else_bb }) =
-                block.terminator().map(|t| t.kind.clone())
+            let Some(InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            }) = block.terminator().map(|t| t.kind.clone())
             else {
                 continue;
             };
@@ -72,10 +75,12 @@ pub fn run_function(func: &mut Function, config: &OptConfig) -> usize {
             if then_bb == else_bb || then_bb == p || else_bb == p {
                 continue;
             }
-            if preds[then_bb.index()].as_slice() != [p] || preds[else_bb.index()].as_slice() != [p] {
+            if preds[then_bb.index()].as_slice() != [p] || preds[else_bb.index()].as_slice() != [p]
+            {
                 continue;
             }
-            let (Some(t_arm), Some(e_arm)) = (decompose_arm(func, then_bb), decompose_arm(func, else_bb))
+            let (Some(t_arm), Some(e_arm)) =
+                (decompose_arm(func, then_bb), decompose_arm(func, else_bb))
             else {
                 continue;
             };
@@ -87,7 +92,9 @@ pub fn run_function(func: &mut Function, config: &OptConfig) -> usize {
                 continue;
             }
             // Probe blocking (high-accuracy tuning).
-            if config.probe.block_if_convert && (!t_arm.probes.is_empty() || !e_arm.probes.is_empty()) {
+            if config.probe.block_if_convert
+                && (!t_arm.probes.is_empty() || !e_arm.probes.is_empty())
+            {
                 continue;
             }
             // Profile heuristic: leave strongly biased branches alone — a
@@ -107,15 +114,14 @@ pub fn run_function(func: &mut Function, config: &OptConfig) -> usize {
         let t_arm = decompose_arm(func, t).expect("checked above");
         let e_arm = decompose_arm(func, e).expect("checked above");
         let join = t_arm.join;
-        let InstKind::CondBr { cond, .. } = func.block(p).terminator().expect("condbr").kind
-        else {
+        let InstKind::CondBr { cond, .. } = func.block(p).terminator().expect("condbr").kind else {
             unreachable!()
         };
         let term_loc = func.block(p).terminator().expect("condbr").loc.clone();
 
         let pb = func.block_mut(p);
         pb.insts.pop(); // condbr
-        // Hoist arm probes (frequency distortion accepted — paper's tuning).
+                        // Hoist arm probes (frequency distortion accepted — paper's tuning).
         pb.insts.extend(t_arm.probes);
         pb.insts.extend(e_arm.probes);
         pb.insts.push(Inst::new(
@@ -127,7 +133,8 @@ pub fn run_function(func: &mut Function, config: &OptConfig) -> usize {
             },
             term_loc.clone(),
         ));
-        pb.insts.push(Inst::new(InstKind::Br { target: join }, term_loc));
+        pb.insts
+            .push(Inst::new(InstKind::Br { target: join }, term_loc));
         cfg::remove_unreachable(func);
         converted += 1;
     }
@@ -211,15 +218,20 @@ fn f(a) {
             .flat_map(|(_, b)| &b.insts)
             .filter(|i| matches!(i.kind, InstKind::PseudoProbe { .. }))
             .count();
-        assert_eq!(probes_before, probes_after, "arm probes hoisted, not dropped");
+        assert_eq!(
+            probes_before, probes_after,
+            "arm probes hoisted, not dropped"
+        );
     }
 
     #[test]
     fn probes_block_in_high_accuracy_mode() {
         let mut m = csspgo_lang::compile(SRC, "t").unwrap();
         crate::probes::run(&mut m);
-        let mut config = OptConfig::default();
-        config.probe = csspgo_ir::probe::ProbeConfig::high_accuracy();
+        let config = OptConfig {
+            probe: csspgo_ir::probe::ProbeConfig::high_accuracy(),
+            ..OptConfig::default()
+        };
         let n = run_function(&mut m.functions[0], &config);
         assert_eq!(n, 0);
     }

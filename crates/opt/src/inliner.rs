@@ -119,7 +119,9 @@ pub fn inline_call(
 
     let scale = |c: Option<u64>| -> Option<u64> {
         match (c, site_count, callee_entry_count) {
-            (Some(c), Some(s), Some(e)) if e > 0 => Some((c as u128 * s as u128 / e as u128) as u64),
+            (Some(c), Some(s), Some(e)) if e > 0 => {
+                Some((c as u128 * s as u128 / e as u128) as u64)
+            }
             (Some(_), Some(s), _) => Some(s), // best effort: assume once per call
             _ => None,
         }
@@ -350,9 +352,12 @@ mod tests {
                         InstKind::Bin { op, dst, lhs, rhs } => {
                             regs[dst.index()] = op.eval(val(*lhs, &regs), val(*rhs, &regs))
                         }
-                        InstKind::Cmp { pred, dst, lhs, rhs } => {
-                            regs[dst.index()] = pred.eval(val(*lhs, &regs), val(*rhs, &regs))
-                        }
+                        InstKind::Cmp {
+                            pred,
+                            dst,
+                            lhs,
+                            rhs,
+                        } => regs[dst.index()] = pred.eval(val(*lhs, &regs), val(*rhs, &regs)),
                         InstKind::Select {
                             dst,
                             cond,
@@ -368,10 +373,17 @@ mod tests {
                         InstKind::Load { dst, global, index } => {
                             let g = &globals[global.index()];
                             let i = val(*index, &regs);
-                            regs[dst.index()] =
-                                if i >= 0 && (i as usize) < g.len() { g[i as usize] } else { 0 };
+                            regs[dst.index()] = if i >= 0 && (i as usize) < g.len() {
+                                g[i as usize]
+                            } else {
+                                0
+                            };
                         }
-                        InstKind::Store { global, index, value } => {
+                        InstKind::Store {
+                            global,
+                            index,
+                            value,
+                        } => {
                             let i = val(*index, &regs);
                             let v = val(*value, &regs);
                             let g = &mut globals[global.index()];
@@ -395,7 +407,11 @@ mod tests {
                             then_bb,
                             else_bb,
                         } => {
-                            next = Some(if val(*cond, &regs) != 0 { *then_bb } else { *else_bb })
+                            next = Some(if val(*cond, &regs) != 0 {
+                                *then_bb
+                            } else {
+                                *else_bb
+                            })
                         }
                         InstKind::Switch {
                             value,
@@ -472,7 +488,10 @@ fn main(a) {
             .flat_map(|(_, b)| &b.insts)
             .filter(|i| !i.loc.inline_stack.is_empty())
             .collect();
-        assert!(!inlined.is_empty(), "inlined instructions must carry frames");
+        assert!(
+            !inlined.is_empty(),
+            "inlined instructions must carry frames"
+        );
         for i in &inlined {
             assert_eq!(i.loc.inline_stack[0].func, main);
             assert_eq!(i.loc.inline_stack[0].line, 2); // call site line
@@ -536,8 +555,7 @@ fn main(a) {
         m.functions[h.index()].entry_count = Some(100);
         let hids: Vec<BlockId> = m.func(h).iter_blocks().map(|(b, _)| b).collect();
         for (i, bid) in hids.iter().enumerate() {
-            m.functions[h.index()].block_mut(*bid).count =
-                Some(if i == 0 { 100 } else { 40 });
+            m.functions[h.index()].block_mut(*bid).count = Some(if i == 0 { 100 } else { 40 });
         }
         let mids: Vec<BlockId> = m.func(main).iter_blocks().map(|(b, _)| b).collect();
         for bid in mids {
@@ -548,10 +566,9 @@ fn main(a) {
         let f = m.func(main);
         let entry_clone = res.block_map[&m.func(h).entry];
         assert_eq!(f.block(entry_clone).count, Some(10));
-        let other = res
-            .block_map
-            .iter()
-            .find(|(k, _)| **k != m.func(h).entry && f.block(*res.block_map.get(k).unwrap()).count == Some(4));
+        let other = res.block_map.iter().find(|(k, _)| {
+            **k != m.func(h).entry && f.block(*res.block_map.get(k).unwrap()).count == Some(4)
+        });
         assert!(other.is_some(), "a block scaled 40*10/100 = 4 must exist");
     }
 
@@ -590,9 +607,7 @@ fn main(a) { return mid(a); }
     #[test]
     fn cold_large_callee_not_inlined() {
         // A callee bigger than inline_small_size at a cold call site stays.
-        let big_body: String = (0..30)
-            .map(|i| format!("    s = s + x * {i};\n"))
-            .collect();
+        let big_body: String = (0..30).map(|i| format!("    s = s + x * {i};\n")).collect();
         let src = format!(
             "fn big(x) {{ let s = 0;\n{big_body}    return s; }}\nfn main(a) {{ return big(a); }}"
         );

@@ -40,7 +40,10 @@ pub fn run(module: &mut Module) -> CounterMap {
     let mut map = CounterMap::default();
     for fid in 0..module.functions.len() {
         let func_id = FuncId::from_index(fid);
-        let block_ids: Vec<BlockId> = module.functions[fid].iter_blocks().map(|(id, _)| id).collect();
+        let block_ids: Vec<BlockId> = module.functions[fid]
+            .iter_blocks()
+            .map(|(id, _)| id)
+            .collect();
         for bid in block_ids {
             let counter = module.alloc_counter();
             map.by_block.insert((func_id, bid), counter);

@@ -176,12 +176,12 @@ pub fn compute_layout(func: &Function, config: &OptConfig) -> BlockLayout {
             for (i, &b) in order.iter().enumerate() {
                 let next = order.get(i + 1).copied();
                 match func.block(b).terminator().map(|t| &t.kind) {
-                    Some(csspgo_ir::inst::InstKind::Br { target }) => {
-                        if next != Some(*target) {
-                            cost += 2 * edge_w(b, *target);
-                        }
+                    Some(csspgo_ir::inst::InstKind::Br { target }) if next != Some(*target) => {
+                        cost += 2 * edge_w(b, *target);
                     }
-                    Some(csspgo_ir::inst::InstKind::CondBr { then_bb, else_bb, .. }) => {
+                    Some(csspgo_ir::inst::InstKind::CondBr {
+                        then_bb, else_bb, ..
+                    }) => {
                         if next != Some(*then_bb) {
                             cost += edge_w(b, *then_bb);
                         }
@@ -201,7 +201,11 @@ pub fn compute_layout(func: &Function, config: &OptConfig) -> BlockLayout {
         let mut best = 0usize;
         let mut best_cost = cost_of(chain);
         for r in 1..len {
-            let rotated: Vec<BlockId> = chain[r..].iter().chain(chain[..r].iter()).copied().collect();
+            let rotated: Vec<BlockId> = chain[r..]
+                .iter()
+                .chain(chain[..r].iter())
+                .copied()
+                .collect();
             let c = cost_of(&rotated);
             if c < best_cost {
                 best_cost = c;
@@ -214,7 +218,9 @@ pub fn compute_layout(func: &Function, config: &OptConfig) -> BlockLayout {
     }
 
     // Order chains: entry chain first, then by hotness density.
-    let mut chain_ids: Vec<usize> = (0..chains.len()).filter(|&i| !chains[i].is_empty()).collect();
+    let mut chain_ids: Vec<usize> = (0..chains.len())
+        .filter(|&i| !chains[i].is_empty())
+        .collect();
     let density = |i: usize| -> u64 {
         let total: u64 = chains[i]
             .iter()

@@ -76,7 +76,8 @@ pub fn run_function(func: &mut Function) -> usize {
             for &b in &l.blocks {
                 for (i, inst) in func.block(b).insts.iter().enumerate() {
                     let hoistable = match &inst.kind {
-                        InstKind::Bin { dst, lhs, rhs, .. } | InstKind::Cmp { dst, lhs, rhs, .. } => {
+                        InstKind::Bin { dst, lhs, rhs, .. }
+                        | InstKind::Cmp { dst, lhs, rhs, .. } => {
                             defs_in_loop.get(dst) == Some(&1)
                                 && invariant_op(*lhs, &defs_in_loop)
                                 && invariant_op(*rhs, &defs_in_loop)
@@ -178,8 +179,7 @@ fn ensure_preheader(
     func.block_mut(ph).count = header_count.map(|h| h.saturating_sub(back_count));
     for p in outside {
         if let Some(t) = func.block_mut(p).terminator_mut() {
-            t.kind
-                .map_successors(|s| if s == header { ph } else { s });
+            t.kind.map_successors(|s| if s == header { ph } else { s });
         }
     }
     Some(ph)
@@ -217,7 +217,13 @@ fn f(n, k) {
         for &b in &l.blocks {
             for i in &m.functions[0].block(b).insts {
                 assert!(
-                    !matches!(i.kind, InstKind::Bin { op: csspgo_ir::BinOp::Mul, .. }),
+                    !matches!(
+                        i.kind,
+                        InstKind::Bin {
+                            op: csspgo_ir::BinOp::Mul,
+                            ..
+                        }
+                    ),
                     "mul must be hoisted out of the loop"
                 );
             }
@@ -273,6 +279,10 @@ fn f(n) {
         config.probe.block_code_motion = true;
         let before = format!("{}", &m.functions[0]);
         run(&mut m, &config);
-        assert_eq!(before, format!("{}", &m.functions[0]), "motion must be blocked");
+        assert_eq!(
+            before,
+            format!("{}", &m.functions[0]),
+            "motion must be blocked"
+        );
     }
 }

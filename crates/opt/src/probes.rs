@@ -65,7 +65,11 @@ pub fn insert_into_function(func: &mut Function) {
 
 /// Finds the call-site probe index guarding the call at `inst_idx` in
 /// `block`, if probes are present (the probe immediately preceding the call).
-pub fn call_probe_before(func: &Function, block: csspgo_ir::BlockId, inst_idx: usize) -> Option<u32> {
+pub fn call_probe_before(
+    func: &Function,
+    block: csspgo_ir::BlockId,
+    inst_idx: usize,
+) -> Option<u32> {
     if inst_idx == 0 {
         return None;
     }

@@ -47,7 +47,12 @@ pub fn const_fold(func: &mut Function) -> bool {
                     }),
                     _ => algebraic_identity(*op, *dst, *lhs, *rhs),
                 },
-                InstKind::Cmp { pred, dst, lhs, rhs } => match (lhs.as_imm(), rhs.as_imm()) {
+                InstKind::Cmp {
+                    pred,
+                    dst,
+                    lhs,
+                    rhs,
+                } => match (lhs.as_imm(), rhs.as_imm()) {
                     (Some(a), Some(b)) => Some(InstKind::Copy {
                         dst: *dst,
                         src: Operand::Imm(pred.eval(a, b)),
@@ -303,7 +308,12 @@ mod tests {
         let f = &m.functions[0];
         let term = f.block(f.entry).terminator().unwrap();
         assert!(
-            matches!(term.kind, InstKind::Ret { value: Some(Operand::Imm(20)) }),
+            matches!(
+                term.kind,
+                InstKind::Ret {
+                    value: Some(Operand::Imm(20))
+                }
+            ),
             "got {}",
             term.kind
         );
@@ -318,7 +328,12 @@ mod tests {
         // Everything should collapse into the entry returning 10.
         let term = f.block(f.entry).terminator().unwrap();
         assert!(
-            matches!(term.kind, InstKind::Ret { value: Some(Operand::Imm(10)) }),
+            matches!(
+                term.kind,
+                InstKind::Ret {
+                    value: Some(Operand::Imm(10))
+                }
+            ),
             "got {}",
             term.kind
         );
@@ -327,7 +342,8 @@ mod tests {
 
     #[test]
     fn dce_removes_unused_pure_code_but_keeps_calls() {
-        let mut m = compile("fn g() { return 1; } fn f(a) { let x = a * 3; let y = g(); return a; }");
+        let mut m =
+            compile("fn g() { return 1; } fn f(a) { let x = a * 3; let y = g(); return a; }");
         run(&mut m);
         verify_module(&m).unwrap();
         let f = &m.functions[1];
@@ -377,18 +393,29 @@ mod tests {
         run(&mut m);
         let f = &m.functions[0];
         let term = f.block(f.entry).terminator().unwrap();
-        assert!(matches!(term.kind, InstKind::Ret { value: Some(Operand::Imm(20)) }));
+        assert!(matches!(
+            term.kind,
+            InstKind::Ret {
+                value: Some(Operand::Imm(20))
+            }
+        ));
     }
 
     #[test]
     fn algebraic_identities_fold() {
-        let mut m = compile("fn f(a) { let x = a + 0; let y = x * 1; let z = y * 0; return y + z; }");
+        let mut m =
+            compile("fn f(a) { let x = a + 0; let y = x * 1; let z = y * 0; return y + z; }");
         run(&mut m);
         let f = &m.functions[0];
         let term = f.block(f.entry).terminator().unwrap();
         // y + 0 == a; so `ret a`.
         assert!(
-            matches!(term.kind, InstKind::Ret { value: Some(Operand::Reg(csspgo_ir::VReg(0))) }),
+            matches!(
+                term.kind,
+                InstKind::Ret {
+                    value: Some(Operand::Reg(csspgo_ir::VReg(0)))
+                }
+            ),
             "got {}",
             term.kind
         );
@@ -403,7 +430,12 @@ mod tests {
         let term = f.block(f.entry).terminator().unwrap();
         // Correctness check: must NOT be Imm(5).
         assert!(
-            !matches!(term.kind, InstKind::Ret { value: Some(Operand::Imm(5)) }),
+            !matches!(
+                term.kind,
+                InstKind::Ret {
+                    value: Some(Operand::Imm(5))
+                }
+            ),
             "copy propagation across redefinition is wrong: {}",
             term.kind
         );

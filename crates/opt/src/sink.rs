@@ -69,13 +69,13 @@ fn sink_round(func: &mut Function) -> usize {
         let mut i = 0;
         while i < func.block(bid).insts.len() {
             let inst = &func.block(bid).insts[i];
-            let sinkable = match &inst.kind {
+            let sinkable = matches!(
+                &inst.kind,
                 InstKind::Copy { .. }
-                | InstKind::Bin { .. }
-                | InstKind::Cmp { .. }
-                | InstKind::Select { .. } => true,
-                _ => false,
-            };
+                    | InstKind::Bin { .. }
+                    | InstKind::Cmp { .. }
+                    | InstKind::Select { .. }
+            );
             let Some(dst) = inst.kind.def() else {
                 i += 1;
                 continue;
@@ -147,11 +147,15 @@ fn f(a) {
         csspgo_ir::verify::verify_module(&m).unwrap();
         // The entry block must no longer contain the multiply.
         let f = &m.functions[0];
-        let entry_has_mul = f
-            .block(f.entry)
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, InstKind::Bin { op: csspgo_ir::BinOp::Mul, .. }));
+        let entry_has_mul = f.block(f.entry).insts.iter().any(|i| {
+            matches!(
+                i.kind,
+                InstKind::Bin {
+                    op: csspgo_ir::BinOp::Mul,
+                    ..
+                }
+            )
+        });
         assert!(!entry_has_mul, "{f}");
     }
 

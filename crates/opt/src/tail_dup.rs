@@ -143,8 +143,15 @@ fn f(a) {
         }
         let blocks: std::collections::HashSet<usize> = copies.iter().map(|&(b, _)| b).collect();
         let discs: std::collections::HashSet<u32> = copies.iter().map(|&(_, d)| d).collect();
-        assert!(blocks.len() >= 2, "line must exist in 2+ blocks: {copies:?}");
-        assert_eq!(discs.len(), 1, "copies share a discriminator (MAX-heuristic trap)");
+        assert!(
+            blocks.len() >= 2,
+            "line must exist in 2+ blocks: {copies:?}"
+        );
+        assert_eq!(
+            discs.len(),
+            1,
+            "copies share a discriminator (MAX-heuristic trap)"
+        );
     }
 
     #[test]

@@ -114,11 +114,7 @@ fn f(a) {
             f.block_mut(*bid).count = Some(30);
         }
         run_function(f);
-        let max = f
-            .iter_blocks()
-            .filter_map(|(_, b)| b.count)
-            .max()
-            .unwrap();
+        let max = f.iter_blocks().filter_map(|(_, b)| b.count).max().unwrap();
         assert_eq!(max, 60, "survivor should hold 30+30");
     }
 

@@ -60,7 +60,9 @@ fn unroll_self_loops(func: &mut Function, factor: u32, max_body: usize) -> usize
             continue;
         }
         let loops_on_true = match func.block(b).terminator().map(|t| &t.kind) {
-            Some(InstKind::CondBr { then_bb, else_bb, .. }) => {
+            Some(InstKind::CondBr {
+                then_bb, else_bb, ..
+            }) => {
                 if *then_bb == b && *else_bb != b {
                     true
                 } else if *else_bb == b && *then_bb != b {
@@ -92,7 +94,10 @@ fn unroll_self_loops(func: &mut Function, factor: u32, max_body: usize) -> usize
                 .block_mut(cur)
                 .terminator_mut()
                 .expect("loop block has terminator");
-            if let InstKind::CondBr { then_bb, else_bb, .. } = &mut term.kind {
+            if let InstKind::CondBr {
+                then_bb, else_bb, ..
+            } = &mut term.kind
+            {
                 if loops_on_true {
                     *then_bb = next;
                 } else {
@@ -115,7 +120,9 @@ fn unroll_while_loops(func: &mut Function, factor: u32, max_body: usize) -> usiz
             continue;
         }
         let (body, body_on_true) = match func.block(h).terminator().map(|t| &t.kind) {
-            Some(InstKind::CondBr { then_bb, else_bb, .. }) => {
+            Some(InstKind::CondBr {
+                then_bb, else_bb, ..
+            }) => {
                 // The body is whichever successor branches straight back.
                 let is_body = |b: BlockId| {
                     b != h
@@ -172,7 +179,10 @@ fn unroll_while_loops(func: &mut Function, factor: u32, max_body: usize) -> usiz
                 .block_mut(headers[i])
                 .terminator_mut()
                 .expect("header has terminator");
-            if let InstKind::CondBr { then_bb, else_bb, .. } = &mut term.kind {
+            if let InstKind::CondBr {
+                then_bb, else_bb, ..
+            } = &mut term.kind
+            {
                 if body_on_true {
                     *then_bb = bodies[i];
                 } else {
@@ -295,11 +305,17 @@ fn f(n) {
         for (bid, b) in m.functions[0].iter_blocks() {
             for i in &b.insts {
                 if i.loc.line == 5 {
-                    blocks_per_disc.entry(i.loc.discriminator).or_default().insert(bid);
+                    blocks_per_disc
+                        .entry(i.loc.discriminator)
+                        .or_default()
+                        .insert(bid);
                 }
             }
         }
         let max_sharing = blocks_per_disc.values().map(|s| s.len()).max().unwrap();
-        assert!(max_sharing >= 4, "expected ambiguous copies, got {blocks_per_disc:?}");
+        assert!(
+            max_sharing >= 4,
+            "expected ambiguous copies, got {blocks_per_disc:?}"
+        );
     }
 }

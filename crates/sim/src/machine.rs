@@ -161,7 +161,10 @@ impl<'b> Machine<'b> {
         }];
         let mut pc = func.entry;
         let cost = self.config.cost;
-        let mut steps_left = self.config.max_steps.saturating_sub(self.stats.instructions);
+        let mut steps_left = self
+            .config
+            .max_steps
+            .saturating_sub(self.stats.instructions);
 
         macro_rules! frame {
             () => {
@@ -204,7 +207,12 @@ impl<'b> Machine<'b> {
                 MInstKind::Bin { op, dst, lhs, rhs } => {
                     regs[dst.index()] = op.eval(val(*lhs, regs), val(*rhs, regs));
                 }
-                MInstKind::Cmp { pred, dst, lhs, rhs } => {
+                MInstKind::Cmp {
+                    pred,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     regs[dst.index()] = pred.eval(val(*lhs, regs), val(*rhs, regs));
                 }
                 MInstKind::Select {
@@ -230,7 +238,11 @@ impl<'b> Machine<'b> {
                     };
                     cycles += cost.mem_op;
                 }
-                MInstKind::Store { global, index, value } => {
+                MInstKind::Store {
+                    global,
+                    index,
+                    value,
+                } => {
                     let i = val(*index, regs);
                     let v = val(*value, regs);
                     let g = &mut self.globals[global.index()];
@@ -445,8 +457,20 @@ fn bump(x) { acc[0] = acc[0] + x; return acc[0]; }
     #[test]
     fn determinism() {
         let b = build(FIB, false);
-        let mut m1 = Machine::new(&b, SimConfig { sample_period: 97, ..SimConfig::default() });
-        let mut m2 = Machine::new(&b, SimConfig { sample_period: 97, ..SimConfig::default() });
+        let mut m1 = Machine::new(
+            &b,
+            SimConfig {
+                sample_period: 97,
+                ..SimConfig::default()
+            },
+        );
+        let mut m2 = Machine::new(
+            &b,
+            SimConfig {
+                sample_period: 97,
+                ..SimConfig::default()
+            },
+        );
         m1.call("fib", &[15]).unwrap();
         m2.call("fib", &[15]).unwrap();
         assert_eq!(m1.stats(), m2.stats());

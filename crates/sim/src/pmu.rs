@@ -151,7 +151,11 @@ impl SampleTimer {
     /// A timer firing roughly every `period` cycles (never when 0).
     pub fn new(period: u64, seed: u64) -> Self {
         let mut rng = XorShift64::new(seed);
-        let jitter = if period > 0 { rng.below(period / 8 + 1) } else { 0 };
+        let jitter = if period > 0 {
+            rng.below(period / 8 + 1)
+        } else {
+            0
+        };
         SampleTimer {
             period,
             next_at: period + jitter,
@@ -211,7 +215,7 @@ mod tests {
         assert!(c.fetch(0));
         assert!(!c.fetch(32)); // same line
         assert!(c.fetch(64)); // next line
-        // Aliasing at 16 KiB (256 lines * 64B): evicts.
+                              // Aliasing at 16 KiB (256 lines * 64B): evicts.
         assert!(c.fetch(64 + 256 * 64));
         assert!(c.fetch(64));
     }

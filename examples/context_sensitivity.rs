@@ -40,7 +40,13 @@ fn main(n) {
 "#;
 
 fn print_node(profile: &ContextProfile, node: &ContextNode, indent: usize) {
-    let name = |g: u64| profile.names.get(&g).cloned().unwrap_or_else(|| format!("{g:#x}"));
+    let name = |g: u64| {
+        profile
+            .names
+            .get(&g)
+            .cloned()
+            .unwrap_or_else(|| format!("{g:#x}"))
+    };
     println!(
         "{:indent$}{} (samples: {}, inlined: {})",
         "",
@@ -50,7 +56,11 @@ fn print_node(profile: &ContextProfile, node: &ContextNode, indent: usize) {
         indent = indent
     );
     for ((probe, _), child) in &node.children {
-        println!("{:indent$}@ call-site probe {probe}:", "", indent = indent + 2);
+        println!(
+            "{:indent$}@ call-site probe {probe}:",
+            "",
+            indent = indent + 2
+        );
         print_node(profile, child, indent + 4);
     }
 }
@@ -73,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     machine.call("main", &[30_000])?;
     let samples = machine.take_samples();
-    println!("collected {} synchronized LBR+stack samples\n", samples.len());
+    println!(
+        "collected {} synchronized LBR+stack samples\n",
+        samples.len()
+    );
 
     // Algorithm 1: reconstruct calling contexts.
     let mut rc = RangeCounts::default();

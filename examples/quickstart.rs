@@ -48,11 +48,7 @@ fn score(q, n) {
     let config = PipelineConfig::default();
     println!("variant                 eval cycles    text bytes");
     let mut baseline = None;
-    for variant in [
-        PgoVariant::O2,
-        PgoVariant::AutoFdo,
-        PgoVariant::CsspgoFull,
-    ] {
+    for variant in [PgoVariant::O2, PgoVariant::AutoFdo, PgoVariant::CsspgoFull] {
         let outcome = run_pgo_cycle(&workload, variant, &config)?;
         println!(
             "{:<22} {:>12} {:>13}",

@@ -240,15 +240,13 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     if inputs.len() < 2 {
         return Err("merge: need at least two profiles".into());
     }
-    let read =
-        |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
     let text = match format.as_str() {
         "flat" => {
             let mut acc = textprof::parse_flat(&read(inputs[0])?)
                 .map_err(|e| format!("{}: {e}", inputs[0]))?;
             for p in &inputs[1..] {
-                let next =
-                    textprof::parse_flat(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
+                let next = textprof::parse_flat(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
                 csspgo::core::merge::merge_flat(&mut acc, &next);
             }
             textprof::write_flat(&acc)
@@ -257,8 +255,7 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
             let mut acc = textprof::parse_context(&read(inputs[0])?)
                 .map_err(|e| format!("{}: {e}", inputs[0]))?;
             for p in &inputs[1..] {
-                let next =
-                    textprof::parse_context(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
+                let next = textprof::parse_context(&read(p)?).map_err(|e| format!("{p}: {e}"))?;
                 csspgo::core::merge::merge_context(&mut acc, &next);
             }
             textprof::write_context(&acc)
@@ -290,9 +287,10 @@ fn cmd_pgo(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown --variant `{other}`")),
     };
     let train = parse_args_list(&opt_value(args, "--train").unwrap_or_default())?;
-    let eval = parse_args_list(&opt_value(args, "--eval").unwrap_or_else(|| {
-        opt_value(args, "--train").unwrap_or_default()
-    }))?;
+    let eval = parse_args_list(
+        &opt_value(args, "--eval")
+            .unwrap_or_else(|| opt_value(args, "--train").unwrap_or_default()),
+    )?;
     let repeat: usize = opt_value(args, "--repeat")
         .map(|v| v.parse().map_err(|_| "bad --repeat"))
         .transpose()?
@@ -310,7 +308,10 @@ fn cmd_pgo(args: &[String]) -> Result<(), String> {
     let config = PipelineConfig::default();
     let outcome = run_pgo_cycle(&workload, variant, &config).map_err(|e| e.to_string())?;
     println!("variant: {}", outcome.variant);
-    println!("profiling: {} cycles, {} samples", outcome.profiling.cycles, outcome.profiling.samples);
+    println!(
+        "profiling: {} cycles, {} samples",
+        outcome.profiling.cycles, outcome.profiling.samples
+    );
     println!(
         "annotation: {} functions, {} stale, {} inlines replayed, plan {}",
         outcome.annotate_stats.annotated,

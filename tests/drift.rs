@@ -1,8 +1,6 @@
 //! Integration tests for the paper's source-drift story (§III.A).
 
-use csspgo::core::pipeline::{
-    run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig,
-};
+use csspgo::core::pipeline::{run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
 use csspgo::workloads::drift;
 
 fn cfg() -> PipelineConfig {
@@ -18,7 +16,10 @@ fn csspgo_is_immune_to_comment_drift() {
     let drifted = drift::insert_body_comments(&w.source);
     let clean = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg()).unwrap();
     let after = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted).unwrap();
-    assert_eq!(after.annotate_stats.stale, 0, "comments must not look stale");
+    assert_eq!(
+        after.annotate_stats.stale, 0,
+        "comments must not look stale"
+    );
     assert_eq!(
         clean.eval.cycles, after.eval.cycles,
         "CFG checksums make CSSPGO drift-transparent"

@@ -118,7 +118,12 @@ fn every_pgo_variant_beats_plain_o2() {
 fn probe_metadata_only_in_probed_builds() {
     let o = run_all();
     assert!(o[&PgoVariant::CsspgoFull].profiling_sections.pseudo_probe > 0);
-    assert!(o[&PgoVariant::CsspgoProbeOnly].profiling_sections.pseudo_probe > 0);
+    assert!(
+        o[&PgoVariant::CsspgoProbeOnly]
+            .profiling_sections
+            .pseudo_probe
+            > 0
+    );
     assert_eq!(o[&PgoVariant::AutoFdo].profiling_sections.pseudo_probe, 0);
     assert_eq!(o[&PgoVariant::Instr].profiling_sections.pseudo_probe, 0);
 }
@@ -142,7 +147,11 @@ fn instrumented_profiling_run_is_much_slower() {
     let instr = o[&PgoVariant::Instr].profiling.cycles as f64;
     let auto = o[&PgoVariant::AutoFdo].profiling.cycles as f64;
     let probe = o[&PgoVariant::CsspgoFull].profiling.cycles as f64;
-    assert!(instr / auto > 1.3, "instrumentation overhead {:.2}x", instr / auto);
+    assert!(
+        instr / auto > 1.3,
+        "instrumentation overhead {:.2}x",
+        instr / auto
+    );
     assert!(
         (probe / auto - 1.0).abs() < 0.05,
         "pseudo-instrumentation must be near-zero overhead: {:.3}x",

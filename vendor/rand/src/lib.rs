@@ -1,0 +1,123 @@
+//! Offline stand-in for `rand` (0.10-style API surface).
+//!
+//! Provides exactly what this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `RngExt::random_range` over
+//! half-open integer ranges. The generator is splitmix64 — statistically
+//! fine for workload synthesis, deterministic for a given seed (which is
+//! all the benchmarks need).
+
+use std::ops::Range;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator trait: a source of uniform u64s.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub mod rngs {
+    /// splitmix64 generator; passes through u64 space with period 2^64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleRange: Sized {
+    fn sample(rng: &mut impl Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut impl Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                // Multiply-shift uniform mapping; bias is negligible for the
+                // span sizes used here and determinism is what matters.
+                let x = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((range.start as $wide).wrapping_add(x as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut impl Rng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "random_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Extension methods on any [`Rng`] (rand 0.10's `random_range` naming).
+pub trait RngExt: Rng {
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(-5i32..17);
+            assert!((-5..17).contains(&x));
+            let y = rng.random_range(3usize..4);
+            assert_eq!(y, 3);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `par_iter`/`into_par_iter` + `map` + `collect`, `join`, and
+//! `current_num_threads` — with real parallelism via `std::thread::scope`.
+//! Work is distributed by an atomic index over precomputed items, so
+//! results come back in input order regardless of scheduling.
+//!
+//! Thread count honors `RAYON_NUM_THREADS` (like real rayon), defaulting
+//! to `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut rb_slot = None;
+    let ra = std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        rb_slot = Some(handle.join().expect("rayon stub: join worker panicked"));
+        ra
+    });
+    (ra, rb_slot.unwrap())
+}
+
+/// Marker trait so generic code can bound on `ParallelIterator` like with
+/// real rayon; the combinators are inherent methods.
+pub trait ParallelIterator {}
+
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParallelIterator for ParIter<T> {}
+
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParallelIterator for ParMap<T, F> {}
+
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync + Send,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync + Send,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(run_parallel(self.items, &self.f))
+    }
+}
+
+/// Applies `f` to every item across a scoped thread pool, preserving input
+/// order in the output.
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| Mutex::new((Some(item), None)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().0.take().unwrap();
+                let result = f(item);
+                slots[i].lock().unwrap().1 = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .1
+                .expect("rayon stub: missing result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_by_ref() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.iter().sum::<u64>(), v.iter().sum::<u64>() + 100);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

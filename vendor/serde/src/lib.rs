@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde crate is unavailable in this build environment (no
+//! registry access), so this crate provides a much simpler value-tree
+//! model that covers everything the workspace needs: `#[derive(Serialize,
+//! Deserialize)]` on concrete (non-generic) types, plus `serde_json`
+//! `to_string`/`from_str` entry points built on [`Value`].
+//!
+//! Instead of serde's visitor architecture, serialization goes through an
+//! intermediate [`Value`] tree: `Serialize::ser` produces a `Value`,
+//! `Deserialize::de` consumes one. Formats (see `vendor/serde_json`)
+//! render and parse `Value`s.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    line: usize,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            line: 0,
+        }
+    }
+
+    pub fn at_line(msg: impl Into<String>, line: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            line,
+        }
+    }
+
+    /// Line number of a parse error (0 when not applicable).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {}", self.msg, self.line)
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn ser(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn de(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a named struct field is absent from the serialized map.
+    /// `Option<T>` overrides this to produce `None`; everything else errors.
+    fn missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{name}`")))
+    }
+}
+
+/// Support routines used by the derive macro expansions.
+pub mod helpers {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in a `Value::Map` with string keys, falling back to
+    /// `T::missing_field` when absent (so `Option` fields tolerate absence).
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        let Value::Map(entries) = v else {
+            return Err(Error::custom(format!(
+                "expected map while reading field `{name}`"
+            )));
+        };
+        for (k, val) in entries {
+            if let Value::Str(s) = k {
+                if s == name {
+                    return T::de(val);
+                }
+            }
+        }
+        T::missing_field(name)
+    }
+
+    /// Indexes into a `Value::Seq` (used for tuple structs/variants).
+    pub fn seq_item(v: &Value, idx: usize) -> Result<&Value, Error> {
+        let Value::Seq(items) = v else {
+            return Err(Error::custom("expected sequence"));
+        };
+        items
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("sequence too short: no element {idx}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn ser(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        f64::de(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn ser(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(x) => x.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::de).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        T::de(v).map(Box::new)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser(&self) -> Value {
+                Value::Seq(vec![$(self.$n.ser()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn de(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => Ok(($($t::de(
+                        items.get($n).ok_or_else(|| Error::custom("tuple too short"))?
+                    )?,)+)),
+                    _ => Err(Error::custom("expected tuple sequence")),
+                }
+            }
+        }
+    )+};
+}
+
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+fn map_entries<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    it: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    let mut entries: Vec<(Value, Value)> = it.map(|(k, v)| (k.ser(), v.ser())).collect();
+    // Hash containers iterate in arbitrary order; sort by the rendered key so
+    // serialization is deterministic across runs.
+    entries.sort_by(|a, b| value_sort_key(&a.0).cmp(&value_sort_key(&b.0)));
+    Value::Map(entries)
+}
+
+fn value_sort_key(v: &Value) -> String {
+    // A total order over serialized keys; exact shape doesn't matter as long
+    // as it is deterministic.
+    format!("{v:?}")
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::de(k)?, V::de(val)?)))
+                .collect(),
+            _ => Err(Error::custom("expected map")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn ser(&self) -> Value {
+        map_entries(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::de(k)?, V::de(val)?)))
+                .collect(),
+            _ => Err(Error::custom("expected map")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn ser(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::de).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn ser(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::ser).collect();
+        items.sort_by(|a, b| value_sort_key(a).cmp(&value_sort_key(b)));
+        Value::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::de).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn de(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so the real serde stack is
+//! unavailable. This proc-macro derives the *vendored* `serde` crate's
+//! value-tree `Serialize`/`Deserialize` traits (see `vendor/serde`) for the
+//! shapes this workspace actually uses:
+//!
+//! * structs with named fields (private fields included),
+//! * tuple structs (1-field tuple structs serialize transparently, like
+//!   serde newtypes — important for id newtypes used as map keys),
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generics are intentionally unsupported: no serialized type in this
+//! workspace is generic, and refusing keeps the hand-rolled token parser
+//! honest.
+//!
+//! The parser works on raw `proc_macro::TokenStream`s (no `syn`/`quote`
+//! either); generated impls are rendered as strings and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+enum Parsed {
+    Struct(String, Body),
+    Enum(String, Vec<Variant>),
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`).
+fn skip_meta(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        tokens.next();
+                    }
+                    _ => panic!("serde stub derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant body: top-level commas
+/// at zero `<...>` depth separate fields (parens/brackets are opaque groups).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parses a named-field body (`{ a: T, b: U }` contents) into field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_meta(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde stub derive: expected field name, got `{tt}`");
+        };
+        names.push(name.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut depth = 0i32;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_meta(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde stub derive: expected variant name, got `{tt}`");
+        };
+        let name = name.to_string();
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                out.push(Variant::Tuple(name, n));
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                out.push(Variant::Struct(name, parse_named_fields(g.stream())));
+                tokens.next();
+            }
+            _ => out.push(Variant::Unit(name)),
+        }
+        // Skip an optional discriminant and the separating comma.
+        while let Some(t) = tokens.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    skip_meta(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is unsupported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde stub derive: malformed struct body: {other:?}"),
+            };
+            Parsed::Struct(name, body)
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde stub derive: malformed enum body: {other:?}"),
+            };
+            Parsed::Enum(name, body)
+        }
+        other => panic!("serde stub derive: cannot derive for `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Parsed::Struct(name, Body::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::ser(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Parsed::Struct(name, Body::Tuple(1)) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{ ::serde::Serialize::ser(&self.0) }}\n\
+             }}"
+        ),
+        Parsed::Struct(name, Body::Tuple(n)) => {
+            let entries: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Parsed::Struct(name, Body::Unit) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Parsed::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                    ),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::ser(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::ser({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), \
+                             {payload})])",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Value::Str(::std::string::String::from(\"{f}\")), \
+                                     ::serde::Serialize::ser({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Value::Map(::std::vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stub derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Parsed::Struct(name, Body::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::helpers::field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Parsed::Struct(name, Body::Tuple(1)) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::de(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Parsed::Struct(name, Body::Tuple(n)) => {
+            let inits: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::de(::serde::helpers::seq_item(v, {i})?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Parsed::Struct(name, Body::Unit) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Parsed::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, n) => {
+                        let inits: Vec<String> = if *n == 1 {
+                            vec!["::serde::Deserialize::de(payload)?".to_string()]
+                        } else {
+                            (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::de(\
+                                         ::serde::helpers::seq_item(payload, {i})?)?"
+                                    )
+                                })
+                                .collect()
+                        };
+                        Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({}))",
+                            inits.join(", ")
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::helpers::field(payload, \"{f}\")?"))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 let ::serde::Value::Str(tag) = tag else {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"enum tag must be a string\"));\n\
+                                 }};\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected enum representation for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stub derive: generated Deserialize impl parses")
+}
