@@ -134,9 +134,16 @@ pub struct PipelineBenchRecord {
 impl PipelineBenchRecord {
     /// Builds a record from a cycle's [`StageTimes`].
     pub fn new(workload: &str, variant: PgoVariant, t: &StageTimes) -> Self {
+        Self::labeled(workload, &variant.to_string(), t)
+    }
+
+    /// Builds a record with a free-form label in the `variant` column —
+    /// how non-cycle rows (e.g. `profile_serve`'s per-epoch ingest
+    /// timings, labeled `epoch-N`) share the `BENCH_pipeline.json` shape.
+    pub fn labeled(workload: &str, label: &str, t: &StageTimes) -> Self {
         PipelineBenchRecord {
             workload: workload.to_string(),
-            variant: variant.to_string(),
+            variant: label.to_string(),
             compile_ms: t.compile_ms,
             simulate_ms: t.simulate_ms,
             correlate_ms: t.correlate_ms,
@@ -196,10 +203,10 @@ fn work(n) {
 }
 "#;
         let w = Workload::new("mini", src, "work", vec![vec![400]; 2], vec![vec![401]; 2]);
-        let cfg = PipelineConfig {
-            sample_period: 61,
-            ..PipelineConfig::default()
-        };
+        let cfg = PipelineConfig::builder()
+            .sample_period(61)
+            .build()
+            .expect("valid test config");
         let out = run_variants(&w, &PgoVariant::ALL, &cfg);
         assert_eq!(out.len(), PgoVariant::ALL.len());
         let first = out[&PgoVariant::O2].eval_result_hash;

@@ -25,7 +25,11 @@
 //!   decisions (AutoFDO's early inliner and CSSPGO's plan-driven inliner);
 //! * [`overlap`] — the block-overlap profile-quality metric of Table I;
 //! * [`pipeline`] — end-to-end PGO cycles for every variant the paper
-//!   evaluates ([`pipeline::PgoVariant`]);
+//!   evaluates ([`pipeline::PgoVariant`]), fed by pluggable
+//!   [`pipeline::ProfileSource`]s;
+//! * [`stream`] — the streaming aggregation service: epoch-incremental
+//!   bounded-memory profile folding with snapshot/restore and drift
+//!   detection (the continuous-profiling deployment mode);
 //! * [`workload`] — the workload abstraction consumed by the pipelines.
 
 pub mod annotate;
@@ -39,10 +43,15 @@ pub mod preinline;
 pub mod profile;
 pub mod ranges;
 pub mod shard;
+pub mod stream;
 pub mod tailcall;
 pub mod textprof;
 pub mod unwind;
 pub mod workload;
 
-pub use pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig, StageTimes};
+pub use pipeline::{
+    run_pgo_cycle, run_pgo_cycle_with, BatchSource, EpochSource, PgoOutcome, PgoVariant,
+    PipelineConfig, PipelineConfigBuilder, PipelineError, ProfileSource, StageTimes,
+};
+pub use stream::{EpochSummary, StreamAggregator, StreamConfig};
 pub use workload::Workload;

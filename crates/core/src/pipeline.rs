@@ -14,11 +14,13 @@ use crate::correlate::{dwarf_profile, probe_profile};
 use crate::overlap::BlockCounts;
 use crate::preinline::{run_preinliner, to_inline_plan, PreInlineConfig};
 use crate::shard::{sharded_context_profile, sharded_range_counts};
+use crate::stream::StreamConfig;
 use crate::tailcall::{InferStats, TailCallGraph};
 use crate::workload::Workload;
 use csspgo_codegen::{lower_module, Binary, CodegenConfig, SectionSizes};
 use csspgo_ir::Module;
 use csspgo_opt::OptConfig;
+use csspgo_sim::Sample;
 use csspgo_sim::{Machine, RunStats, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -26,7 +28,12 @@ use std::fmt;
 use std::time::Instant;
 
 /// The PGO variants evaluated in the paper.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so future variants (e.g. streaming-refresh hybrids) are not breaking
+/// changes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum PgoVariant {
     /// Plain optimized build, no profile (the pre-PGO baseline).
     O2,
@@ -71,6 +78,10 @@ impl fmt::Display for PgoVariant {
 }
 
 /// Pipeline configuration.
+///
+/// Construct via [`PipelineConfig::default`] (always valid) or the
+/// validating [`PipelineConfig::builder`], which rejects inconsistent
+/// combinations up front instead of letting them fail deep inside a cycle.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
     /// Optimizer knobs (shared across variants for fair comparison).
@@ -81,6 +92,8 @@ pub struct PipelineConfig {
     pub annotate: AnnotateConfig,
     /// Pre-inliner knobs (full CSSPGO).
     pub preinline: PreInlineConfig,
+    /// Streaming-aggregation knobs (epoch ingestion; see [`crate::stream`]).
+    pub stream: StreamConfig,
     /// Cold-context trimming threshold (full CSSPGO).
     pub trim_threshold: u64,
     /// PMU sampling period in cycles.
@@ -105,6 +118,7 @@ impl Default for PipelineConfig {
             codegen: CodegenConfig::default(),
             annotate: AnnotateConfig::default(),
             preinline: PreInlineConfig::default(),
+            stream: StreamConfig::default(),
             trim_threshold: 16,
             sample_period: 199,
             lbr_size: 16,
@@ -113,6 +127,170 @@ impl Default for PipelineConfig {
             max_steps: 40_000_000_000,
             ingest_shards: 0,
         }
+    }
+}
+
+/// Hard cap on explicit shard requests; anything beyond this is a typo, not
+/// a parallelism plan.
+const MAX_INGEST_SHARDS: usize = 1 << 16;
+
+impl PipelineConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
+        }
+    }
+
+    /// Checks the configuration's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] describing the first
+    /// rejected combination.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        let fail = |msg: String| Err(PipelineError::InvalidConfig(msg));
+        if self.sample_period == 0 {
+            return fail(
+                "sample_period must be non-zero: sampling variants would collect no samples \
+                 (and sharded ingestion would have nothing to shard)"
+                    .into(),
+            );
+        }
+        if self.lbr_size < 2 {
+            return fail(format!(
+                "lbr_size {} is too small: range derivation needs at least two LBR entries",
+                self.lbr_size
+            ));
+        }
+        if self.max_steps == 0 {
+            return fail("max_steps must be non-zero: every run would exceed its budget".into());
+        }
+        if self.ingest_shards > MAX_INGEST_SHARDS {
+            return fail(format!(
+                "ingest_shards {} exceeds the {MAX_INGEST_SHARDS} cap (0 means auto)",
+                self.ingest_shards
+            ));
+        }
+        if self.stream.max_pending_samples == 0 {
+            return fail(
+                "stream.max_pending_samples must be non-zero: no batch could ever be pushed".into(),
+            );
+        }
+        if !(0.0..=1.0).contains(&self.stream.drift_threshold) {
+            return fail(format!(
+                "stream.drift_threshold {} is not a fraction in [0, 1]",
+                self.stream.drift_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`PipelineConfig`].
+///
+/// Every setter overwrites one field; [`PipelineConfigBuilder::build`]
+/// validates the combination and returns
+/// [`PipelineError::InvalidConfig`] on inconsistency.
+#[derive(Clone, Debug)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Sets the optimizer knobs.
+    #[must_use]
+    pub fn opt(mut self, opt: OptConfig) -> Self {
+        self.cfg.opt = opt;
+        self
+    }
+
+    /// Sets the code-generation knobs.
+    #[must_use]
+    pub fn codegen(mut self, codegen: CodegenConfig) -> Self {
+        self.cfg.codegen = codegen;
+        self
+    }
+
+    /// Sets the annotation / replay knobs.
+    #[must_use]
+    pub fn annotate(mut self, annotate: AnnotateConfig) -> Self {
+        self.cfg.annotate = annotate;
+        self
+    }
+
+    /// Sets the pre-inliner knobs.
+    #[must_use]
+    pub fn preinline(mut self, preinline: PreInlineConfig) -> Self {
+        self.cfg.preinline = preinline;
+        self
+    }
+
+    /// Sets the streaming-aggregation knobs.
+    #[must_use]
+    pub fn stream(mut self, stream: StreamConfig) -> Self {
+        self.cfg.stream = stream;
+        self
+    }
+
+    /// Sets the cold-context trimming threshold.
+    #[must_use]
+    pub fn trim_threshold(mut self, threshold: u64) -> Self {
+        self.cfg.trim_threshold = threshold;
+        self
+    }
+
+    /// Sets the PMU sampling period in cycles.
+    #[must_use]
+    pub fn sample_period(mut self, period: u64) -> Self {
+        self.cfg.sample_period = period;
+        self
+    }
+
+    /// Sets the LBR depth.
+    #[must_use]
+    pub fn lbr_size(mut self, size: usize) -> Self {
+        self.cfg.lbr_size = size;
+        self
+    }
+
+    /// Enables or disables precise sampling (PEBS).
+    #[must_use]
+    pub fn pebs(mut self, pebs: bool) -> Self {
+        self.cfg.pebs = pebs;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the simulator step budget per run.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.cfg.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the sample-ingestion shard count (`0` = auto).
+    #[must_use]
+    pub fn ingest_shards(mut self, shards: usize) -> Self {
+        self.cfg.ingest_shards = shards;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] when the combination is
+    /// inconsistent (see [`PipelineConfig::validate`]).
+    pub fn build(self) -> Result<PipelineConfig, PipelineError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -154,12 +332,26 @@ fn ms_since(t: Instant) -> f64 {
 }
 
 /// Pipeline failure.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure modes are not breaking changes.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PipelineError {
     /// Frontend rejected the workload source.
     Compile(csspgo_lang::CompileError),
     /// The simulator failed.
     Sim(csspgo_sim::SimError),
+    /// A configuration combination rejected by the builder
+    /// ([`PipelineConfig::validate`]).
+    InvalidConfig(String),
+    /// Malformed profile or snapshot text.
+    Profile(crate::textprof::ParseError),
+    /// Streaming-aggregation misuse: buffer overflow, binary mismatch,
+    /// malformed snapshot structure (see [`crate::stream`]).
+    Stream(String),
+    /// An internal invariant on sample/profile data did not hold.
+    Inconsistent(&'static str),
 }
 
 impl fmt::Display for PipelineError {
@@ -167,6 +359,10 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Compile(e) => write!(f, "compile error: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::Profile(e) => write!(f, "profile data error: {e}"),
+            PipelineError::Stream(msg) => write!(f, "stream aggregation error: {msg}"),
+            PipelineError::Inconsistent(msg) => write!(f, "internal inconsistency: {msg}"),
         }
     }
 }
@@ -182,6 +378,12 @@ impl From<csspgo_lang::CompileError> for PipelineError {
 impl From<csspgo_sim::SimError> for PipelineError {
     fn from(e: csspgo_sim::SimError) -> Self {
         PipelineError::Sim(e)
+    }
+}
+
+impl From<crate::textprof::ParseError> for PipelineError {
+    fn from(e: crate::textprof::ParseError) -> Self {
+        PipelineError::Profile(e)
     }
 }
 
@@ -217,7 +419,110 @@ pub struct PgoOutcome {
     pub stage_times: StageTimes,
 }
 
-/// Runs one full PGO cycle for `workload` with `variant`.
+/// Where a PGO cycle's PMU samples come from.
+///
+/// The pipeline builds the profiling binary and the machine; the source
+/// decides how the workload's training traffic is driven and how samples
+/// are drained. [`BatchSource`] reproduces the classic one-shot run;
+/// [`EpochSource`] drains samples in epoch-sized batches, the shape the
+/// streaming aggregator ([`crate::stream`]) consumes in production. Both
+/// must return the *complete, ordered* sample stream of the run — the
+/// simulator is deterministic, so any faithful drainage yields the same
+/// stream and therefore a bit-identical profile.
+pub trait ProfileSource {
+    /// Short description used in diagnostics.
+    fn describe(&self) -> String;
+
+    /// Drives the workload's training traffic on `machine` and returns the
+    /// full ordered sample stream of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when a training call fails (e.g. step
+    /// budget exceeded).
+    fn collect(
+        &mut self,
+        machine: &mut Machine<'_>,
+        workload: &Workload,
+    ) -> Result<Vec<Sample>, PipelineError>;
+}
+
+/// One-shot batch profiling: run all training traffic, drain once.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchSource;
+
+impl ProfileSource for BatchSource {
+    fn describe(&self) -> String {
+        "batch".into()
+    }
+
+    fn collect(
+        &mut self,
+        machine: &mut Machine<'_>,
+        workload: &Workload,
+    ) -> Result<Vec<Sample>, PipelineError> {
+        for args in &workload.train_calls {
+            machine.call(&workload.entry, args)?;
+        }
+        Ok(machine.take_samples())
+    }
+}
+
+/// Streaming-style profiling: training traffic is issued in epochs of
+/// `calls_per_epoch` requests, samples drained after each epoch — the
+/// AlwaysOn-collection shape. The concatenated stream is identical to a
+/// [`BatchSource`] run, so the downstream profile is bit-identical; the
+/// per-epoch batch sizes are recorded in [`EpochSource::batch_sizes`] for
+/// callers that feed a [`crate::stream::StreamAggregator`].
+#[derive(Clone, Debug)]
+pub struct EpochSource {
+    /// Training calls per epoch (0 degenerates to one epoch).
+    pub calls_per_epoch: usize,
+    /// Sample count of each collected epoch, filled by `collect`.
+    pub batch_sizes: Vec<usize>,
+}
+
+impl EpochSource {
+    /// An epoch source draining every `calls_per_epoch` training calls.
+    pub fn new(calls_per_epoch: usize) -> Self {
+        EpochSource {
+            calls_per_epoch,
+            batch_sizes: Vec::new(),
+        }
+    }
+}
+
+impl ProfileSource for EpochSource {
+    fn describe(&self) -> String {
+        format!("epochs of {} calls", self.calls_per_epoch)
+    }
+
+    fn collect(
+        &mut self,
+        machine: &mut Machine<'_>,
+        workload: &Workload,
+    ) -> Result<Vec<Sample>, PipelineError> {
+        self.batch_sizes.clear();
+        let chunk = if self.calls_per_epoch == 0 {
+            workload.train_calls.len().max(1)
+        } else {
+            self.calls_per_epoch
+        };
+        let mut samples = Vec::new();
+        for epoch_calls in workload.train_calls.chunks(chunk) {
+            for args in epoch_calls {
+                machine.call(&workload.entry, args)?;
+            }
+            let batch = machine.take_samples();
+            self.batch_sizes.push(batch.len());
+            samples.extend(batch);
+        }
+        Ok(samples)
+    }
+}
+
+/// Runs one full PGO cycle for `workload` with `variant`, profiling via the
+/// classic one-shot [`BatchSource`].
 ///
 /// # Errors
 ///
@@ -228,17 +533,47 @@ pub fn run_pgo_cycle(
     variant: PgoVariant,
     config: &PipelineConfig,
 ) -> Result<PgoOutcome, PipelineError> {
-    run_pgo_cycle_drifted(workload, variant, config, &workload.source)
+    run_pgo_cycle_with(
+        workload,
+        variant,
+        config,
+        &mut BatchSource,
+        &workload.source,
+    )
 }
 
 /// Like [`run_pgo_cycle`] but the *optimized* build compiles
 /// `build_source` instead of the profiled source — the paper's source-drift
 /// scenario (profile collected on last week's binary, build uses today's
 /// code).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if either source fails to compile or a
+/// simulation exceeds its budget.
 pub fn run_pgo_cycle_drifted(
     workload: &Workload,
     variant: PgoVariant,
     config: &PipelineConfig,
+    build_source: &str,
+) -> Result<PgoOutcome, PipelineError> {
+    run_pgo_cycle_with(workload, variant, config, &mut BatchSource, build_source)
+}
+
+/// The unified PGO-cycle entry point: one signature accepts any
+/// [`ProfileSource`] (batch or streaming epochs) and any build source
+/// (fresh or drifted). [`run_pgo_cycle`] and [`run_pgo_cycle_drifted`] are
+/// thin wrappers over this.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if a source fails to compile or a simulation
+/// exceeds its budget.
+pub fn run_pgo_cycle_with(
+    workload: &Workload,
+    variant: PgoVariant,
+    config: &PipelineConfig,
+    source: &mut dyn ProfileSource,
     build_source: &str,
 ) -> Result<PgoOutcome, PipelineError> {
     let mut outcome = PgoOutcome {
@@ -298,11 +633,8 @@ pub fn run_pgo_cycle_drifted(
         for (name, values) in &workload.setup {
             machine.set_global(name, values);
         }
-        for args in &workload.train_calls {
-            machine.call(&workload.entry, args)?;
-        }
+        samples = source.collect(&mut machine, workload)?;
         outcome.profiling = *machine.stats();
-        samples = machine.take_samples();
         counters = machine.counters().to_vec();
     }
     outcome.stage_times.simulate_ms = ms_since(stage_start);
@@ -370,7 +702,9 @@ pub fn run_pgo_cycle_drifted(
             Generated::Probe(probe_prof, Some(plan))
         }
         (PgoVariant::Instr, Some(_)) => {
-            let map = counter_map.expect("instrumented build has a counter map");
+            let map = counter_map.take().ok_or(PipelineError::Inconsistent(
+                "instrumented build produced no counter map",
+            ))?;
             let mut exact = std::collections::HashMap::new();
             for ((fid, bid), counter) in map.by_block {
                 exact.insert((fid, bid), counters[counter as usize]);
@@ -531,10 +865,10 @@ fn score(n) {
     }
 
     fn quick_config() -> PipelineConfig {
-        PipelineConfig {
-            sample_period: 61,
-            ..PipelineConfig::default()
-        }
+        PipelineConfig::builder()
+            .sample_period(61)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]
@@ -648,5 +982,64 @@ fn score(n) {
             instr.eval.cycles,
             o2.eval.cycles
         );
+    }
+
+    #[test]
+    fn builder_accepts_valid_and_rejects_invalid_combos() {
+        let cfg = PipelineConfig::builder()
+            .sample_period(97)
+            .ingest_shards(4)
+            .trim_threshold(8)
+            .build()
+            .expect("valid combo");
+        assert_eq!(cfg.sample_period, 97);
+        assert_eq!(cfg.ingest_shards, 4);
+
+        for bad in [
+            PipelineConfig::builder().sample_period(0).build(),
+            PipelineConfig::builder().lbr_size(1).build(),
+            PipelineConfig::builder().max_steps(0).build(),
+            PipelineConfig::builder()
+                .ingest_shards(MAX_INGEST_SHARDS + 1)
+                .build(),
+            PipelineConfig::builder()
+                .stream(StreamConfig {
+                    drift_threshold: 1.5,
+                    ..StreamConfig::default()
+                })
+                .build(),
+            PipelineConfig::builder()
+                .stream(StreamConfig {
+                    max_pending_samples: 0,
+                    ..StreamConfig::default()
+                })
+                .build(),
+        ] {
+            let err = bad.expect_err("combo must be rejected");
+            assert!(
+                matches!(err, PipelineError::InvalidConfig(_)),
+                "wrong error: {err}"
+            );
+        }
+
+        // `Default` stays valid by construction.
+        PipelineConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn epoch_source_matches_batch_source_bit_for_bit() {
+        let w = tiny_workload();
+        let cfg = quick_config();
+        for v in [PgoVariant::AutoFdo, PgoVariant::CsspgoFull] {
+            let batch = run_pgo_cycle(&w, v, &cfg).unwrap();
+            let mut epochs = EpochSource::new(1);
+            let streamed = run_pgo_cycle_with(&w, v, &cfg, &mut epochs, &w.source).unwrap();
+            assert!(epochs.batch_sizes.len() > 1, "traffic split into epochs");
+            assert_eq!(batch.eval_result_hash, streamed.eval_result_hash);
+            assert_eq!(batch.eval.cycles, streamed.eval.cycles);
+            assert_eq!(batch.sections.text, streamed.sections.text);
+            assert_eq!(batch.profiling.samples, streamed.profiling.samples);
+            assert_eq!(batch.plan_len, streamed.plan_len);
+        }
     }
 }

@@ -1,0 +1,811 @@
+//! Streaming profile aggregation: epoch-based incremental ingestion of an
+//! unbounded PMU sample stream.
+//!
+//! The paper's deployment runs against *continuous* production profiling
+//! (AlwaysOn-style `perf` collection feeding periodic profile refreshes),
+//! not a single offline run. This module is that ingestion path:
+//!
+//! * samples arrive in bounded batches ([`StreamAggregator::push_batch`])
+//!   and are folded at *epoch* boundaries
+//!   ([`StreamAggregator::seal_epoch`]) — raw samples are dropped after
+//!   each fold, so memory stays bounded by the epoch size, not the stream;
+//! * each epoch is ingested with the same sharded machinery as the batch
+//!   pipeline ([`crate::shard`]) and folded into the cumulative profile
+//!   with the count-additive cross-host merge ([`crate::merge`]);
+//! * the cumulative state round-trips through a text snapshot
+//!   ([`StreamAggregator::snapshot`] / [`StreamAggregator::restore`])
+//!   whose context section is the [`crate::textprof`] CS format;
+//! * consecutive epochs are compared for *drift* (distribution overlap of
+//!   probe weights); a stale epoch flags the profile for recompilation via
+//!   the existing [`crate::pipeline::run_pgo_cycle_drifted`] path.
+//!
+//! **The epoch invariant** (enforced by unit, golden, and property tests):
+//! for a fixed tail-call graph, folding N epochs incrementally produces a
+//! profile *bit-identical* to one-shot batch ingestion of the concatenated
+//! samples. This holds because every per-sample contribution is an
+//! order-independent `+=` into keyed maps and the unwinder carries no
+//! cross-sample state — the same two facts that make sharded ingestion
+//! exact. The tail-call graph is therefore pinned at construction
+//! (typically from a calibration epoch) and persisted inside snapshots;
+//! rebuilding it mid-stream would change how later samples unwind.
+
+use crate::context::ContextProfile;
+use crate::merge::merge_context;
+use crate::pipeline::{PipelineError, StageTimes};
+use crate::profile::ProbeProfile;
+use crate::ranges::RangeCounts;
+use crate::shard::{sharded_context_profile, sharded_range_counts};
+use crate::tailcall::{InferStats, TailCallGraph};
+use crate::textprof;
+use csspgo_codegen::Binary;
+use csspgo_sim::Sample;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Streaming-aggregation knobs (embedded in
+/// [`crate::pipeline::PipelineConfig`] and validated by its builder).
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Maximum samples buffered between epoch seals; `push_batch` refuses
+    /// to grow past this, which is the bounded-memory contract.
+    pub max_pending_samples: usize,
+    /// Epoch-to-epoch probe-weight overlap below which the profile counts
+    /// as drifted (stale). A fraction in `[0, 1]`; `0.0` disables.
+    pub drift_threshold: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            max_pending_samples: 1 << 20,
+            drift_threshold: 0.5,
+        }
+    }
+}
+
+/// What one sealed epoch did: sizes, per-stage wall times, drift verdict.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochSummary {
+    /// 0-based index of the sealed epoch.
+    pub epoch: u64,
+    /// Samples folded by this epoch.
+    pub samples: usize,
+    /// Samples folded across all epochs so far.
+    pub total_samples: u64,
+    /// Context-trie nodes contributed by this epoch alone.
+    pub nodes_epoch: usize,
+    /// Context-trie nodes in the cumulative profile after the fold.
+    pub nodes_cumulative: usize,
+    /// Range/branch accumulation time (ms).
+    pub ingest_ms: f64,
+    /// Context unwinding time (ms).
+    pub unwind_ms: f64,
+    /// Cumulative-fold (merge) time (ms).
+    pub fold_ms: f64,
+    /// Probe-weight overlap with the previous epoch (1.0 = identical
+    /// distribution; 1.0 for the first or an empty epoch).
+    pub overlap: f64,
+    /// Whether this epoch's overlap fell below the drift threshold.
+    pub stale: bool,
+}
+
+impl EpochSummary {
+    /// Total aggregation time of the epoch (ms).
+    pub fn aggregate_ms(&self) -> f64 {
+        self.ingest_ms + self.unwind_ms + self.fold_ms
+    }
+
+    /// Maps the epoch onto the pipeline's [`StageTimes`] shape so epoch
+    /// records slot into the `BENCH_pipeline.json` format: `simulate_ms`
+    /// is the caller-measured traffic time, all aggregation work lands in
+    /// `correlate_ms`.
+    pub fn stage_times(&self, simulate_ms: f64) -> StageTimes {
+        StageTimes {
+            simulate_ms,
+            correlate_ms: self.aggregate_ms(),
+            ..StageTimes::default()
+        }
+    }
+}
+
+/// A content fingerprint of the profiled binary, persisted in snapshots so
+/// a restore onto a different build is rejected instead of silently
+/// mis-correlating counts.
+fn binary_fingerprint(binary: &Binary) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |h: &mut u64, v: u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(&mut h, binary.len() as u64);
+    for f in &binary.funcs {
+        mix(&mut h, f.guid);
+        mix(&mut h, f.probe_checksum.unwrap_or(0));
+    }
+    h
+}
+
+/// Flattens a context profile into context-insensitive probe weights
+/// `(guid, probe) → count` — the distribution the drift detector compares.
+fn probe_weights(profile: &ContextProfile) -> BTreeMap<(u64, u32), u64> {
+    fn walk(node: &crate::context::ContextNode, out: &mut BTreeMap<(u64, u32), u64>) {
+        for (&probe, &count) in &node.probes {
+            *out.entry((node.guid, probe)).or_insert(0) += count;
+        }
+        for child in node.children.values() {
+            walk(child, out);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for node in profile.roots.values() {
+        walk(node, &mut out);
+    }
+    out
+}
+
+/// Distribution overlap of two weight maps: `Σ min(aᵢ/Σa, bᵢ/Σb)`, the
+/// same min-of-normalized-shares shape as the paper's block-overlap
+/// quality metric. 1.0 means identical distributions.
+pub fn weight_overlap(a: &BTreeMap<(u64, u32), u64>, b: &BTreeMap<(u64, u32), u64>) -> f64 {
+    let a_total: u64 = a.values().sum();
+    let b_total: u64 = b.values().sum();
+    if a_total == 0 || b_total == 0 {
+        return if a_total == b_total { 1.0 } else { 0.0 };
+    }
+    let mut d = 0.0;
+    for (key, &av) in a {
+        if let Some(&bv) = b.get(key) {
+            d += (av as f64 / a_total as f64).min(bv as f64 / b_total as f64);
+        }
+    }
+    d
+}
+
+/// The streaming profile aggregator: accepts PMU sample batches
+/// incrementally across epochs and maintains a bounded-memory incremental
+/// context-sensitive profile (see the module docs for the invariant).
+#[derive(Debug)]
+pub struct StreamAggregator<'b> {
+    binary: &'b Binary,
+    config: StreamConfig,
+    ingest_shards: usize,
+    tail_graph: Option<TailCallGraph>,
+    rc: RangeCounts,
+    profile: ContextProfile,
+    pending: Vec<Sample>,
+    epochs_sealed: u64,
+    total_samples: u64,
+    infer_stats: InferStats,
+    broken_stacks: u64,
+    last_weights: Option<BTreeMap<(u64, u32), u64>>,
+    last_overlap: f64,
+    stale: bool,
+}
+
+impl<'b> StreamAggregator<'b> {
+    /// An aggregator without missing-frame inference.
+    pub fn new(binary: &'b Binary, config: StreamConfig, ingest_shards: usize) -> Self {
+        Self::build(binary, config, ingest_shards, None)
+    }
+
+    /// An aggregator unwinding with a *pinned* tail-call graph (usually
+    /// built from a calibration epoch's [`RangeCounts`]). Pinning is what
+    /// keeps incremental folds bit-identical to a batch ingestion that
+    /// uses the same graph.
+    pub fn with_tail_graph(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        graph: TailCallGraph,
+    ) -> Self {
+        Self::build(binary, config, ingest_shards, Some(graph))
+    }
+
+    fn build(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        tail_graph: Option<TailCallGraph>,
+    ) -> Self {
+        StreamAggregator {
+            binary,
+            config,
+            ingest_shards,
+            tail_graph,
+            rc: RangeCounts::default(),
+            profile: ContextProfile::new(),
+            pending: Vec::new(),
+            epochs_sealed: 0,
+            total_samples: 0,
+            infer_stats: InferStats::default(),
+            broken_stacks: 0,
+            last_weights: None,
+            last_overlap: 1.0,
+            stale: false,
+        }
+    }
+
+    /// Buffers one batch of samples into the current (unsealed) epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Stream`] when the batch would overflow
+    /// `max_pending_samples` — the caller must [`Self::seal_epoch`] first.
+    pub fn push_batch(&mut self, samples: Vec<Sample>) -> Result<(), PipelineError> {
+        let would_hold = self.pending.len() + samples.len();
+        if would_hold > self.config.max_pending_samples {
+            return Err(PipelineError::Stream(format!(
+                "pending buffer would hold {would_hold} samples, over the \
+                 max_pending_samples cap of {} — seal_epoch before pushing more",
+                self.config.max_pending_samples
+            )));
+        }
+        self.pending.extend(samples);
+        Ok(())
+    }
+
+    /// Folds the buffered samples into the cumulative profile as one epoch
+    /// and runs drift detection against the previous epoch.
+    ///
+    /// An empty epoch is legal (no traffic arrived): it folds nothing and
+    /// reports `overlap = 1.0`.
+    pub fn seal_epoch(&mut self) -> EpochSummary {
+        let samples = std::mem::take(&mut self.pending);
+        let mut summary = EpochSummary {
+            epoch: self.epochs_sealed,
+            samples: samples.len(),
+            overlap: 1.0,
+            ..EpochSummary::default()
+        };
+
+        if !samples.is_empty() {
+            let t = Instant::now();
+            let rc_epoch = sharded_range_counts(self.binary, &samples, self.ingest_shards);
+            summary.ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            let t = Instant::now();
+            let unwound = sharded_context_profile(
+                self.binary,
+                self.tail_graph.as_ref(),
+                &samples,
+                self.ingest_shards,
+            );
+            summary.unwind_ms = t.elapsed().as_secs_f64() * 1e3;
+            summary.nodes_epoch = unwound.profile.node_count();
+
+            let t = Instant::now();
+            self.rc.merge(&rc_epoch);
+            merge_context(&mut self.profile, &unwound.profile);
+            summary.fold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            self.infer_stats.recovered += unwound.infer_stats.recovered;
+            self.infer_stats.failed += unwound.infer_stats.failed;
+            self.broken_stacks += unwound.broken_stacks;
+
+            // Drift: compare this epoch's probe-weight distribution with
+            // the previous epoch's.
+            let weights = probe_weights(&unwound.profile);
+            if let Some(prev) = &self.last_weights {
+                summary.overlap = weight_overlap(prev, &weights);
+                summary.stale = self.config.drift_threshold > 0.0
+                    && summary.overlap < self.config.drift_threshold;
+            }
+            self.last_weights = Some(weights);
+        }
+
+        self.total_samples += summary.samples as u64;
+        self.epochs_sealed += 1;
+        self.last_overlap = summary.overlap;
+        self.stale = summary.stale;
+        summary.total_samples = self.total_samples;
+        summary.nodes_cumulative = self.profile.node_count();
+        summary
+    }
+
+    /// The cumulative context profile folded so far.
+    pub fn context_profile(&self) -> &ContextProfile {
+        &self.profile
+    }
+
+    /// The cumulative LBR range/branch counts folded so far.
+    pub fn range_counts(&self) -> &RangeCounts {
+        &self.rc
+    }
+
+    /// Sealed epoch count.
+    pub fn epochs_sealed(&self) -> u64 {
+        self.epochs_sealed
+    }
+
+    /// Samples folded across all sealed epochs.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Samples buffered but not yet sealed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative missing-frame inference counters.
+    pub fn infer_stats(&self) -> InferStats {
+        self.infer_stats
+    }
+
+    /// Cumulative uninterpretable-stack counter.
+    pub fn broken_stacks(&self) -> u64 {
+        self.broken_stacks
+    }
+
+    /// Whether the most recent sealed epoch drifted below the threshold —
+    /// the signal to refresh the deployed binary through
+    /// [`crate::pipeline::run_pgo_cycle_drifted`].
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Probe-weight overlap reported by the most recent sealed epoch.
+    pub fn last_overlap(&self) -> f64 {
+        self.last_overlap
+    }
+
+    /// Collapses the cumulative profile into a build-ready [`ProbeProfile`]
+    /// the same way the batch pipeline does for full CSSPGO: checksums from
+    /// the profiled binary, cold contexts trimmed at `trim_threshold`,
+    /// context entry counts back-filled from plain LBR entry counts where
+    /// sparse.
+    pub fn to_probe_profile(&self, trim_threshold: u64) -> ProbeProfile {
+        let mut ctx = self.profile.clone();
+        let checksums = self
+            .binary
+            .funcs
+            .iter()
+            .filter_map(|f| f.probe_checksum.map(|c| (f.guid, c)))
+            .collect();
+        ctx.set_checksums(&checksums);
+        ctx.trim_cold(trim_threshold);
+        let mut probe_prof = ctx.to_probe_profile();
+        for (fidx, c) in self.rc.entry_counts(self.binary) {
+            let f = &self.binary.funcs[fidx as usize];
+            probe_prof
+                .names
+                .entry(f.guid)
+                .or_insert_with(|| f.name.clone());
+            if let Some(fp) = probe_prof.funcs.get_mut(&f.guid) {
+                fp.entry = fp.entry.max(c);
+            }
+        }
+        probe_prof
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshot / restore
+    // -----------------------------------------------------------------
+
+    /// Serializes the cumulative state to text. The context section is the
+    /// [`crate::textprof`] CS format (named via the binary's symbol table
+    /// so GUIDs survive the name-hash round-trip); ranges, branches, and
+    /// the pinned tail-call graph ride along in sorted line sections, and
+    /// a binary fingerprint guards against restoring onto a different
+    /// build.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# csspgo-stream-snapshot v1");
+        let _ = writeln!(out, "# fingerprint: {:#x}", binary_fingerprint(self.binary));
+        let _ = writeln!(out, "# epochs: {}", self.epochs_sealed);
+        let _ = writeln!(out, "# samples: {}", self.total_samples);
+
+        let _ = writeln!(out, "!tail-graph");
+        if let Some(g) = &self.tail_graph {
+            let mut edges: Vec<(u32, u32, usize)> = g.edges().collect();
+            edges.sort_unstable();
+            for (caller, callee, inst) in edges {
+                let _ = writeln!(out, "{caller} {callee} {inst}");
+            }
+        }
+
+        let _ = writeln!(out, "!ranges");
+        let mut ranges: Vec<((usize, usize), u64)> =
+            self.rc.ranges.iter().map(|(&k, &v)| (k, v)).collect();
+        ranges.sort_unstable();
+        for ((b, e), c) in ranges {
+            let _ = writeln!(out, "{b} {e} {c}");
+        }
+
+        let _ = writeln!(out, "!branches");
+        let mut branches: Vec<((usize, usize), u64)> =
+            self.rc.branches.iter().map(|(&k, &v)| (k, v)).collect();
+        branches.sort_unstable();
+        for ((f, t), c) in branches {
+            let _ = writeln!(out, "{f} {t} {c}");
+        }
+
+        let _ = writeln!(out, "!weights");
+        if let Some(w) = &self.last_weights {
+            for (&(guid, probe), &count) in w {
+                let _ = writeln!(out, "{guid} {probe} {count}");
+            }
+        }
+
+        let _ = writeln!(out, "!context");
+        let mut named = self.profile.clone();
+        for f in &self.binary.funcs {
+            named.names.insert(f.guid, f.name.clone());
+        }
+        out.push_str(&textprof::write_context(&named));
+        out
+    }
+
+    /// Rebuilds an aggregator from a [`Self::snapshot`], ready to resume
+    /// folding epochs where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Stream`] when the snapshot structure is
+    /// malformed or was taken against a different binary, and
+    /// [`PipelineError::Profile`] when the context section fails to parse.
+    pub fn restore(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        text: &str,
+    ) -> Result<Self, PipelineError> {
+        let bad = |msg: String| PipelineError::Stream(msg);
+        let mut agg = Self::build(binary, config, ingest_shards, None);
+
+        #[derive(PartialEq)]
+        enum Section {
+            Header,
+            TailGraph,
+            Ranges,
+            Branches,
+            Weights,
+        }
+        let mut section = Section::Header;
+        let mut context_start: Option<usize> = None;
+        let mut graph = TailCallGraph::default();
+        let mut saw_graph_edges = false;
+        let mut weights: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+
+        let mut offset = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            let raw_len = line.len() + 1;
+            let trimmed = line.trim();
+            if trimmed == "!context" {
+                context_start = Some(offset + raw_len);
+                break;
+            }
+            offset += raw_len;
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("# fingerprint:") {
+                let v = rest.trim().trim_start_matches("0x");
+                let fp = u64::from_str_radix(v, 16)
+                    .map_err(|_| bad(format!("line {}: bad fingerprint", lineno + 1)))?;
+                if fp != binary_fingerprint(binary) {
+                    return Err(bad(
+                        "snapshot was taken against a different binary build".into()
+                    ));
+                }
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("# epochs:") {
+                agg.epochs_sealed = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("line {}: bad epoch count", lineno + 1)))?;
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("# samples:") {
+                agg.total_samples = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("line {}: bad sample count", lineno + 1)))?;
+                continue;
+            }
+            if trimmed.starts_with('#') {
+                continue;
+            }
+            match trimmed {
+                "!tail-graph" => section = Section::TailGraph,
+                "!ranges" => section = Section::Ranges,
+                "!branches" => section = Section::Branches,
+                "!weights" => section = Section::Weights,
+                _ => {
+                    let mut nums = trimmed.split_whitespace().map(str::parse::<u64>);
+                    let mut next = || {
+                        nums.next().and_then(Result::ok).ok_or_else(|| {
+                            bad(format!("line {}: expected three integers", lineno + 1))
+                        })
+                    };
+                    let (a, b, c) = (next()?, next()?, next()?);
+                    match section {
+                        Section::Header => {
+                            return Err(bad(format!(
+                                "line {}: data before any section marker",
+                                lineno + 1
+                            )))
+                        }
+                        Section::TailGraph => {
+                            graph.insert_edge(a as u32, b as u32, c as usize);
+                            saw_graph_edges = true;
+                        }
+                        Section::Ranges => {
+                            agg.rc.ranges.insert((a as usize, b as usize), c);
+                        }
+                        Section::Branches => {
+                            agg.rc.branches.insert((a as usize, b as usize), c);
+                        }
+                        Section::Weights => {
+                            weights.insert((a, b as u32), c);
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some(ctx_start) = context_start else {
+            return Err(bad("snapshot has no !context section".into()));
+        };
+        let mut profile = textprof::parse_context(&text[ctx_start..])?;
+        // The aggregator's working profile carries no names (exactly like
+        // the batch unwinding path); the snapshot only named functions so
+        // GUIDs would survive the text round-trip.
+        profile.names.clear();
+        agg.profile = profile;
+        if saw_graph_edges {
+            agg.tail_graph = Some(graph);
+        }
+        if !weights.is_empty() {
+            agg.last_weights = Some(weights);
+        }
+        Ok(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unwind::Unwinder;
+    use csspgo_codegen::{lower_module, CodegenConfig};
+    use csspgo_sim::{Machine, SimConfig};
+
+    const SRC: &str = r#"
+fn helper(x, mode) {
+    if (mode == 1) {
+        if (x % 3 == 0) { return x * 2; }
+        return x + 1;
+    }
+    if (x % 5 == 0) { return x - 7; }
+    return x * 3;
+}
+fn serve(n, mode) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + helper(i, mode);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+
+    fn probed_binary() -> Binary {
+        let mut m = csspgo_lang::compile(SRC, "t").unwrap();
+        csspgo_opt::discriminators::run(&mut m);
+        csspgo_opt::probes::run(&mut m);
+        lower_module(&m, &CodegenConfig::default())
+    }
+
+    fn traffic(binary: &Binary, calls: &[(i64, i64)]) -> Vec<Sample> {
+        let mut machine = Machine::new(
+            binary,
+            SimConfig {
+                sample_period: 23,
+                ..SimConfig::default()
+            },
+        );
+        for &(n, mode) in calls {
+            machine.call("serve", &[n, mode]).unwrap();
+        }
+        machine.take_samples()
+    }
+
+    fn batch_reference(
+        binary: &Binary,
+        graph: &TailCallGraph,
+        samples: &[Sample],
+    ) -> (RangeCounts, ContextProfile) {
+        let mut rc = RangeCounts::default();
+        rc.add_samples(binary, samples);
+        let mut profile = ContextProfile::new();
+        let mut uw = Unwinder::new(binary, Some(graph));
+        uw.unwind_into(samples, &mut profile);
+        (rc, profile)
+    }
+
+    fn calibration_graph(binary: &Binary, samples: &[Sample]) -> TailCallGraph {
+        let mut rc = RangeCounts::default();
+        rc.add_samples(binary, samples);
+        TailCallGraph::build(binary, &rc)
+    }
+
+    #[test]
+    fn epoch_folds_match_batch_ingestion_bit_for_bit() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(3000, 1), (2500, 2), (2800, 1)]);
+        assert!(samples.len() > 100, "need a meaningful stream");
+        let graph = calibration_graph(&b, &samples);
+        let (rc_ref, profile_ref) = batch_reference(&b, &graph, &samples);
+
+        for epochs in [1usize, 2, 3, 7] {
+            let mut agg =
+                StreamAggregator::with_tail_graph(&b, StreamConfig::default(), 3, graph.clone());
+            let chunk = samples.len().div_ceil(epochs);
+            for batch in samples.chunks(chunk) {
+                agg.push_batch(batch.to_vec()).unwrap();
+                agg.seal_epoch();
+            }
+            assert_eq!(
+                agg.context_profile(),
+                &profile_ref,
+                "{epochs} epochs diverged"
+            );
+            assert_eq!(agg.range_counts(), &rc_ref, "{epochs} epochs: rc diverged");
+            assert_eq!(agg.total_samples(), samples.len() as u64);
+        }
+    }
+
+    #[test]
+    fn push_batch_enforces_bounded_memory() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(1500, 1)]);
+        assert!(samples.len() > 10);
+        let cfg = StreamConfig {
+            max_pending_samples: samples.len() - 1,
+            ..StreamConfig::default()
+        };
+        let mut agg = StreamAggregator::new(&b, cfg, 1);
+        let err = agg.push_batch(samples.clone()).unwrap_err();
+        assert!(matches!(err, PipelineError::Stream(_)), "{err}");
+        // Sealing drains the buffer and makes room again.
+        agg.push_batch(samples[..samples.len() / 2].to_vec())
+            .unwrap();
+        agg.seal_epoch();
+        agg.push_batch(samples[..samples.len() / 2].to_vec())
+            .unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_resume_matches_uninterrupted_fold() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(2600, 1), (2400, 2)]);
+        let graph = calibration_graph(&b, &samples);
+        let (rc_ref, profile_ref) = batch_reference(&b, &graph, &samples);
+
+        let cut = samples.len() / 3;
+        let mut agg =
+            StreamAggregator::with_tail_graph(&b, StreamConfig::default(), 2, graph.clone());
+        agg.push_batch(samples[..cut].to_vec()).unwrap();
+        agg.seal_epoch();
+        let snap = agg.snapshot();
+
+        let mut resumed = StreamAggregator::restore(&b, StreamConfig::default(), 2, &snap).unwrap();
+        assert_eq!(resumed.epochs_sealed(), 1);
+        assert_eq!(resumed.total_samples(), cut as u64);
+        resumed.push_batch(samples[cut..].to_vec()).unwrap();
+        resumed.seal_epoch();
+
+        assert_eq!(resumed.context_profile(), &profile_ref);
+        assert_eq!(resumed.range_counts(), &rc_ref);
+
+        // A second snapshot of untouched state is byte-identical.
+        let resnap = StreamAggregator::restore(&b, StreamConfig::default(), 2, &snap)
+            .unwrap()
+            .snapshot();
+        assert_eq!(snap, resnap);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_binary_and_garbage() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(1200, 1)]);
+        let mut agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
+        agg.push_batch(samples).unwrap();
+        agg.seal_epoch();
+        let snap = agg.snapshot();
+
+        let mut m2 =
+            csspgo_lang::compile("fn serve(n, mode) { return n + mode; }", "other").unwrap();
+        csspgo_opt::discriminators::run(&mut m2);
+        csspgo_opt::probes::run(&mut m2);
+        let other = lower_module(&m2, &CodegenConfig::default());
+        let err = StreamAggregator::restore(&other, StreamConfig::default(), 1, &snap).unwrap_err();
+        assert!(matches!(err, PipelineError::Stream(_)), "{err}");
+
+        let err =
+            StreamAggregator::restore(&b, StreamConfig::default(), 1, "nonsense").unwrap_err();
+        assert!(matches!(err, PipelineError::Stream(_)), "{err}");
+    }
+
+    #[test]
+    fn drift_detector_flags_behaviour_shift() {
+        let b = probed_binary();
+        // Two epochs of mode-1 traffic, then a hard shift to mode 2.
+        let steady1 = traffic(&b, &[(2500, 1)]);
+        let mut machine = Machine::new(
+            &b,
+            SimConfig {
+                sample_period: 23,
+                ..SimConfig::default()
+            },
+        );
+        machine.call("serve", &[2500, 1]).unwrap();
+        let _ = machine.take_samples();
+        machine.call("serve", &[2500, 1]).unwrap();
+        let steady2 = machine.take_samples();
+        machine.call("serve", &[2500, 2]).unwrap();
+        let shifted = machine.take_samples();
+
+        let cfg = StreamConfig {
+            drift_threshold: 0.9,
+            ..StreamConfig::default()
+        };
+        let mut agg = StreamAggregator::new(&b, cfg, 1);
+        agg.push_batch(steady1).unwrap();
+        let s1 = agg.seal_epoch();
+        assert!(!s1.stale, "first epoch has no baseline to drift from");
+        agg.push_batch(steady2).unwrap();
+        let s2 = agg.seal_epoch();
+        assert!(
+            !s2.stale,
+            "steady traffic must not drift: overlap {:.3}",
+            s2.overlap
+        );
+        agg.push_batch(shifted).unwrap();
+        let s3 = agg.seal_epoch();
+        assert!(
+            s3.stale && agg.is_stale(),
+            "mode shift must drift: overlap {:.3}",
+            s3.overlap
+        );
+        assert!(s3.overlap < s2.overlap);
+    }
+
+    #[test]
+    fn finalized_probe_profile_matches_pipeline_shape() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(3000, 1)]);
+        let graph = calibration_graph(&b, &samples);
+        let mut agg = StreamAggregator::with_tail_graph(&b, StreamConfig::default(), 0, graph);
+        agg.push_batch(samples).unwrap();
+        agg.seal_epoch();
+        let pp = agg.to_probe_profile(4);
+        assert!(pp.total() > 0, "probe profile carries counts");
+        let serve_guid = b.func_by_name("serve").unwrap().guid;
+        assert!(pp.funcs.contains_key(&serve_guid));
+        // The finalized profile is valid text-profile material.
+        let text = textprof::write_probe_json(&pp);
+        let back = textprof::parse_probe_json(&text).unwrap();
+        assert_eq!(back.total(), pp.total());
+    }
+
+    #[test]
+    fn weight_overlap_behaves_like_a_distribution_metric() {
+        let mut a = BTreeMap::new();
+        a.insert((1u64, 1u32), 100u64);
+        a.insert((1, 2), 50);
+        assert!((weight_overlap(&a, &a) - 1.0).abs() < 1e-12);
+        let mut scaled = BTreeMap::new();
+        scaled.insert((1u64, 1u32), 10u64);
+        scaled.insert((1, 2), 5);
+        assert!((weight_overlap(&a, &scaled) - 1.0).abs() < 1e-12);
+        let mut disjoint = BTreeMap::new();
+        disjoint.insert((2u64, 1u32), 100u64);
+        assert_eq!(weight_overlap(&a, &disjoint), 0.0);
+        assert_eq!(weight_overlap(&BTreeMap::new(), &BTreeMap::new()), 1.0);
+        assert_eq!(weight_overlap(&a, &BTreeMap::new()), 0.0);
+    }
+}

@@ -49,6 +49,21 @@ impl TailCallGraph {
         self.edges.values().map(|m| m.len()).sum()
     }
 
+    /// All edges as `(caller, callee, tail-call instruction)` triples, in
+    /// unspecified order. Pairs with [`TailCallGraph::insert_edge`] so the
+    /// streaming snapshot ([`crate::stream`]) can persist and restore the
+    /// exact graph a profile was unwound with.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, usize)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(&caller, m)| m.iter().map(move |(&callee, &inst)| (caller, callee, inst)))
+    }
+
+    /// Inserts one edge (see [`TailCallGraph::edges`]).
+    pub fn insert_edge(&mut self, caller: u32, callee: u32, inst: usize) {
+        self.edges.entry(caller).or_default().insert(callee, inst);
+    }
+
     /// Finds the unique tail-call path `from → … → to`, returning the
     /// tail-call *instruction indices* along it (one per missing frame).
     /// Returns `None` when no path or more than one path exists.

@@ -135,16 +135,27 @@ pub fn parse_flat(text: &str) -> Result<FlatProfile, ParseError> {
     }
     let mut stack: Vec<Frame> = Vec::new();
 
-    fn pop_into(profile: &mut FlatProfile, stack: &mut Vec<Frame>) {
-        let frame = stack.pop().expect("non-empty stack");
+    fn pop_into(profile: &mut FlatProfile, stack: &mut Vec<Frame>) -> Result<(), ParseError> {
+        let Some(frame) = stack.pop() else {
+            return Ok(());
+        };
         let guid = function_guid(&frame.name);
         profile.names.insert(guid, frame.name.clone());
         if let Some(parent) = stack.last_mut() {
-            let site = frame.site.expect("nested frame has a site");
+            // A frame nested under another function must have come from a
+            // `site@callee` line; an indented plain header has no call site
+            // to hang off — malformed input, not an invariant violation.
+            let site = frame.site.ok_or_else(|| {
+                err(
+                    0,
+                    format!("nested function `{}` has no call site", frame.name),
+                )
+            })?;
             parent.fp.callsites.insert((site, guid), frame.fp);
         } else {
             profile.funcs.insert(guid, frame.fp);
         }
+        Ok(())
     }
 
     for (lineno, raw) in text.lines().enumerate() {
@@ -166,7 +177,7 @@ pub fn parse_flat(text: &str) -> Result<FlatProfile, ParseError> {
 
         if header_like && !site_header {
             while stack.last().map(|f| f.indent >= indent).unwrap_or(false) {
-                pop_into(&mut profile, &mut stack);
+                pop_into(&mut profile, &mut stack)?;
             }
             let mut parts = line.split(':');
             let name = parts.next().ok_or_else(|| err(lineno, "missing name"))?;
@@ -200,7 +211,7 @@ pub fn parse_flat(text: &str) -> Result<FlatProfile, ParseError> {
                 if stack.last().map(|f| f.indent < indent).unwrap_or(true) {
                     break;
                 }
-                pop_into(&mut profile, &mut stack);
+                pop_into(&mut profile, &mut stack)?;
             }
             let (key_part, rest) = line.split_once('@').ok_or_else(|| err(lineno, "bad @"))?;
             let site = parse_lockey(key_part.trim(), lineno)?;
@@ -241,7 +252,7 @@ pub fn parse_flat(text: &str) -> Result<FlatProfile, ParseError> {
             .map_err(|_| err(lineno, "bad count"))?;
         // Attach to the innermost frame whose indent is shallower than ours.
         while stack.len() > 1 && stack.last().map(|f| f.indent >= indent).unwrap_or(false) {
-            pop_into(&mut profile, &mut stack);
+            pop_into(&mut profile, &mut stack)?;
         }
         let frame = stack
             .last_mut()
@@ -249,7 +260,7 @@ pub fn parse_flat(text: &str) -> Result<FlatProfile, ParseError> {
         frame.fp.body.insert(key, count);
     }
     while !stack.is_empty() {
-        pop_into(&mut profile, &mut stack);
+        pop_into(&mut profile, &mut stack)?;
     }
     Ok(profile)
 }
@@ -498,6 +509,14 @@ mod tests {
     fn flat_parse_reports_line_numbers() {
         let e = parse_flat("main:10:5\n bogus line\n").unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn flat_parse_rejects_nested_header_without_call_site() {
+        // An indented plain header has no `site@` to hang off its parent —
+        // must surface as a ParseError, not a panic.
+        let e = parse_flat("a:1:1\n  b:2:2\n").unwrap_err();
+        assert!(e.message.contains("call site"), "{e}");
     }
 
     fn sample_context() -> ContextProfile {

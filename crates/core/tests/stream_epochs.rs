@@ -1,0 +1,238 @@
+//! The streaming aggregation epoch invariant, end to end: folding N epochs
+//! incrementally must produce a profile *bit-identical* to one-shot batch
+//! ingestion of the concatenated samples — for real simulated traffic
+//! (golden test), for arbitrary epoch boundaries over arbitrary sample
+//! streams (property test), and across a snapshot→restore→resume cut.
+
+use csspgo_codegen::{lower_module, Binary, CodegenConfig};
+use csspgo_core::context::ContextProfile;
+use csspgo_core::ranges::RangeCounts;
+use csspgo_core::stream::{StreamAggregator, StreamConfig};
+use csspgo_core::tailcall::TailCallGraph;
+use csspgo_core::unwind::Unwinder;
+use csspgo_sim::{Machine, Sample, SimConfig};
+use proptest::prelude::*;
+
+const SRC: &str = r#"
+fn leaf(x) {
+    if (x % 5 == 0) { return x * 3; }
+    return x - 1;
+}
+fn mid(x) {
+    return leaf(x) + leaf(x + 1);
+}
+fn main(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + mid(i);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+
+fn probed_binary() -> Binary {
+    let mut m = csspgo_lang::compile(SRC, "streamprop").unwrap();
+    csspgo_opt::discriminators::run(&mut m);
+    csspgo_opt::probes::run(&mut m);
+    lower_module(&m, &CodegenConfig::default())
+}
+
+/// The batch reference: full-stream RangeCounts + one sequential unwind.
+fn batch_reference(
+    binary: &Binary,
+    graph: &TailCallGraph,
+    samples: &[Sample],
+) -> (RangeCounts, ContextProfile) {
+    let mut rc = RangeCounts::default();
+    rc.add_samples(binary, samples);
+    let mut profile = ContextProfile::new();
+    let mut uw = Unwinder::new(binary, Some(graph));
+    uw.unwind_into(samples, &mut profile);
+    (rc, profile)
+}
+
+fn real_traffic(binary: &Binary) -> Vec<Sample> {
+    let mut machine = Machine::new(
+        binary,
+        SimConfig {
+            sample_period: 19,
+            ..SimConfig::default()
+        },
+    );
+    for n in [2000i64, 1700, 2300] {
+        machine.call("main", &[n]).unwrap();
+    }
+    machine.take_samples()
+}
+
+#[test]
+fn golden_incremental_epochs_equal_batch_ingestion() {
+    let binary = probed_binary();
+    let samples = real_traffic(&binary);
+    assert!(samples.len() > 200, "need a substantial stream");
+
+    let mut rc = RangeCounts::default();
+    rc.add_samples(&binary, &samples);
+    let graph = TailCallGraph::build(&binary, &rc);
+    let (rc_ref, profile_ref) = batch_reference(&binary, &graph, &samples);
+
+    for (epochs, shards) in [(1usize, 0usize), (3, 1), (5, 4), (11, 3)] {
+        let mut agg = StreamAggregator::with_tail_graph(
+            &binary,
+            StreamConfig::default(),
+            shards,
+            graph.clone(),
+        );
+        for batch in samples.chunks(samples.len().div_ceil(epochs)) {
+            agg.push_batch(batch.to_vec()).unwrap();
+            agg.seal_epoch();
+        }
+        // Bit-identity, checked on the serialized bytes, not just map equality.
+        assert_eq!(
+            serde_json::to_string(agg.context_profile()).unwrap(),
+            serde_json::to_string(&profile_ref).unwrap(),
+            "{epochs} epochs x {shards} shards diverged from batch"
+        );
+        assert_eq!(agg.range_counts(), &rc_ref);
+    }
+}
+
+/// A strategy for raw addresses: mostly instruction starts, sometimes
+/// arbitrary garbage the ingestion must tolerate (same shape as the
+/// sharding property tests).
+fn addr_strategy(n_insts: usize) -> BoxedStrategy<u64> {
+    let n = n_insts as u64;
+    prop_oneof![
+        8 => (0..n).prop_map(|i| i),
+        1 => any::<u64>(),
+    ]
+    .boxed()
+}
+
+fn resolve(binary: &Binary, raw: u64) -> u64 {
+    if (raw as usize) < binary.len() {
+        binary.addr_of(raw as usize)
+    } else {
+        raw
+    }
+}
+
+type RawSample = (u64, Vec<(u64, u64)>, Vec<u64>);
+
+fn sample_stream_strategy(n_insts: usize) -> BoxedStrategy<Vec<RawSample>> {
+    let addr = || addr_strategy(n_insts);
+    let lbr = proptest::collection::vec((addr(), addr()), 0..8);
+    let stack = proptest::collection::vec(addr(), 0..6);
+    proptest::collection::vec((addr(), lbr, stack), 0..120).boxed()
+}
+
+fn to_samples(binary: &Binary, raw: &[RawSample]) -> Vec<Sample> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, (pc, lbr, stack))| Sample {
+            cycle: i as u64 * 17,
+            pc: resolve(binary, *pc),
+            lbr: lbr
+                .iter()
+                .map(|&(f, t)| (resolve(binary, f), resolve(binary, t)))
+                .collect(),
+            stack: stack.iter().map(|&a| resolve(binary, a)).collect(),
+        })
+        .collect()
+}
+
+/// Splits `samples` at fractional positions (in permille) drawn by
+/// proptest, producing arbitrary (possibly empty) epoch batches that
+/// concatenate to the stream.
+fn split_at_fractions(samples: &[Sample], permille: &[usize]) -> Vec<Vec<Sample>> {
+    let mut cuts: Vec<usize> = permille.iter().map(|f| f * samples.len() / 1000).collect();
+    cuts.sort_unstable();
+    let mut out = Vec::new();
+    let mut prev = 0;
+    for c in cuts {
+        out.push(samples[prev..c].to_vec());
+        prev = c;
+    }
+    out.push(samples[prev..].to_vec());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For ANY sample stream (including garbage addresses and broken
+    /// stacks), ANY epoch partition of it, and ANY shard count, the
+    /// incrementally folded profile is bit-identical to the batch one.
+    #[test]
+    fn random_epoch_boundaries_preserve_bit_identity(
+        raw in sample_stream_strategy(64),
+        fractions in proptest::collection::vec(0usize..1000, 0..6),
+        shards in 0usize..5,
+    ) {
+        let binary = probed_binary();
+        let samples = to_samples(&binary, &raw);
+        let mut rc = RangeCounts::default();
+        rc.add_samples(&binary, &samples);
+        let graph = TailCallGraph::build(&binary, &rc);
+        let (rc_ref, profile_ref) = batch_reference(&binary, &graph, &samples);
+
+        let mut agg = StreamAggregator::with_tail_graph(
+            &binary,
+            StreamConfig::default(),
+            shards,
+            graph.clone(),
+        );
+        let batches = split_at_fractions(&samples, &fractions);
+        let epochs = batches.len();
+        for batch in batches {
+            agg.push_batch(batch).unwrap();
+            agg.seal_epoch();
+        }
+        prop_assert_eq!(agg.epochs_sealed(), epochs as u64);
+        prop_assert_eq!(agg.total_samples(), samples.len() as u64);
+        prop_assert_eq!(agg.range_counts(), &rc_ref);
+        let incr = serde_json::to_string(agg.context_profile()).unwrap();
+        let batch = serde_json::to_string(&profile_ref).unwrap();
+        prop_assert_eq!(incr, batch);
+    }
+
+    /// Snapshotting at ANY epoch boundary, restoring, and resuming the
+    /// remaining epochs lands on the same batch-identical profile.
+    #[test]
+    fn snapshot_restore_at_random_cut_preserves_bit_identity(
+        raw in sample_stream_strategy(64),
+        cut_permille in 0usize..1000,
+        shards in 0usize..4,
+    ) {
+        let binary = probed_binary();
+        let samples = to_samples(&binary, &raw);
+        let mut rc = RangeCounts::default();
+        rc.add_samples(&binary, &samples);
+        let graph = TailCallGraph::build(&binary, &rc);
+        let (rc_ref, profile_ref) = batch_reference(&binary, &graph, &samples);
+
+        let cut = cut_permille * samples.len() / 1000;
+        let mut agg = StreamAggregator::with_tail_graph(
+            &binary,
+            StreamConfig::default(),
+            shards,
+            graph.clone(),
+        );
+        agg.push_batch(samples[..cut].to_vec()).unwrap();
+        agg.seal_epoch();
+
+        let snap = agg.snapshot();
+        let mut resumed =
+            StreamAggregator::restore(&binary, StreamConfig::default(), shards, &snap).unwrap();
+        prop_assert_eq!(resumed.total_samples(), cut as u64);
+        resumed.push_batch(samples[cut..].to_vec()).unwrap();
+        resumed.seal_epoch();
+
+        prop_assert_eq!(resumed.range_counts(), &rc_ref);
+        let resumed_json = serde_json::to_string(resumed.context_profile()).unwrap();
+        let batch_json = serde_json::to_string(&profile_ref).unwrap();
+        prop_assert_eq!(resumed_json, batch_json);
+    }
+}

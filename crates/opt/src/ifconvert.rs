@@ -11,7 +11,7 @@
 //! With profile, *biased* branches are left alone (a predictable branch
 //! beats a select); balanced branches convert. This is one of the paper's
 //! tuned interactions with pseudo-probes: with
-//! [`ProbeConfig::block_if_convert`] unset (the low-overhead production
+//! [`ProbeConfig::block_if_convert`](csspgo_ir::probe::ProbeConfig::block_if_convert) unset (the low-overhead production
 //! tuning) the arm probes are hoisted into `P`, trading a small frequency
 //! distortion for zero run-time cost; when set, probed diamonds are skipped
 //! entirely.

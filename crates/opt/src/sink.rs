@@ -5,7 +5,7 @@
 //! This is one of the three optimizations the paper names in its probe
 //! tuning ("we fine-tune a few critical optimizations, including if-convert,
 //! machine sink and instruction scheduling, to be unblocked by
-//! pseudo-probe"): with [`ProbeConfig::block_code_motion`] unset the pass
+//! pseudo-probe"): with [`ProbeConfig::block_code_motion`](csspgo_ir::probe::ProbeConfig::block_code_motion) unset the pass
 //! moves code freely past probes; set, probed functions are left alone.
 //!
 //! Like LICM, sinking is a debug-info decay source: the sunk instruction

@@ -140,6 +140,22 @@ impl<'b> Machine<'b> {
         std::mem::take(&mut self.samples)
     }
 
+    /// Samples collected but not yet taken.
+    pub fn pending_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Drains up to `max` of the oldest pending samples, leaving the rest
+    /// for a later batch. Draining in batches concatenates to exactly the
+    /// stream [`Machine::take_samples`] would have returned in one shot —
+    /// the hook streaming ingestion (`csspgo-core`'s `stream` module) uses
+    /// to feed an aggregator while the workload keeps running.
+    pub fn take_sample_batch(&mut self, max: usize) -> Vec<Sample> {
+        let n = max.min(self.samples.len());
+        let rest = self.samples.split_off(n);
+        std::mem::replace(&mut self.samples, rest)
+    }
+
     /// Calls `name(args)` and runs to completion.
     ///
     /// # Errors
@@ -475,6 +491,31 @@ fn bump(x) { acc[0] = acc[0] + x; return acc[0]; }
         m2.call("fib", &[15]).unwrap();
         assert_eq!(m1.stats(), m2.stats());
         assert_eq!(m1.take_samples().len(), m2.take_samples().len());
+    }
+
+    #[test]
+    fn batched_sample_draining_concatenates_to_one_shot() {
+        let cfg = SimConfig {
+            sample_period: 37,
+            ..SimConfig::default()
+        };
+        let b = build(FIB, false);
+        let mut one_shot = Machine::new(&b, cfg.clone());
+        one_shot.call("fib", &[18]).unwrap();
+        let reference = one_shot.take_samples();
+        assert!(reference.len() > 8, "need several samples");
+
+        let mut batched = Machine::new(&b, cfg);
+        batched.call("fib", &[18]).unwrap();
+        assert_eq!(batched.pending_samples(), reference.len());
+        let mut drained = Vec::new();
+        while batched.pending_samples() > 0 {
+            let batch = batched.take_sample_batch(3);
+            assert!(!batch.is_empty() && batch.len() <= 3);
+            drained.extend(batch);
+        }
+        assert_eq!(drained, reference);
+        assert!(batched.take_sample_batch(3).is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One PMU sample: a synchronized LBR + call-stack snapshot (paper Fig. 5).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Sample {
     /// Cycle at which the sample fired.
     pub cycle: u64,

@@ -4,10 +4,10 @@ use csspgo::core::pipeline::{run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, P
 use csspgo::workloads::drift;
 
 fn cfg() -> PipelineConfig {
-    PipelineConfig {
-        sample_period: 101,
-        ..PipelineConfig::default()
-    }
+    PipelineConfig::builder()
+        .sample_period(101)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]

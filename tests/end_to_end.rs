@@ -63,10 +63,10 @@ fn main(n) {
 
 fn run_all() -> HashMap<PgoVariant, PgoOutcome> {
     let w = service();
-    let cfg = PipelineConfig {
-        sample_period: 67,
-        ..PipelineConfig::default()
-    };
+    let cfg = PipelineConfig::builder()
+        .sample_period(67)
+        .build()
+        .expect("valid test config");
     PgoVariant::ALL
         .iter()
         .map(|&v| (v, run_pgo_cycle(&w, v, &cfg).expect("cycle runs")))
@@ -162,10 +162,10 @@ fn instrumented_profiling_run_is_much_slower() {
 #[test]
 fn deterministic_outcomes() {
     let w = service();
-    let cfg = PipelineConfig {
-        sample_period: 67,
-        ..PipelineConfig::default()
-    };
+    let cfg = PipelineConfig::builder()
+        .sample_period(67)
+        .build()
+        .expect("valid test config");
     let a = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).unwrap();
     let b = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).unwrap();
     assert_eq!(a.eval.cycles, b.eval.cycles);

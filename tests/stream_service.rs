@@ -1,0 +1,136 @@
+//! Integration tests for the streaming service surface: the unified
+//! [`run_pgo_cycle_with`] entry point accepting either profile source, and
+//! the drift-detection → recompilation hook that keeps a continuously
+//! served profile fresh.
+
+use csspgo::core::pipeline::{
+    run_pgo_cycle, run_pgo_cycle_drifted, run_pgo_cycle_with, BatchSource, EpochSource, PgoVariant,
+    PipelineConfig,
+};
+use csspgo::core::stream::{StreamAggregator, StreamConfig};
+use csspgo::sim::{Machine, SimConfig};
+use csspgo::workloads::drift;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::builder()
+        .sample_period(89)
+        .build()
+        .expect("valid test config")
+}
+
+#[test]
+fn epoch_source_reproduces_batch_cycle_on_real_workload() {
+    let w = csspgo::workloads::ad_finder().scaled(0.2);
+    let cfg = cfg();
+    let batch = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg).unwrap();
+    let mut epochs = EpochSource::new(1);
+    let streamed =
+        run_pgo_cycle_with(&w, PgoVariant::CsspgoFull, &cfg, &mut epochs, &w.source).unwrap();
+
+    assert!(
+        epochs.batch_sizes.len() > 1,
+        "traffic must actually arrive in multiple epochs"
+    );
+    assert_eq!(batch.eval_result_hash, streamed.eval_result_hash);
+    assert_eq!(batch.eval.cycles, streamed.eval.cycles);
+    assert_eq!(batch.sections.text, streamed.sections.text);
+    assert_eq!(batch.profiling.samples, streamed.profiling.samples);
+    assert_eq!(batch.plan_len, streamed.plan_len);
+    assert_eq!(
+        batch.context_nodes_after_trim,
+        streamed.context_nodes_after_trim
+    );
+}
+
+#[test]
+fn batch_source_is_the_classic_entry_point() {
+    let w = csspgo::workloads::ad_finder().scaled(0.2);
+    let cfg = cfg();
+    let via_wrapper = run_pgo_cycle(&w, PgoVariant::AutoFdo, &cfg).unwrap();
+    let via_unified =
+        run_pgo_cycle_with(&w, PgoVariant::AutoFdo, &cfg, &mut BatchSource, &w.source).unwrap();
+    assert_eq!(via_wrapper.eval_result_hash, via_unified.eval_result_hash);
+    assert_eq!(via_wrapper.eval.cycles, via_unified.eval.cycles);
+}
+
+/// The full continuous-serving story: steady traffic folds cleanly, a
+/// behaviour shift trips the drift detector, and the stale signal drives a
+/// profile refresh through the existing drifted-recompile path.
+#[test]
+fn stale_epoch_triggers_drifted_recompile() {
+    let src = r#"
+fn hot_a(x) {
+    if (x % 3 == 0) { return x * 2; }
+    return x + 1;
+}
+fn hot_b(x) {
+    if (x % 7 == 0) { return x - 5; }
+    return x * 3;
+}
+fn serve(n, mode) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        if (mode == 1) { s = s + hot_a(i); }
+        if (mode != 1) { s = s + hot_b(i); }
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+    let w = csspgo::core::Workload::new(
+        "shifting",
+        src,
+        "serve",
+        vec![vec![900, 1], vec![900, 1]],
+        vec![vec![901, 1]],
+    );
+
+    // Probed build, served continuously.
+    let mut module = csspgo::lang::compile(src, "shifting").unwrap();
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    let binary = csspgo::codegen::lower_module(&module, &csspgo::codegen::CodegenConfig::default());
+    let mut machine = Machine::new(
+        &binary,
+        SimConfig {
+            sample_period: 31,
+            ..SimConfig::default()
+        },
+    );
+
+    let stream_cfg = StreamConfig {
+        drift_threshold: 0.8,
+        ..StreamConfig::default()
+    };
+    let mut agg = StreamAggregator::new(&binary, stream_cfg, 2);
+
+    // Two epochs of steady mode-1 traffic.
+    for _ in 0..2 {
+        machine.call("serve", &[2000, 1]).unwrap();
+        agg.push_batch(machine.take_samples()).unwrap();
+        let s = agg.seal_epoch();
+        assert!(!s.stale, "steady traffic drifted: overlap {:.3}", s.overlap);
+    }
+    // Traffic shifts to mode 2: different hot function, profile goes stale.
+    machine.call("serve", &[2000, 2]).unwrap();
+    agg.push_batch(machine.take_samples()).unwrap();
+    let shifted = agg.seal_epoch();
+    assert!(
+        shifted.stale && agg.is_stale(),
+        "behaviour shift must be detected: overlap {:.3}",
+        shifted.overlap
+    );
+
+    // The stale signal hooks the existing drifted-cycle path: recompile
+    // with today's (drifted) source while profiling the old deployment.
+    let drifted_src = drift::insert_body_comments(src);
+    let refreshed =
+        run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted_src).unwrap();
+    assert_eq!(
+        refreshed.annotate_stats.stale, 0,
+        "probe checksums survive comment-only drift"
+    );
+    let clean = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg()).unwrap();
+    assert_eq!(refreshed.eval_result_hash, clean.eval_result_hash);
+}
