@@ -1,0 +1,17 @@
+use csspgo_codegen::{lower_module, CodegenConfig};
+use csspgo_core::stream::{StreamAggregator, StreamConfig};
+
+#[test]
+fn truncated_snapshot_ending_at_context_marker() {
+    let mut m = csspgo_lang::compile("fn f(n) { return n; }", "t").unwrap();
+    csspgo_opt::discriminators::run(&mut m);
+    csspgo_opt::probes::run(&mut m);
+    let b = lower_module(&m, &CodegenConfig::default());
+    let agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
+    let snap = agg.snapshot();
+    // Truncate right at the "!context" marker, dropping the trailing newline.
+    let cut = snap.find("!context").unwrap() + "!context".len();
+    let truncated = &snap[..cut];
+    let r = StreamAggregator::restore(&b, StreamConfig::default(), 1, truncated);
+    eprintln!("result: {:?}", r.map(|_| ()).err());
+}
