@@ -1,0 +1,378 @@
+//! The diagnostics engine: lint registry, severities, reports.
+//!
+//! Modeled on clippy/rustc lints: every check is a registered [`Lint`] with a
+//! stable id (`PI001`), a kebab-case name (`probe-duplicate-id`) and a
+//! default [`Severity`]. A [`Policy`] escalates (`--deny`) or silences
+//! (`--allow`) lints by id, name or `all`. Checks append [`Diagnostic`]s to a
+//! [`Report`], which renders for humans or serializes to JSON.
+
+use serde::Serialize;
+use std::fmt;
+
+/// How severe a diagnostic is. `Deny` diagnostics fail the build
+/// (`csspgo_lint` exits nonzero).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
+pub enum Severity {
+    /// Silenced: the diagnostic is not recorded.
+    Allow,
+    /// Recorded and reported, does not fail the build.
+    Warn,
+    /// Recorded and fails the build.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Allow => f.write_str("allow"),
+            Severity::Warn => f.write_str("warning"),
+            Severity::Deny => f.write_str("error"),
+        }
+    }
+}
+
+/// A registered check with a stable identity.
+#[derive(Clone, Copy, Debug)]
+pub struct Lint {
+    /// Stable id, never reused: `IV…` IR verifier, `PI…` probe invariants,
+    /// `PF…` profile flow/integrity.
+    pub id: &'static str,
+    /// Kebab-case name, usable interchangeably with the id on the CLI.
+    pub name: &'static str,
+    /// Severity when no policy overrides it.
+    pub default_severity: Severity,
+    /// One-line description (shown in `csspgo_lint --list`).
+    pub description: &'static str,
+}
+
+/// Every lint the analyzer can emit. Sorted by id; ids are append-only.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        id: "IV001",
+        name: "ir-verify",
+        default_severity: Severity::Deny,
+        description: "IR well-formedness (CFG, terminators, registers, layout)",
+    },
+    Lint {
+        id: "PI001",
+        name: "probe-duplicate-id",
+        default_severity: Severity::Deny,
+        description: "duplicated probe id without a duplication factor",
+    },
+    Lint {
+        id: "PI002",
+        name: "probe-dup-factor",
+        default_severity: Severity::Deny,
+        description: "duplicated probe copies whose factor weights exceed 1",
+    },
+    Lint {
+        id: "PI003",
+        name: "probe-index-range",
+        default_severity: Severity::Deny,
+        description: "probe index 0, past the owner's watermark, or unknown owner",
+    },
+    Lint {
+        id: "PI004",
+        name: "probe-inline-stack",
+        default_severity: Severity::Deny,
+        description: "probe inline stack malformed against the callgraph",
+    },
+    Lint {
+        id: "PI005",
+        name: "discriminator-conflict",
+        default_severity: Severity::Warn,
+        description: "one source line with several discriminators in one block (fresh IR)",
+    },
+    Lint {
+        id: "PI006",
+        name: "discriminator-monotone",
+        default_severity: Severity::Warn,
+        description: "per-line discriminators not monotone across blocks (fresh IR)",
+    },
+    Lint {
+        id: "PF001",
+        name: "flow-conservation",
+        default_severity: Severity::Warn,
+        description: "annotated block counts violate Kirchhoff inflow/outflow bounds",
+    },
+    Lint {
+        id: "PF002",
+        name: "flow-dominance",
+        default_severity: Severity::Warn,
+        description: "acyclic block hotter than its immediate dominator",
+    },
+    Lint {
+        id: "PF003",
+        name: "context-parent-bound",
+        default_severity: Severity::Warn,
+        description: "child-context entry count exceeds the parent call-site probe count",
+    },
+    Lint {
+        id: "PF004",
+        name: "profile-checksum-stale",
+        default_severity: Severity::Warn,
+        description: "profile checksum does not match the module's CFG checksum",
+    },
+    Lint {
+        id: "PF005",
+        name: "profile-probe-range",
+        default_severity: Severity::Warn,
+        description: "profile references probe indices the function never allocated",
+    },
+];
+
+/// Looks a lint up by stable id (`PI001`) or name (`probe-duplicate-id`).
+pub fn find_lint(key: &str) -> Option<&'static Lint> {
+    LINTS
+        .iter()
+        .find(|l| l.id.eq_ignore_ascii_case(key) || l.name == key)
+}
+
+/// Severity overrides, applied at diagnostic-emission time.
+///
+/// Precedence (highest first): `allow` > `deny` > the lint's default. The
+/// special key `all` matches every lint.
+#[derive(Clone, Debug, Default)]
+pub struct Policy {
+    /// Lints escalated to [`Severity::Deny`] (ids, names, or `all`).
+    pub deny: Vec<String>,
+    /// Lints silenced to [`Severity::Allow`] (ids, names, or `all`).
+    pub allow: Vec<String>,
+}
+
+impl Policy {
+    /// A policy denying every lint (`--deny all`).
+    pub fn deny_all() -> Self {
+        Policy {
+            deny: vec!["all".into()],
+            allow: Vec::new(),
+        }
+    }
+
+    fn matches(list: &[String], lint: &Lint) -> bool {
+        list.iter().any(|k| {
+            k.eq_ignore_ascii_case("all") || k.eq_ignore_ascii_case(lint.id) || k == lint.name
+        })
+    }
+
+    /// The effective severity of `lint` under this policy.
+    pub fn severity_for(&self, lint: &Lint) -> Severity {
+        if Self::matches(&self.allow, lint) {
+            Severity::Allow
+        } else if Self::matches(&self.deny, lint) {
+            Severity::Deny
+        } else {
+            lint.default_severity
+        }
+    }
+
+    /// Validates that every key names a known lint (or `all`).
+    pub fn validate(&self) -> Result<(), String> {
+        for key in self.deny.iter().chain(self.allow.iter()) {
+            if !key.eq_ignore_ascii_case("all") && find_lint(key).is_none() {
+                return Err(format!("unknown lint `{key}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, Serialize)]
+pub struct Diagnostic {
+    /// Stable lint id (`PI001`).
+    pub lint: String,
+    /// Lint name (`probe-duplicate-id`).
+    pub name: String,
+    /// Effective severity after policy application.
+    pub severity: Severity,
+    /// Analysis unit (workload or module name).
+    pub unit: String,
+    /// Function the finding is in, when applicable.
+    pub func: Option<String>,
+    /// Finer location (block, probe, context path), when applicable.
+    pub location: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}/{}] {}",
+            self.severity, self.lint, self.name, self.unit
+        )?;
+        if let Some(func) = &self.func {
+            write!(f, " fn {func}")?;
+        }
+        if let Some(loc) = &self.location {
+            write!(f, " at {loc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// An accumulating set of diagnostics across analysis units.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Report {
+    /// All recorded diagnostics, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finding for `lint` under `policy`. Findings with an
+    /// effective severity of `Allow` are dropped.
+    pub fn emit(
+        &mut self,
+        policy: &Policy,
+        lint: &'static Lint,
+        unit: &str,
+        func: Option<String>,
+        location: Option<String>,
+        message: String,
+    ) {
+        let severity = policy.severity_for(lint);
+        if severity == Severity::Allow {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            lint: lint.id.to_string(),
+            name: lint.name.to_string(),
+            severity,
+            unit: unit.to_string(),
+            func,
+            location,
+            message,
+        });
+    }
+
+    /// Number of `Deny` diagnostics (nonzero fails the build).
+    pub fn denied(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of `Warn` diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether any diagnostic fails the build.
+    pub fn has_denied(&self) -> bool {
+        self.denied() > 0
+    }
+
+    /// Diagnostics for one lint id (tests and tooling).
+    pub fn by_lint<'a>(&'a self, id: &str) -> Vec<&'a Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.lint == id).collect()
+    }
+
+    /// Human-readable rendering, one line per diagnostic plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.denied(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// JSON rendering (the `csspgo_lint --json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_ids_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for l in LINTS {
+            assert!(seen.insert(l.id), "duplicate lint id {}", l.id);
+            assert!(seen.insert(l.name), "name colliding with an id: {}", l.name);
+            assert_eq!(find_lint(l.id).unwrap().id, l.id);
+            assert_eq!(find_lint(l.name).unwrap().id, l.id);
+        }
+        assert!(find_lint("no-such-lint").is_none());
+    }
+
+    #[test]
+    fn policy_precedence_allow_over_deny_over_default() {
+        let lint = find_lint("PF001").unwrap(); // default Warn
+        assert_eq!(Policy::default().severity_for(lint), Severity::Warn);
+        assert_eq!(Policy::deny_all().severity_for(lint), Severity::Deny);
+        let p = Policy {
+            deny: vec!["all".into()],
+            allow: vec!["flow-conservation".into()],
+        };
+        assert_eq!(p.severity_for(lint), Severity::Allow);
+    }
+
+    #[test]
+    fn allowed_diagnostics_are_dropped() {
+        let mut r = Report::new();
+        let p = Policy {
+            deny: Vec::new(),
+            allow: vec!["all".into()],
+        };
+        r.emit(&p, find_lint("IV001").unwrap(), "u", None, None, "x".into());
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let mut r = Report::new();
+        let p = Policy::default();
+        r.emit(
+            &p,
+            find_lint("IV001").unwrap(),
+            "u",
+            Some("f".into()),
+            Some("bb0".into()),
+            "broken".into(),
+        );
+        r.emit(
+            &p,
+            find_lint("PF001").unwrap(),
+            "u",
+            None,
+            None,
+            "leaky".into(),
+        );
+        assert_eq!(r.denied(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.has_denied());
+        let json = r.to_json();
+        assert!(json.contains("IV001") && json.contains("PF001"), "{json}");
+        assert!(r.render_human().contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn unknown_policy_keys_rejected() {
+        let p = Policy {
+            deny: vec!["PI999".into()],
+            allow: Vec::new(),
+        };
+        assert!(p.validate().is_err());
+        assert!(Policy::deny_all().validate().is_ok());
+    }
+}

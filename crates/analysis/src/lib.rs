@@ -1,0 +1,134 @@
+//! `csspgo-analysis` — probe-invariant and profile-integrity diagnostics.
+//!
+//! A clippy-style lint layer over the CSSPGO reproduction: every check is a
+//! registered [`Lint`] with a stable id, lints are escalated or silenced by a
+//! [`Policy`] (`--deny` / `--allow`), and findings accumulate in a [`Report`]
+//! that renders for humans or serializes to JSON for CI artifacts.
+//!
+//! Three lint families:
+//!
+//! * **`IV…` IR verifier** — structural well-formedness, wrapping
+//!   [`csspgo_ir::verify`] (which now collects *all* findings).
+//! * **`PI…` probe invariants** — pseudo-probe metadata health after any
+//!   pass: unique probe ids per inline context, duplication-factor weights
+//!   summing to ≤ 1 across clones, index watermarks, inline-stack shape, and
+//!   (on fresh IR) discriminator discipline. Wraps
+//!   [`csspgo_ir::probe_verify`].
+//! * **`PF…` profile flow & integrity** — Kirchhoff-style conservation and
+//!   dominance bounds over annotated block counts, context-tree consistency,
+//!   checksum staleness, and probe-range checks over collected profiles.
+//!
+//! The raw `IV`/`PI` checks deliberately live in `csspgo_ir` so the opt
+//! pipeline's inter-pass checkpoints ([`csspgo_opt::verify_after_pass`])
+//! can run them without a dependency cycle; this crate adds identity,
+//! policy, and reporting on top, plus the profile-side analyses.
+//!
+//! [`csspgo_opt::verify_after_pass`]: https://docs.rs/csspgo-opt
+//!
+//! # Example
+//!
+//! ```
+//! use csspgo_analysis::{Analyzer, Policy};
+//!
+//! let module = csspgo_ir::Module::new("demo");
+//! let mut analyzer = Analyzer::new(Policy::deny_all());
+//! analyzer.analyze_module("demo", &module, true);
+//! assert!(!analyzer.report().has_denied());
+//! ```
+
+pub mod diag;
+pub mod module_lints;
+pub mod profile_lints;
+
+pub use diag::{find_lint, Diagnostic, Lint, Policy, Report, Severity, LINTS};
+pub use module_lints::FlowTolerance;
+pub use profile_lints::ContextTolerance;
+
+use csspgo_core::context::ContextProfile;
+use csspgo_core::profile::ProbeProfile;
+use csspgo_ir::Module;
+
+/// Tuning knobs for the analyses that need tolerance to sampling noise.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalyzerConfig {
+    /// Slack for the flow lints (`PF001`/`PF002`).
+    pub flow: FlowTolerance,
+    /// Slack for the context-tree lint (`PF003`).
+    pub context: ContextTolerance,
+}
+
+/// The analysis driver: applies every lint family to modules and profiles,
+/// accumulating one [`Report`] across units.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    policy: Policy,
+    config: AnalyzerConfig,
+    report: Report,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with default tolerances.
+    pub fn new(policy: Policy) -> Self {
+        Analyzer {
+            policy,
+            config: AnalyzerConfig::default(),
+            report: Report::new(),
+        }
+    }
+
+    /// Creates an analyzer with explicit tolerances.
+    pub fn with_config(policy: Policy, config: AnalyzerConfig) -> Self {
+        Analyzer {
+            policy,
+            config,
+            report: Report::new(),
+        }
+    }
+
+    /// IR verifier + probe invariants (`IV001`, `PI001`–`PI004`; with
+    /// `fresh`, also `PI005`/`PI006`). `fresh` means the module has not been
+    /// through cloning passes yet — discriminator discipline only holds
+    /// there.
+    pub fn analyze_module(&mut self, unit: &str, module: &Module, fresh: bool) {
+        module_lints::analyze_module(&self.policy, unit, module, fresh, &mut self.report);
+    }
+
+    /// Flow-conservation and dominance lints (`PF001`/`PF002`) over a
+    /// profile-annotated module.
+    pub fn analyze_flow(&mut self, unit: &str, module: &Module) {
+        module_lints::analyze_flow(
+            &self.policy,
+            unit,
+            module,
+            self.config.flow,
+            &mut self.report,
+        );
+    }
+
+    /// Staleness and probe-range lints (`PF004`/`PF005`) over a flattened
+    /// probe profile, checked against the module it claims to describe.
+    pub fn analyze_probe_profile(&mut self, unit: &str, module: &Module, profile: &ProbeProfile) {
+        profile_lints::analyze_probe_profile(&self.policy, unit, module, profile, &mut self.report);
+    }
+
+    /// Context-tree consistency lint (`PF003`) over a context trie.
+    pub fn analyze_context_profile(&mut self, unit: &str, profile: &ContextProfile) {
+        profile_lints::analyze_context_profile(
+            &self.policy,
+            unit,
+            profile,
+            self.config.context,
+            &mut self.report,
+        );
+    }
+
+    /// The accumulated findings.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Consumes the analyzer, returning the findings.
+    pub fn into_report(self) -> Report {
+        self.report
+    }
+}

@@ -1,0 +1,215 @@
+//! Module-level lints: IR well-formedness (`IV…`), probe invariants
+//! (`PI…`), and annotated-count flow checks (`PF001`/`PF002`).
+//!
+//! The raw checks live in `csspgo_ir` (`verify`, `probe_verify`) so the opt
+//! pipeline can call them between passes without depending on this crate;
+//! here they are wrapped as registered lints with stable ids.
+
+use crate::diag::{find_lint, Lint, Policy, Report};
+use csspgo_ir::cfg;
+use csspgo_ir::dom::Dominators;
+use csspgo_ir::ids::BlockId;
+use csspgo_ir::loops::LoopInfo;
+use csspgo_ir::probe_verify::{self, ProbeIssueKind};
+use csspgo_ir::{Function, Module};
+
+fn lint(id: &str) -> &'static Lint {
+    find_lint(id).expect("registry covers every emitted lint")
+}
+
+fn probe_lint(kind: ProbeIssueKind) -> &'static Lint {
+    match kind {
+        ProbeIssueKind::DuplicateId => lint("PI001"),
+        ProbeIssueKind::MissingDupFactor => lint("PI002"),
+        ProbeIssueKind::IndexOutOfRange => lint("PI003"),
+        ProbeIssueKind::MalformedInlineStack => lint("PI004"),
+        ProbeIssueKind::DiscriminatorConflict => lint("PI005"),
+        ProbeIssueKind::DiscriminatorNonMonotone => lint("PI006"),
+    }
+}
+
+/// Runs the IR verifier (`IV001`) and the probe invariants (`PI001`–`PI004`)
+/// over `module`. With `fresh` set, also runs the fresh-IR-only
+/// discriminator lints (`PI005`/`PI006`) — cloning passes may legitimately
+/// replicate discriminators, so these only apply before optimization.
+pub fn analyze_module(
+    policy: &Policy,
+    unit: &str,
+    module: &Module,
+    fresh: bool,
+    report: &mut Report,
+) {
+    for e in csspgo_ir::verify::verify_module(module) {
+        let func = module.func(e.func).name.clone();
+        report.emit(
+            policy,
+            lint("IV001"),
+            unit,
+            Some(func),
+            e.block.map(|b| b.to_string()),
+            e.message,
+        );
+    }
+    let mut issues = probe_verify::check_module(module);
+    if fresh {
+        for f in &module.functions {
+            issues.extend(probe_verify::check_discriminators(f));
+        }
+    }
+    for issue in issues {
+        let func = module.func(issue.func).name.clone();
+        report.emit(
+            policy,
+            probe_lint(issue.kind),
+            unit,
+            Some(func),
+            issue.block.map(|b| b.to_string()),
+            issue.message,
+        );
+    }
+}
+
+/// Tolerances for the flow lints ([`analyze_flow`]).
+///
+/// Annotated counts come from *sampled* profiles and survive count repair
+/// that converges to within a fraction of a percent, so the checks need
+/// slack: relative (`rel`), absolute (`abs`), and a floor (`min_count`)
+/// below which counts are statistically meaningless.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowTolerance {
+    /// Relative slack on each inequality (e.g. `0.05` = 5%).
+    pub rel: f64,
+    /// Absolute slack in samples.
+    pub abs: f64,
+    /// Blocks with a count below this are skipped entirely.
+    pub min_count: u64,
+}
+
+impl Default for FlowTolerance {
+    fn default() -> Self {
+        FlowTolerance {
+            rel: 0.05,
+            abs: 16.0,
+            min_count: 32,
+        }
+    }
+}
+
+/// Checks annotated block counts for flow-conservation violations (`PF001`)
+/// and dominance impossibilities (`PF002`).
+///
+/// With block counts only (no edge counts), Kirchhoff's law degrades to
+/// inequalities: a non-exit block cannot execute more often than its
+/// successors combined, a non-entry block not more often than its
+/// predecessors combined. Dominance gives `count(b) ≤ count(idom(b))` — but
+/// only for blocks outside every natural loop, since loop bodies are
+/// legitimately hotter than their dominating preheaders.
+pub fn analyze_flow(
+    policy: &Policy,
+    unit: &str,
+    module: &Module,
+    tol: FlowTolerance,
+    report: &mut Report,
+) {
+    for func in &module.functions {
+        analyze_function_flow(policy, unit, func, tol, report);
+    }
+}
+
+fn analyze_function_flow(
+    policy: &Policy,
+    unit: &str,
+    func: &Function,
+    tol: FlowTolerance,
+    report: &mut Report,
+) {
+    if func.iter_blocks().all(|(_, b)| b.count.is_none()) {
+        return; // not annotated
+    }
+    let preds = cfg::predecessors(func);
+    let dom = Dominators::compute(func);
+    let loops = LoopInfo::compute(func);
+    let in_loop = |b: BlockId| loops.depth(b) > 0;
+
+    let emit = |report: &mut Report, id: &str, b: BlockId, msg: String| {
+        report.emit(
+            policy,
+            lint(id),
+            unit,
+            Some(func.name.clone()),
+            Some(b.to_string()),
+            msg,
+        );
+    };
+
+    for (bid, block) in func.iter_blocks() {
+        let Some(c) = block.count else { continue };
+        if c < tol.min_count || !dom.is_reachable(bid) {
+            continue;
+        }
+        let lower_bound = (c as f64) * (1.0 - tol.rel) - tol.abs;
+
+        // Outflow: a block that does not return must hand its executions to
+        // its successors.
+        let succs = block.successors();
+        if !succs.is_empty() {
+            let counts: Option<Vec<u64>> = succs.iter().map(|&s| func.block(s).count).collect();
+            if let Some(counts) = counts {
+                let total: u64 = counts.iter().sum();
+                if (total as f64) < lower_bound {
+                    emit(
+                        report,
+                        "PF001",
+                        bid,
+                        format!(
+                            "block count {c} exceeds combined successor count {total} \
+                             (outflow not conserved)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Inflow: a non-entry block must be reached through its predecessors.
+        if bid != func.entry {
+            let ps = &preds[bid.index()];
+            let counts: Option<Vec<u64>> = ps.iter().map(|&p| func.block(p).count).collect();
+            if let Some(counts) = counts {
+                let total: u64 = counts.iter().sum();
+                if (total as f64) < lower_bound {
+                    emit(
+                        report,
+                        "PF001",
+                        bid,
+                        format!(
+                            "block count {c} exceeds combined predecessor count {total} \
+                             (inflow not conserved)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Dominance: outside loops, a block cannot outrun its immediate
+        // dominator.
+        if !in_loop(bid) {
+            if let Some(idom) = dom.idom(bid) {
+                if idom != bid && !in_loop(idom) {
+                    if let Some(dc) = func.block(idom).count {
+                        if (c as f64) > (dc as f64) * (1.0 + tol.rel) + tol.abs {
+                            emit(
+                                report,
+                                "PF002",
+                                bid,
+                                format!(
+                                    "count {c} exceeds immediate dominator {idom}'s \
+                                     count {dc} outside any loop"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Seeded-corruption tests: every lint family must fire — with the expected
+//! stable lint id — when its invariant is deliberately broken, and must stay
+//! silent on healthy modules and profiles. This is the acceptance gate for
+//! the analyzer: a lint that cannot catch its own seeded corruption is dead
+//! weight.
+
+use csspgo_analysis::{Analyzer, Policy};
+use csspgo_core::context::{ContextNode, ContextProfile};
+use csspgo_core::profile::{ProbeFuncProfile, ProbeProfile};
+use csspgo_ir::ids::{BlockId, FuncId};
+use csspgo_ir::inst::InstKind;
+use csspgo_ir::probe::ProbeSite;
+use csspgo_ir::Module;
+
+const SRC: &str = r#"
+fn helper(x) {
+    if (x % 3 == 0) { return x * 2; }
+    return x + 1;
+}
+fn main(n) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        s = s + helper(i);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+
+/// A realistic probed module: compiled, discriminators assigned, probes
+/// inserted — the state the analyzer sees as "fresh".
+fn fresh_module() -> Module {
+    let mut m = csspgo_lang::compile(SRC, "corruption").unwrap();
+    csspgo_opt::discriminators::run(&mut m);
+    csspgo_opt::probes::run(&mut m);
+    m
+}
+
+fn deny_all_analyzer() -> Analyzer {
+    Analyzer::new(Policy::deny_all())
+}
+
+/// Applies `mutate` to the module, analyzes it, and returns the report.
+fn analyze_mutated(fresh: bool, mutate: impl FnOnce(&mut Module)) -> csspgo_analysis::Report {
+    let mut m = fresh_module();
+    mutate(&mut m);
+    let mut a = deny_all_analyzer();
+    a.analyze_module("seeded", &m, fresh);
+    a.into_report()
+}
+
+/// The first pseudo-probe instruction position in any block of `main`.
+fn first_probe_pos(m: &Module) -> (usize, BlockId, usize) {
+    let fid = m.find_function("main").unwrap();
+    let func = m.func(fid);
+    for (bid, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if matches!(inst.kind, InstKind::PseudoProbe { .. }) {
+                return (fid.index(), bid, i);
+            }
+        }
+    }
+    panic!("probed module has no probes");
+}
+
+#[test]
+fn clean_fresh_module_is_lint_free_under_deny_all() {
+    let m = fresh_module();
+    let mut a = deny_all_analyzer();
+    a.analyze_module("clean", &m, true);
+    assert!(
+        a.report().diagnostics.is_empty(),
+        "{}",
+        a.report().render_human()
+    );
+}
+
+#[test]
+fn clean_optimized_module_is_lint_free_under_deny_all() {
+    let mut m = fresh_module();
+    let config = csspgo_opt::OptConfig {
+        interpass_verify: true,
+        ..csspgo_opt::OptConfig::default()
+    };
+    csspgo_opt::run_pipeline(&mut m, &config);
+    let mut a = deny_all_analyzer();
+    // Not fresh: cloning passes may replicate discriminators legally.
+    a.analyze_module("optimized", &m, false);
+    assert!(
+        a.report().diagnostics.is_empty(),
+        "{}",
+        a.report().render_human()
+    );
+}
+
+#[test]
+fn missing_terminator_fires_iv001() {
+    let report = analyze_mutated(false, |m| {
+        let fid = m.find_function("main").unwrap();
+        m.func_mut(fid).blocks[0].insts.pop();
+    });
+    assert!(
+        !report.by_lint("IV001").is_empty(),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.has_denied());
+}
+
+#[test]
+fn duplicated_probe_without_factor_fires_pi001() {
+    let report = analyze_mutated(false, |m| {
+        let (f, bid, i) = first_probe_pos(m);
+        let probe = m.functions[f].block(bid).insts[i].clone();
+        m.functions[f].block_mut(bid).insts.insert(i, probe);
+    });
+    assert!(
+        !report.by_lint("PI001").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn underdeclared_duplication_factor_fires_pi002() {
+    let report = analyze_mutated(false, |m| {
+        // Three co-existing copies each declaring factor 2: combined weight
+        // 1.5 > 1, so some cloning pass under-declared.
+        let (f, bid, i) = first_probe_pos(m);
+        let mut probe = m.functions[f].block(bid).insts[i].clone();
+        if let InstKind::PseudoProbe { factor, .. } = &mut probe.kind {
+            *factor = 2;
+        }
+        m.functions[f].block_mut(bid).insts[i] = probe.clone();
+        m.functions[f].block_mut(bid).insts.insert(i, probe.clone());
+        m.functions[f].block_mut(bid).insts.insert(i, probe);
+    });
+    assert!(
+        !report.by_lint("PI002").is_empty(),
+        "{}",
+        report.render_human()
+    );
+    assert!(
+        report.by_lint("PI001").is_empty(),
+        "factors > 1 are not PI001"
+    );
+}
+
+#[test]
+fn mutated_probe_index_fires_pi003() {
+    let report = analyze_mutated(false, |m| {
+        let (f, bid, i) = first_probe_pos(m);
+        if let InstKind::PseudoProbe { index, .. } =
+            &mut m.functions[f].block_mut(bid).insts[i].kind
+        {
+            *index = 999;
+        }
+    });
+    assert!(
+        !report.by_lint("PI003").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn corrupted_inline_stack_fires_pi004() {
+    let report = analyze_mutated(false, |m| {
+        // Root the stack at a function that is not the physical container
+        // (and does not even exist) — a truncated/mis-spliced stack.
+        let (f, bid, i) = first_probe_pos(m);
+        if let InstKind::PseudoProbe { inline_stack, .. } =
+            &mut m.functions[f].block_mut(bid).insts[i].kind
+        {
+            inline_stack.push(ProbeSite {
+                func: FuncId(99),
+                probe_index: 1,
+            });
+        }
+    });
+    assert!(
+        !report.by_lint("PI004").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn discriminator_conflict_fires_pi005_on_fresh_ir_only() {
+    let corrupt = |m: &mut Module| {
+        let fid = m.find_function("main").unwrap();
+        let func = m.func_mut(fid);
+        // Give two instructions in one block the same line but different
+        // discriminators.
+        let insts = &mut func.blocks[0].insts;
+        assert!(insts.len() >= 2);
+        insts[0].loc.line = 42;
+        insts[0].loc.discriminator = 0;
+        insts[1].loc.line = 42;
+        insts[1].loc.discriminator = 7;
+    };
+    let fresh = analyze_mutated(true, corrupt);
+    assert!(
+        !fresh.by_lint("PI005").is_empty(),
+        "{}",
+        fresh.render_human()
+    );
+    // The same corruption is ignored when the module is past cloning passes.
+    let optimized = analyze_mutated(false, corrupt);
+    assert!(optimized.by_lint("PI005").is_empty());
+}
+
+#[test]
+fn non_monotone_discriminators_fire_pi006() {
+    let report = analyze_mutated(true, |m| {
+        let fid = m.find_function("main").unwrap();
+        let func = m.func_mut(fid);
+        let last = func.blocks.len() - 1;
+        // The same (line, discriminator) in two blocks: not strictly rising.
+        for b in [0, last] {
+            let inst = func.blocks[b].insts.first_mut().unwrap();
+            inst.loc.line = 43;
+            inst.loc.discriminator = 5;
+        }
+    });
+    assert!(
+        !report.by_lint("PI006").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn impossible_block_counts_fire_pf001_and_pf002() {
+    // `helper` is branchy but loop-free: entry dominates both arms, so an
+    // arm hotter than the entry is impossible both by flow conservation and
+    // by dominance.
+    let mut m = fresh_module();
+    let fid = m.find_function("helper").unwrap();
+    let func = m.func_mut(fid);
+    let entry = func.entry;
+    for (i, b) in func.blocks.iter_mut().enumerate() {
+        b.count = Some(if BlockId::from_index(i) == entry {
+            100
+        } else {
+            5000
+        });
+    }
+    let mut a = deny_all_analyzer();
+    a.analyze_flow("seeded", &m);
+    let report = a.into_report();
+    assert!(
+        !report.by_lint("PF001").is_empty(),
+        "{}",
+        report.render_human()
+    );
+    assert!(
+        !report.by_lint("PF002").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn consistent_block_counts_are_lint_free() {
+    // All-equal counts on a loop-free diamond satisfy every inequality.
+    let mut m = fresh_module();
+    let fid = m.find_function("helper").unwrap();
+    for b in &mut m.func_mut(fid).blocks {
+        b.count = Some(1000);
+    }
+    let mut a = deny_all_analyzer();
+    a.analyze_flow("clean", &m);
+    assert!(
+        a.report().diagnostics.is_empty(),
+        "{}",
+        a.report().render_human()
+    );
+}
+
+#[test]
+fn overcounted_child_context_fires_pf003() {
+    let m = fresh_module();
+    let main_guid = m.func(m.find_function("main").unwrap()).guid;
+    let helper_guid = m.func(m.find_function("helper").unwrap()).guid;
+
+    let mut parent = ContextNode {
+        guid: main_guid,
+        entry: 10,
+        ..ContextNode::default()
+    };
+    parent.probes.insert(2, 10); // call-site probe counted 10 times...
+    let child = ContextNode {
+        guid: helper_guid,
+        entry: 5000, // ...but the child claims 5000 entries through it.
+        ..ContextNode::default()
+    };
+    parent.children.insert((2, helper_guid), child);
+    let mut profile = ContextProfile::new();
+    profile.roots.insert(main_guid, parent);
+    profile.names.insert(main_guid, "main".into());
+    profile.names.insert(helper_guid, "helper".into());
+
+    let mut a = deny_all_analyzer();
+    a.analyze_context_profile("seeded", &profile);
+    let report = a.into_report();
+    assert!(
+        !report.by_lint("PF003").is_empty(),
+        "{}",
+        report.render_human()
+    );
+    // The diagnostic names the parent function and the child path.
+    let d = report.by_lint("PF003")[0];
+    assert_eq!(d.func.as_deref(), Some("main"));
+    assert!(d.location.as_deref().unwrap().contains("helper"));
+}
+
+#[test]
+fn stale_profile_checksum_fires_pf004() {
+    let m = fresh_module();
+    let func = m.func(m.find_function("main").unwrap());
+    let guid = func.guid;
+    let real = func
+        .probe_checksum
+        .expect("probed module records checksums");
+
+    let mut profile = ProbeProfile::default();
+    profile.funcs.insert(
+        guid,
+        ProbeFuncProfile {
+            checksum: real ^ 0xdead_beef, // perturbed: stale binary
+            ..ProbeFuncProfile::default()
+        },
+    );
+    profile.names.insert(guid, "main".into());
+
+    let mut a = deny_all_analyzer();
+    a.analyze_probe_profile("seeded", &m, &profile);
+    let report = a.into_report();
+    assert!(
+        !report.by_lint("PF004").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn out_of_range_profile_probe_fires_pf005() {
+    let m = fresh_module();
+    let func = m.func(m.find_function("main").unwrap());
+    let guid = func.guid;
+    let checksum = func.probe_checksum.unwrap();
+
+    let mut fp = ProbeFuncProfile {
+        checksum,
+        ..ProbeFuncProfile::default()
+    };
+    fp.probes.insert(func.next_probe_index + 7, 123); // never allocated
+    let mut profile = ProbeProfile::default();
+    profile.funcs.insert(guid, fp);
+    profile.names.insert(guid, "main".into());
+
+    let mut a = deny_all_analyzer();
+    a.analyze_probe_profile("seeded", &m, &profile);
+    let report = a.into_report();
+    assert!(
+        !report.by_lint("PF005").is_empty(),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn default_policy_warns_but_does_not_deny_flow_lints() {
+    let mut m = fresh_module();
+    let fid = m.find_function("helper").unwrap();
+    let func = m.func_mut(fid);
+    let entry = func.entry;
+    for (i, b) in func.blocks.iter_mut().enumerate() {
+        b.count = Some(if BlockId::from_index(i) == entry {
+            100
+        } else {
+            5000
+        });
+    }
+    let mut a = Analyzer::new(Policy::default());
+    a.analyze_flow("seeded", &m);
+    let report = a.into_report();
+    assert!(!report.diagnostics.is_empty());
+    assert_eq!(report.denied(), 0, "flow lints default to Warn");
+    assert!(report.warnings() > 0);
+}

@@ -278,6 +278,7 @@ fn lower_stream(
                     index,
                     kind,
                     inline_stack,
+                    ..
                 } => {
                     pending_probes.push(ProbeNote {
                         owner: *owner,

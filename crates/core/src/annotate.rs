@@ -305,6 +305,7 @@ pub fn csspgo_annotate(
                     index,
                     kind: ProbeKind::Block,
                     inline_stack,
+                    ..
                 } = &inst.kind
                 else {
                     continue;
@@ -346,6 +347,7 @@ fn call_probe_of(
             index,
             kind: ProbeKind::Call,
             inline_stack,
+            ..
         } => Some((*owner, *index, inline_stack.clone())),
         _ => None,
     }

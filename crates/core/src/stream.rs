@@ -549,7 +549,11 @@ impl<'b> StreamAggregator<'b> {
         let Some(ctx_start) = context_start else {
             return Err(bad("snapshot has no !context section".into()));
         };
-        let mut profile = textprof::parse_context(&text[ctx_start..])?;
+        // A snapshot truncated right at the `!context` marker has no
+        // trailing newline, putting `ctx_start` one past the end: treat it
+        // as an empty context section rather than slicing out of bounds.
+        let ctx_text = text.get(ctx_start..).unwrap_or("");
+        let mut profile = textprof::parse_context(ctx_text)?;
         // The aggregator's working profile carries no names (exactly like
         // the batch unwinding path); the snapshot only named functions so
         // GUIDs would survive the text round-trip.

@@ -236,3 +236,33 @@ proptest! {
         prop_assert_eq!(resumed_json, batch_json);
     }
 }
+
+/// Regression: a snapshot truncated *exactly* at the `!context` marker (no
+/// trailing newline) used to make `restore` index one byte past the end of
+/// the text and panic. A fresh aggregator's context section is legitimately
+/// empty, so such a snapshot must restore cleanly instead.
+#[test]
+fn restore_survives_snapshot_truncated_at_context_marker() {
+    let binary = probed_binary();
+    let agg = StreamAggregator::new(&binary, StreamConfig::default(), 1);
+    let snap = agg.snapshot();
+
+    let cut = snap.find("!context").unwrap() + "!context".len();
+    let truncated = &snap[..cut];
+    let restored = StreamAggregator::restore(&binary, StreamConfig::default(), 1, truncated)
+        .expect("truncation at the marker leaves a valid, empty context section");
+    assert_eq!(restored.total_samples(), 0);
+    assert_eq!(restored.context_profile().roots.len(), 0);
+
+    // Truncating *before* the marker loses the section entirely and must
+    // stay a structured error, not a panic.
+    let cut = snap.find("!context").unwrap();
+    let err = match StreamAggregator::restore(&binary, StreamConfig::default(), 1, &snap[..cut]) {
+        Ok(_) => panic!("missing !context section must be an error"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("context"),
+        "error should name the missing section: {err}"
+    );
+}

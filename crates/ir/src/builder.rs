@@ -269,7 +269,7 @@ mod tests {
             fb.ret(Some(Operand::Reg(a)));
         }
         let m = mb.finish();
-        verify_module(&m).expect("valid module");
+        assert_eq!(verify_module(&m), vec![]);
         let f = &m.functions[0];
         assert_eq!(f.num_live_blocks(), 4);
         // Debug lines recorded on every instruction.

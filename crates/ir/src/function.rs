@@ -201,6 +201,7 @@ impl Function {
                     index,
                     kind: crate::probe::ProbeKind::Block,
                     inline_stack,
+                    ..
                 } = &inst.kind
                 {
                     if *owner == self.id && inline_stack.is_empty() {

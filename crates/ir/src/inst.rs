@@ -242,11 +242,21 @@ pub enum InstKind {
     /// probe number within that function, and `inline_stack` the chain of
     /// *call-site probes* through which it was inlined (outermost first) —
     /// the probe-based analogue of [`DebugLoc::inline_stack`].
+    ///
+    /// `factor` is the probe's **duplication factor**: this copy represents
+    /// `1/factor` of the probe's weight, so across all co-existing copies of
+    /// one probe id (same `owner`, `index` and `inline_stack`) the weights
+    /// sum to at most 1. Probes start at 1; `unroll` and `tail_dup` multiply
+    /// the factor of every copy they create, and later merges/DCE may drop
+    /// copies (the sum only shrinks). Mirrors the paper's probe
+    /// duplication-factor metadata (§III.A); `probe_verify` enforces the
+    /// invariant between passes.
     PseudoProbe {
         owner: FuncId,
         index: u32,
         kind: ProbeKind,
         inline_stack: Vec<ProbeSite>,
+        factor: u32,
     },
     /// Traditional instrumentation: increment profile counter `counter`.
     ///
@@ -498,6 +508,7 @@ mod tests {
             index: 1,
             kind: ProbeKind::Block,
             inline_stack: Vec::new(),
+            factor: 1,
         };
         assert_eq!(probe.def(), None);
         assert!(probe.uses().is_empty());

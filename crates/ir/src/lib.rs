@@ -31,7 +31,7 @@
 //!     fb.ret(Some(Operand::Imm(42)));
 //! }
 //! let module = mb.finish();
-//! assert!(csspgo_ir::verify::verify_module(&module).is_ok());
+//! assert!(csspgo_ir::verify::verify_module(&module).is_empty());
 //! ```
 
 pub mod annot;
@@ -46,6 +46,7 @@ pub mod loops;
 pub mod module;
 pub mod printer;
 pub mod probe;
+pub mod probe_verify;
 pub mod verify;
 
 pub use annot::{InlinePlan, ProfileAnnotation};

@@ -73,8 +73,12 @@ impl fmt::Display for InstKind {
                 index,
                 kind,
                 inline_stack,
+                factor,
             } => {
                 write!(f, "pseudo_probe {owner}:{index} {kind}")?;
+                if *factor != 1 {
+                    write!(f, " factor={factor}")?;
+                }
                 for s in inline_stack {
                     write!(f, " @{s}")?;
                 }

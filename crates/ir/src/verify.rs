@@ -1,5 +1,12 @@
-//! IR well-formedness checks, run after construction and between passes in
-//! debug builds.
+//! IR well-formedness checks, run after construction and between passes
+//! (always in debug builds, opt-in in release via the optimizer's
+//! `OptConfig::interpass_verify`).
+//!
+//! Unlike a fail-fast verifier, [`verify_module`] collects *every* finding
+//! in deterministic order (functions by id, blocks by id, instructions by
+//! position), so a single broken pass surfaces all of its damage at once —
+//! the same design as LLVM's IR verifier, and the substrate the
+//! `csspgo-analysis` diagnostics engine builds on.
 
 use crate::function::Function;
 use crate::ids::{BlockId, FuncId};
@@ -31,26 +38,32 @@ impl fmt::Display for VerifyError {
 
 impl Error for VerifyError {}
 
-/// Verifies every function in `module`.
+/// Verifies every function in `module`, returning *all* findings.
 ///
-/// # Errors
-///
-/// Returns the first [`VerifyError`] found: a live block without a
-/// terminator, a terminator mid-block, an edge to a dead or out-of-range
-/// block, an out-of-range register or callee, or a dead entry block.
-pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+/// An empty vector means the module is well-formed. Findings are ordered
+/// deterministically: functions in id order, blocks in id order,
+/// instructions in program order.
+#[must_use = "an empty vector means the module verified clean"]
+pub fn verify_module(module: &Module) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
     for func in &module.functions {
-        verify_function(module, func)?;
+        verify_function_into(module, func, &mut errors);
     }
-    Ok(())
+    errors
 }
 
-/// Verifies one function. See [`verify_module`] for the checked properties.
-///
-/// # Errors
-///
-/// Returns the first violation found.
-pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
+/// Verifies one function, returning all findings. Checked properties: a
+/// live block without a terminator, a terminator mid-block, an edge to a
+/// dead or out-of-range block, an out-of-range register or callee, a dead
+/// entry block, and layout consistency.
+#[must_use = "an empty vector means the function verified clean"]
+pub fn verify_function(module: &Module, func: &Function) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    verify_function_into(module, func, &mut errors);
+    errors
+}
+
+fn verify_function_into(module: &Module, func: &Function, errors: &mut Vec<VerifyError>) {
     let err = |block: Option<BlockId>, message: String| VerifyError {
         func: func.id,
         block,
@@ -58,63 +71,63 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
     };
 
     if func.entry.index() >= func.blocks.len() || func.block(func.entry).dead {
-        return Err(err(None, "entry block is dead or out of range".into()));
+        errors.push(err(None, "entry block is dead or out of range".into()));
     }
 
     for (bid, block) in func.iter_blocks() {
         let Some(last) = block.insts.last() else {
-            return Err(err(Some(bid), "live block is empty".into()));
+            errors.push(err(Some(bid), "live block is empty".into()));
+            continue;
         };
         if !last.is_terminator() {
-            return Err(err(Some(bid), "live block lacks a terminator".into()));
+            errors.push(err(Some(bid), "live block lacks a terminator".into()));
         }
         for (i, inst) in block.insts.iter().enumerate() {
             if inst.is_terminator() && i + 1 != block.insts.len() {
-                return Err(err(Some(bid), "terminator in the middle of a block".into()));
+                errors.push(err(Some(bid), "terminator in the middle of a block".into()));
             }
             for op in inst.kind.uses() {
                 if let Operand::Reg(r) = op {
                     if r.index() >= func.num_vregs() {
-                        return Err(err(Some(bid), format!("use of unallocated register {r}")));
+                        errors.push(err(Some(bid), format!("use of unallocated register {r}")));
                     }
                 }
             }
             if let Some(d) = inst.kind.def() {
                 if d.index() >= func.num_vregs() {
-                    return Err(err(Some(bid), format!("def of unallocated register {d}")));
+                    errors.push(err(Some(bid), format!("def of unallocated register {d}")));
                 }
             }
             if let InstKind::Call { callee, .. } = &inst.kind {
                 if callee.index() >= module.functions.len() {
-                    return Err(err(Some(bid), format!("call to unknown function {callee}")));
+                    errors.push(err(Some(bid), format!("call to unknown function {callee}")));
                 }
             }
             if let InstKind::Load { global, .. } | InstKind::Store { global, .. } = &inst.kind {
                 if global.index() >= module.globals.len() {
-                    return Err(err(Some(bid), format!("access to unknown global {global}")));
+                    errors.push(err(Some(bid), format!("access to unknown global {global}")));
                 }
             }
         }
         for succ in block.successors() {
             if succ.index() >= func.blocks.len() {
-                return Err(err(Some(bid), format!("edge to out-of-range block {succ}")));
-            }
-            if func.block(succ).dead {
-                return Err(err(Some(bid), format!("edge to dead block {succ}")));
+                errors.push(err(Some(bid), format!("edge to out-of-range block {succ}")));
+            } else if func.block(succ).dead {
+                errors.push(err(Some(bid), format!("edge to dead block {succ}")));
             }
         }
     }
 
     if let Some(layout) = &func.layout {
         if layout.hot.first() != Some(&func.entry) {
-            return Err(err(
+            errors.push(err(
                 None,
                 "layout does not start with the entry block".into(),
             ));
         }
         let placed: usize = layout.hot.len() + layout.cold.len();
         if placed != func.num_live_blocks() {
-            return Err(err(
+            errors.push(err(
                 None,
                 format!(
                     "layout places {placed} blocks but function has {} live blocks",
@@ -123,8 +136,6 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
             ));
         }
     }
-
-    Ok(())
 }
 
 #[cfg(test)]
@@ -147,7 +158,7 @@ mod tests {
 
     #[test]
     fn valid_module_passes() {
-        assert!(verify_module(&tiny()).is_ok());
+        assert_eq!(verify_module(&tiny()), vec![]);
     }
 
     #[test]
@@ -162,8 +173,9 @@ mod tests {
                 src: Operand::Imm(1),
             }));
         m.functions[0].reserve_vregs(1);
-        let e = verify_module(&m).unwrap_err();
-        assert!(e.message.contains("terminator"), "{e}");
+        let errs = verify_module(&m);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("terminator"), "{}", errs[0]);
     }
 
     #[test]
@@ -176,8 +188,8 @@ mod tests {
                 src: Operand::Imm(1),
             }),
         );
-        let e = verify_module(&m).unwrap_err();
-        assert!(e.message.contains("unallocated"), "{e}");
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("unallocated")));
     }
 
     #[test]
@@ -190,8 +202,8 @@ mod tests {
         f.block_mut(BlockId(0))
             .insts
             .push(crate::inst::Inst::synthetic(InstKind::Br { target: b }));
-        let e = verify_module(&m).unwrap_err();
-        assert!(e.message.contains("dead block"), "{e}");
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("dead block")));
     }
 
     #[test]
@@ -205,8 +217,45 @@ mod tests {
                 args: vec![],
             }),
         );
-        let e = verify_module(&m).unwrap_err();
-        assert!(e.message.contains("unknown function"), "{e}");
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.message.contains("unknown function")));
+    }
+
+    #[test]
+    fn all_findings_collected_not_just_the_first() {
+        // Seed two independent corruptions in two functions: both must be
+        // reported, in function order.
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare_function("f", 0);
+        let g = mb.declare_function("g", 0);
+        for id in [f, g] {
+            let mut fb = mb.function_builder(id);
+            let e = fb.entry_block();
+            fb.switch_to(e);
+            fb.ret(None);
+        }
+        let mut m = mb.finish();
+        m.functions[0].block_mut(BlockId(0)).insts.insert(
+            0,
+            crate::inst::Inst::synthetic(InstKind::Copy {
+                dst: VReg(7),
+                src: Operand::Imm(1),
+            }),
+        );
+        m.functions[1].block_mut(BlockId(0)).insts.insert(
+            0,
+            crate::inst::Inst::synthetic(InstKind::Call {
+                dst: None,
+                callee: FuncId(42),
+                args: vec![],
+            }),
+        );
+        let errs = verify_module(&m);
+        assert_eq!(errs.len(), 2, "both corruptions reported: {errs:?}");
+        assert_eq!(errs[0].func, f, "deterministic function order");
+        assert_eq!(errs[1].func, g);
+        assert!(errs[0].message.contains("unallocated"));
+        assert!(errs[1].message.contains("unknown function"));
     }
 
     #[test]

@@ -67,8 +67,12 @@ pub fn lower(program: &Program, module_name: &str) -> Result<Module, CompileErro
     }
 
     let module = mb.finish();
-    csspgo_ir::verify::verify_module(&module)
-        .map_err(|e| CompileError::new(0, format!("internal lowering error: {e}")))?;
+    if let Some(e) = csspgo_ir::verify::verify_module(&module).first() {
+        return Err(CompileError::new(
+            0,
+            format!("internal lowering error: {e}"),
+        ));
+    }
     Ok(module)
 }
 
@@ -455,7 +459,7 @@ fn f(n) {
     #[test]
     fn statements_after_return_do_not_break_lowering() {
         let m = compile("fn f() { return 1; let x = 2; }", "t").unwrap();
-        csspgo_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(csspgo_ir::verify::verify_module(&m), vec![]);
     }
 
     #[test]

@@ -171,7 +171,7 @@ fn f(a) {
         let n = run_function(&mut m.functions[0], &OptConfig::default());
         assert_eq!(n, 1);
         assert_eq!(count_selects(&m.functions[0]), 1);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
     }
 
     #[test]

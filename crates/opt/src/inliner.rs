@@ -75,6 +75,7 @@ pub fn inline_call(
                 index,
                 kind: ProbeKind::Call,
                 inline_stack,
+                ..
             } => Some((*owner, *index, inline_stack.clone())),
             _ => None,
         }
@@ -469,7 +470,7 @@ fn main(a) {
                 .unwrap()
         };
         let res = inline_call(&mut m, main, bid, idx).expect("inlined");
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         assert_eq!(eval(&m, "main", &[3]), before);
         assert_eq!(eval(&m, "main", &[42]), 64);
         assert!(!res.block_map.is_empty());
@@ -520,7 +521,7 @@ fn main(a) {
                 .unwrap()
         };
         inline_call(&mut m, main, bid, idx).unwrap();
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         let f = m.func(main);
         // h's block probe must now appear with a 1-frame probe stack rooted
         // at main's call-site probe.
@@ -583,7 +584,7 @@ fn main(a) { return mid(a); }
         let before = eval(&m, "main", &[5]);
         run_bottom_up(&mut m, &OptConfig::default());
         crate::simplify::run(&mut m);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         assert_eq!(eval(&m, "main", &[5]), before);
         // main should no longer contain calls.
         let main = m.find_function("main").unwrap();
@@ -600,7 +601,7 @@ fn main(a) { return mid(a); }
         let src = "fn f(x) { if (x > 0) { return f(x - 1) + 1; } return 0; }";
         let mut m = compile(src);
         run_bottom_up(&mut m, &OptConfig::default());
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         assert_eq!(eval(&m, "f", &[5]), 5);
     }
 

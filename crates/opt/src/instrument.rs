@@ -82,6 +82,6 @@ mod tests {
                 }
             }
         }
-        csspgo_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(csspgo_ir::verify::verify_module(&m), vec![]);
     }
 }

@@ -294,7 +294,7 @@ fn f(a) {
     fn hot_successor_becomes_fallthrough() {
         let mut m = annotated();
         run(&mut m, &OptConfig::default());
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         let f = &m.functions[0];
         let layout = f.layout.as_ref().unwrap();
         assert_eq!(layout.hot[0], f.entry);
@@ -310,7 +310,7 @@ fn f(a) {
         run(&mut m, &OptConfig::default());
         let layout = m.functions[0].layout.as_ref().unwrap();
         assert!(layout.cold.contains(&BlockId(2)), "layout: {layout:?}");
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
     }
 
     #[test]
@@ -344,6 +344,6 @@ fn f(a) {
         run(&mut m, &OptConfig::default());
         let layout = m.functions[0].layout.as_ref().unwrap();
         assert_eq!(layout.hot[0], BlockId(0));
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
     }
 }

@@ -66,6 +66,11 @@ pub struct OptConfig {
     pub enable_if_convert: bool,
     pub enable_layout: bool,
     pub enable_split: bool,
+    /// Run the IR verifier and probe-invariant checker after every pass in
+    /// [`run_pipeline`], panicking (with every finding) on the first pass
+    /// that breaks an invariant. Defaults to on in debug builds, off in
+    /// release; release users opt in via `PipelineConfig`.
+    pub interpass_verify: bool,
 }
 
 impl Default for OptConfig {
@@ -88,8 +93,39 @@ impl Default for OptConfig {
             enable_if_convert: true,
             enable_layout: true,
             enable_split: true,
+            interpass_verify: cfg!(debug_assertions),
         }
     }
+}
+
+/// Checks IR well-formedness and probe invariants after a pipeline pass,
+/// panicking with *all* findings if anything is broken. `stage` names the
+/// pass that just ran so the report points at the culprit.
+///
+/// This is the pipeline's safety net against silent probe corruption — the
+/// failure mode the paper attributes to stale debug info, recreated here any
+/// time a cloning pass forgets to raise duplication factors or an inliner
+/// change mangles probe inline stacks.
+pub fn verify_after_pass(module: &Module, stage: &str) {
+    let ir_errors = csspgo_ir::verify::verify_module(module);
+    let probe_issues = csspgo_ir::probe_verify::check_module(module);
+    if ir_errors.is_empty() && probe_issues.is_empty() {
+        return;
+    }
+    let mut report = format!(
+        "inter-pass verification failed after `{stage}` ({} IR error(s), {} probe issue(s))",
+        ir_errors.len(),
+        probe_issues.len()
+    );
+    for e in &ir_errors {
+        report.push_str("\n  ");
+        report.push_str(&e.to_string());
+    }
+    for i in &probe_issues {
+        report.push_str("\n  ");
+        report.push_str(&i.to_string());
+    }
+    panic!("{report}");
 }
 
 /// Runs the mid-level + late pipeline on an (optionally annotated) module.
@@ -98,40 +134,50 @@ impl Default for OptConfig {
 /// top-down sample-loader inliner are *not* included: the PGO driver in
 /// `csspgo-core` sequences those explicitly around profile annotation.
 pub fn run_pipeline(module: &mut Module, config: &OptConfig) {
+    let checkpoint = |module: &Module, stage: &str| {
+        if config.interpass_verify {
+            verify_after_pass(module, stage);
+        }
+    };
+    checkpoint(module, "input");
     simplify::run(module);
+    checkpoint(module, "simplify");
     if config.enable_tail_dup {
         tail_dup::run(module, config);
         simplify::run(module);
+        checkpoint(module, "tail_dup");
     }
     if config.enable_licm {
         licm::run(module, config);
+        checkpoint(module, "licm");
     }
     if config.enable_sink {
         sink::run(module, config);
+        checkpoint(module, "sink");
     }
     if config.enable_inline {
         inliner::run_bottom_up(module, config);
         simplify::run(module);
+        checkpoint(module, "inline");
     }
     if config.enable_unroll {
         unroll::run(module, config);
         simplify::run(module);
+        checkpoint(module, "unroll");
     }
     if config.enable_tail_merge {
         tailmerge::run(module);
+        checkpoint(module, "tailmerge");
     }
     if config.enable_if_convert {
         ifconvert::run(module, config);
         simplify::run(module);
+        checkpoint(module, "ifconvert");
     }
     if config.enable_layout {
         layout::run(module, config);
+        checkpoint(module, "layout");
     }
-    debug_assert!(
-        csspgo_ir::verify::verify_module(module).is_ok(),
-        "pipeline produced invalid IR: {:?}",
-        csspgo_ir::verify::verify_module(module)
-    );
 }
 
 #[cfg(test)]
@@ -169,6 +215,31 @@ fn main(n) {
 "#;
         let mut m = csspgo_lang::compile(src, "t").unwrap();
         run_pipeline(&mut m, &OptConfig::default());
-        csspgo_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(csspgo_ir::verify::verify_module(&m), vec![]);
+    }
+
+    #[test]
+    fn interpass_verify_accepts_probed_modules() {
+        let src = "fn g(x) { return x + 1; } fn f(n) { let i = 0; while (i < n) { i = i + g(i); } return i; }";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        discriminators::run(&mut m);
+        probes::run(&mut m);
+        let cfg = OptConfig {
+            interpass_verify: true,
+            ..OptConfig::default()
+        };
+        run_pipeline(&mut m, &cfg);
+        assert_eq!(csspgo_ir::probe_verify::check_module(&m), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-pass verification failed")]
+    fn verify_after_pass_reports_corruption() {
+        let mut m = csspgo_lang::compile("fn f(x) { return x; }", "t").unwrap();
+        probes::run(&mut m);
+        // Corrupt: duplicate the entry block probe without a factor.
+        let probe = m.functions[0].blocks[0].insts[0].clone();
+        m.functions[0].blocks[0].insts.insert(0, probe);
+        verify_after_pass(&m, "test");
     }
 }

@@ -210,7 +210,7 @@ fn f(n, k) {
         let mut m = csspgo_lang::compile(SRC, "t").unwrap();
         let n = run_function(&mut m.functions[0]);
         assert!(n >= 2, "expected k*7 and cfgv[0] hoisted, got {n}");
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         // The loop body must no longer contain the multiplication.
         let info = LoopInfo::compute(&m.functions[0]);
         let l = &info.loops[0];
@@ -247,7 +247,7 @@ fn f(n) {
 "#;
         let mut m = csspgo_lang::compile(src, "t").unwrap();
         run_function(&mut m.functions[0]);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         // The load must still be inside the loop.
         let info = LoopInfo::compute(&m.functions[0]);
         let l = &info.loops[0];
@@ -268,7 +268,7 @@ fn f(n) {
         run_function(&mut m.functions[0]);
         let after = format!("{}", &m.functions[0]);
         assert_ne!(before, after, "licm should change the IR");
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
     }
 
     #[test]

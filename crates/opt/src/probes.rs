@@ -35,6 +35,7 @@ pub fn insert_into_function(func: &mut Function) {
             index,
             kind: ProbeKind::Block,
             inline_stack: Vec::new(),
+            factor: 1,
         });
         func.block_mut(bid).insts.insert(0, probe);
 
@@ -51,6 +52,7 @@ pub fn insert_into_function(func: &mut Function) {
                         index,
                         kind: ProbeKind::Call,
                         inline_stack: Vec::new(),
+                        factor: 1,
                     },
                     loc,
                 );
@@ -154,6 +156,6 @@ mod tests {
     #[test]
     fn module_still_verifies() {
         let m = probed("fn g(a) { return a; } fn f(x) { return g(x); }");
-        csspgo_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(csspgo_ir::verify::verify_module(&m), vec![]);
     }
 }

@@ -304,7 +304,7 @@ mod tests {
     fn folds_constant_arithmetic_to_constant_return() {
         let mut m = compile("fn f() { let x = 2 + 3; let y = x * 4; return y; }");
         run(&mut m);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         let f = &m.functions[0];
         let term = f.block(f.entry).terminator().unwrap();
         assert!(
@@ -323,7 +323,7 @@ mod tests {
     fn folds_constant_branch_and_removes_dead_arm() {
         let mut m = compile("fn f() { if (1 < 2) { return 10; } return 20; }");
         run(&mut m);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         let f = &m.functions[0];
         // Everything should collapse into the entry returning 10.
         let term = f.block(f.entry).terminator().unwrap();
@@ -345,7 +345,7 @@ mod tests {
         let mut m =
             compile("fn g() { return 1; } fn f(a) { let x = a * 3; let y = g(); return a; }");
         run(&mut m);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         let f = &m.functions[1];
         let kinds: Vec<_> = f
             .iter_blocks()
@@ -366,7 +366,7 @@ mod tests {
     fn merges_straight_line_blocks() {
         let mut m = compile("fn f(a) { let x = a + 1; if (1) { x = x + 2; } return x; }");
         run(&mut m);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         assert_eq!(m.functions[0].num_live_blocks(), 1);
     }
 
@@ -376,7 +376,7 @@ mod tests {
         crate::probes::run(&mut m);
         let before = m.functions[0].num_live_blocks();
         run(&mut m);
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         // Blocks hold probes, so nothing can be forwarded away or merged
         // into a straight line that drops a probe.
         let probes: usize = m.functions[0]

@@ -71,7 +71,7 @@ fn main(a) { return used(a); }
         let main = m.find_function("main").unwrap();
         let n = run(&mut m, &[main]);
         assert_eq!(n, 1);
-        csspgo_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(csspgo_ir::verify::verify_module(&m), vec![]);
         let unused = m.find_function("unused").unwrap();
         assert_eq!(m.func(unused).size(), 1, "stubbed to a lone ret");
         let used = m.find_function("used").unwrap();
@@ -98,6 +98,6 @@ fn main(a) { return rec(a); }
         let mut m = csspgo_lang::compile(src, "t").unwrap();
         let main = m.find_function("main").unwrap();
         run(&mut m, &[main]);
-        csspgo_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(csspgo_ir::verify::verify_module(&m), vec![]);
     }
 }

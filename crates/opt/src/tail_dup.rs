@@ -61,19 +61,32 @@ pub fn run_function(func: &mut csspgo_ir::Function, max_insts: usize) -> usize {
             continue;
         }
         // Duplicate into predecessors that reach j by unconditional branch.
+        let targets: Vec<BlockId> = plist
+            .into_iter()
+            .filter(|&p| {
+                p != j
+                    && matches!(
+                        func.block(p).terminator().map(|t| &t.kind),
+                        Some(InstKind::Br { target }) if *target == j
+                    )
+            })
+            .collect();
+        if !targets.is_empty() {
+            // j's probes will co-exist in each absorbing predecessor plus
+            // (at most) the original block: raise their duplication factors
+            // so per-copy profile counts stay summable. The bound is
+            // conservative — if j ends up unreachable it is removed below
+            // and the factor remains a valid upper bound.
+            let copies = targets.len() as u32 + 1;
+            for inst in &mut func.block_mut(j).insts {
+                if let InstKind::PseudoProbe { factor, .. } = &mut inst.kind {
+                    *factor = factor.saturating_mul(copies);
+                }
+            }
+        }
         let mut absorbed = 0u64;
         let mut any = false;
-        for p in plist {
-            if p == j {
-                continue;
-            }
-            let is_uncond = matches!(
-                func.block(p).terminator().map(|t| &t.kind),
-                Some(InstKind::Br { target }) if *target == j
-            );
-            if !is_uncond {
-                continue;
-            }
+        for p in targets {
             let j_insts = func.block(j).insts.clone();
             let pb = func.block_mut(p);
             pb.insts.pop(); // drop `br j`
@@ -117,7 +130,7 @@ fn f(a) {
         let f = &mut m.functions[0];
         let n = run_function(f, 4);
         assert!(n >= 2, "both arms should absorb the join, got {n}");
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
         let rets = m.functions[0]
             .iter_blocks()
             .filter(|(_, b)| matches!(b.terminator().map(|t| &t.kind), Some(InstKind::Ret { .. })))

@@ -100,7 +100,7 @@ fn f(a) {
         let before = m.functions[0].num_live_blocks();
         let n = run_function(&mut m.functions[0]);
         assert!(n >= 1, "identical arms should merge (had {before} blocks)");
-        verify_module(&m).unwrap();
+        assert_eq!(verify_module(&m), vec![]);
     }
 
     #[test]

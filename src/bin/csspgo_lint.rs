@@ -1,0 +1,227 @@
+//! `csspgo_lint` — the probe-invariant and profile-integrity analyzer,
+//! driven over every shipped workload.
+//!
+//! For each workload the tool rebuilds the full CSSPGO cycle and lints every
+//! stage:
+//!
+//! 1. the **fresh** probed module (IR verifier, probe invariants,
+//!    discriminator discipline),
+//! 2. the **optimized** module after the whole pass pipeline (IR verifier,
+//!    probe invariants — cloned probes must carry duplication factors),
+//! 3. the collected **context profile** (context-tree consistency) and the
+//!    flattened **probe profile** (checksum staleness, probe ranges),
+//! 4. the profile-**annotated** module (flow conservation, dominance).
+//!
+//! ```text
+//! csspgo_lint --deny all --json report.json
+//! csspgo_lint --workload ad_ranker --allow PF001
+//! csspgo_lint --list
+//! ```
+//!
+//! Exits nonzero iff any diagnostic reaches `Deny` severity — `--deny all`
+//! over the shipped workloads is the repo's CI gate.
+
+use csspgo::analysis::{Analyzer, Policy, LINTS};
+use csspgo::codegen::{lower_module, CodegenConfig};
+use csspgo::core::annotate::{csspgo_annotate, AnnotateConfig};
+use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
+use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
+use csspgo::core::tailcall::TailCallGraph;
+use csspgo::core::Workload;
+use csspgo::sim::{Machine, SimConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("csspgo_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        r#"csspgo_lint — probe-invariant & profile-integrity analyzer
+
+USAGE:
+  csspgo_lint [--deny <lint,...|all>] [--allow <lint,...|all>]
+              [--workload <name>] [--scale <f>] [--json <file>] [--list]
+
+Lints the full PGO cycle (fresh module, optimized module, collected
+profiles, annotated module) of every shipped workload. Lints are named by
+stable id (PI001) or name (probe-duplicate-id); `--deny all` escalates
+every lint to an error. Exits 1 if any denied lint fires, 2 on usage
+errors."#
+    );
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return Ok(true);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for l in LINTS {
+            println!(
+                "{:6} {:24} {:8} {}",
+                l.id,
+                l.name,
+                l.default_severity.to_string(),
+                l.description
+            );
+        }
+        return Ok(true);
+    }
+
+    let mut policy = Policy::default();
+    for v in multi_value(args, "--deny")? {
+        policy.deny.extend(v.split(',').map(str::to_string));
+    }
+    for v in multi_value(args, "--allow")? {
+        policy.allow.extend(v.split(',').map(str::to_string));
+    }
+    policy.validate()?;
+
+    let only = opt_value(args, "--workload")?;
+    let scale: f64 = match opt_value(args, "--scale")? {
+        Some(s) => s.parse().map_err(|_| format!("bad --scale `{s}`"))?,
+        None => 0.05,
+    };
+    let json_out = opt_value(args, "--json")?;
+
+    let mut workloads = csspgo::workloads::server_workloads();
+    workloads.push(csspgo::workloads::client_compiler());
+    if let Some(name) = &only {
+        workloads.retain(|w| &w.name == name);
+        if workloads.is_empty() {
+            return Err(format!("unknown workload `{name}`"));
+        }
+    }
+
+    let mut analyzer = Analyzer::new(policy);
+    for workload in &workloads {
+        let scaled = workload.scaled(scale);
+        lint_workload(&scaled, &mut analyzer).map_err(|e| format!("{}: {e}", workload.name))?;
+    }
+    let report = analyzer.into_report();
+
+    print!("{}", report.render_human());
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote JSON report to {path}");
+    }
+    Ok(!report.has_denied())
+}
+
+/// Reruns the CSSPGO cycle for one workload, linting each stage.
+fn lint_workload(workload: &Workload, analyzer: &mut Analyzer) -> Result<(), String> {
+    let config = PipelineConfig::default();
+
+    // Stage 1: the fresh probed module.
+    let mut module =
+        csspgo::lang::compile(&workload.source, &workload.name).map_err(|e| e.to_string())?;
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    analyzer.analyze_module(&format!("{}/fresh", workload.name), &module, true);
+
+    // Stage 2: the optimized module, with the optimizer's own inter-pass
+    // verifier engaged on top of the final lint sweep.
+    let mut optimized = module.clone();
+    let opt_cfg = csspgo::opt::OptConfig {
+        interpass_verify: true,
+        ..config.opt.clone()
+    };
+    csspgo::opt::run_pipeline(&mut optimized, &opt_cfg);
+    analyzer.analyze_module(&format!("{}/optimized", workload.name), &optimized, false);
+
+    // Stage 3: profile collection on the optimized binary, as in production.
+    let binary = lower_module(&optimized, &CodegenConfig::default());
+    let sim_cfg = SimConfig {
+        lbr_size: config.lbr_size,
+        pebs: config.pebs,
+        sample_period: config.sample_period,
+        seed: config.seed,
+        max_steps: config.max_steps,
+        ..SimConfig::default()
+    };
+    let mut machine = Machine::new(&binary, sim_cfg);
+    for (name, values) in &workload.setup {
+        machine.set_global(name, values);
+    }
+    let samples = BatchSource
+        .collect(&mut machine, workload)
+        .map_err(|e| e.to_string())?;
+
+    let rc = sharded_range_counts(&binary, &samples, config.ingest_shards);
+    let tail_graph = TailCallGraph::build(&binary, &rc);
+    let unwound =
+        sharded_context_profile(&binary, Some(&tail_graph), &samples, config.ingest_shards);
+    let mut ctx_profile = unwound.profile;
+    let checksums = binary
+        .funcs
+        .iter()
+        .filter_map(|f| f.probe_checksum.map(|c| (f.guid, c)))
+        .collect();
+    ctx_profile.set_checksums(&checksums);
+    ctx_profile.trim_cold(config.trim_threshold);
+    analyzer.analyze_context_profile(&format!("{}/context-profile", workload.name), &ctx_profile);
+
+    let mut probe_prof = ctx_profile.to_probe_profile();
+    for (fidx, c) in rc.entry_counts(&binary) {
+        let guid = binary.funcs[fidx as usize].guid;
+        if let Some(fp) = probe_prof.funcs.get_mut(&guid) {
+            fp.entry = fp.entry.max(c);
+        }
+    }
+    analyzer.analyze_probe_profile(
+        &format!("{}/probe-profile", workload.name),
+        &module,
+        &probe_prof,
+    );
+
+    // Stage 4: annotate a fresh module (no inline replay, so block counts
+    // stay on the common CFG) and check flow conservation.
+    let no_replay = AnnotateConfig {
+        inline_budget: 0,
+        ..config.annotate
+    };
+    csspgo_annotate(&mut module, &probe_prof, None, &no_replay);
+    analyzer.analyze_flow(&format!("{}/annotated", workload.name), &module);
+    Ok(())
+}
+
+/// Pulls the (optional, single) value of `--flag`.
+fn opt_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+/// Pulls every value of a repeatable `--flag`.
+fn multi_value(args: &[String], flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            out.push(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))?,
+            );
+        }
+    }
+    Ok(out)
+}

@@ -15,7 +15,9 @@
 //!   reconstruction (Algorithm 1), the missing-frame inferrer, profile
 //!   inference, the pre-inliner (Algorithms 2–3), and end-to-end pipelines,
 //! * [`workloads`] — synthetic server/client workloads mirroring the paper's
-//!   evaluation set.
+//!   evaluation set,
+//! * [`analysis`] — probe-invariant and profile-integrity lints (the
+//!   `csspgo_lint` tool).
 //!
 //! ## Quickstart
 //!
@@ -31,6 +33,7 @@
 //! # }
 //! ```
 
+pub use csspgo_analysis as analysis;
 pub use csspgo_codegen as codegen;
 pub use csspgo_core as core;
 pub use csspgo_ir as ir;

@@ -171,7 +171,10 @@ fn run_config(src: &str, probes: bool, instrument: bool, optimize: bool) -> Vec<
     if optimize {
         csspgo::opt::run_pipeline(&mut m, &csspgo::opt::OptConfig::default());
     }
-    csspgo::ir::verify::verify_module(&m).expect("valid IR in every configuration");
+    assert!(
+        csspgo::ir::verify::verify_module(&m).is_empty(),
+        "valid IR in every configuration"
+    );
     let b = lower_module(&m, &CodegenConfig::default());
     let cfg = SimConfig {
         max_steps: 20_000_000,
