@@ -119,6 +119,36 @@ pub const LINTS: &[Lint] = &[
         default_severity: Severity::Warn,
         description: "profile references probe indices the function never allocated",
     },
+    Lint {
+        id: "SM001",
+        name: "match-ambiguous-anchor",
+        default_severity: Severity::Warn,
+        description: "repeated call-anchor label: stale matching is positional there",
+    },
+    Lint {
+        id: "SM002",
+        name: "match-two-to-one",
+        default_severity: Severity::Deny,
+        description: "two source probes mapped onto one target probe (matcher invariant)",
+    },
+    Lint {
+        id: "SM003",
+        name: "match-weight-inflation",
+        default_severity: Severity::Deny,
+        description: "recovered weight exceeds what the source profile held (matcher invariant)",
+    },
+    Lint {
+        id: "SM004",
+        name: "match-anchor-drift",
+        default_severity: Severity::Warn,
+        description: "checksum matches but call-anchor targets changed (silent retarget)",
+    },
+    Lint {
+        id: "SM005",
+        name: "match-rename-low-confidence",
+        default_severity: Severity::Warn,
+        description: "function rename adopted below the high-confidence similarity threshold",
+    },
 ];
 
 /// Looks a lint up by stable id (`PI001`) or name (`probe-duplicate-id`).
@@ -126,6 +156,23 @@ pub fn find_lint(key: &str) -> Option<&'static Lint> {
     LINTS
         .iter()
         .find(|l| l.id.eq_ignore_ascii_case(key) || l.name == key)
+}
+
+/// The full lint registry rendered as an aligned table (ids, names,
+/// default severities, one-line docs) — `csspgo_lint --list`.
+pub fn render_lint_list() -> String {
+    let name_w = LINTS.iter().map(|l| l.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for l in LINTS {
+        out.push_str(&format!(
+            "{}  {:name_w$}  {:7}  {}\n",
+            l.id,
+            l.name,
+            l.default_severity.to_string(),
+            l.description
+        ));
+    }
+    out
 }
 
 /// Severity overrides, applied at diagnostic-emission time.
@@ -313,6 +360,24 @@ mod tests {
             assert_eq!(find_lint(l.name).unwrap().id, l.id);
         }
         assert!(find_lint("no-such-lint").is_none());
+    }
+
+    #[test]
+    fn lint_list_renders_every_lint() {
+        let list = render_lint_list();
+        for l in LINTS {
+            let line = list
+                .lines()
+                .find(|line| line.starts_with(l.id))
+                .unwrap_or_else(|| panic!("{} missing from --list output", l.id));
+            assert!(line.contains(l.name), "{line}");
+            assert!(line.contains(l.description), "{line}");
+            assert!(
+                line.contains(&l.default_severity.to_string()),
+                "{line} lacks severity"
+            );
+        }
+        assert_eq!(list.lines().count(), LINTS.len());
     }
 
     #[test]

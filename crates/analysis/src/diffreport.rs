@@ -1,0 +1,203 @@
+//! The `csspgo_diff` differential report: per-function match quality and
+//! per-scenario recovery summaries, serialized to JSON for CI artifacts
+//! and golden tests.
+//!
+//! Fractions are rounded to four decimals at construction time so the JSON
+//! is stable across floating-point noise (golden tests pin the output).
+
+use crate::diag::Diagnostic;
+use csspgo_core::stalematch::{FuncMatchStatus, MatchOutcome};
+use serde::Serialize;
+
+/// Rounds to four decimals for byte-stable JSON.
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+/// Match quality for one profiled function.
+#[derive(Clone, Debug, Serialize)]
+pub struct FuncDiffRecord {
+    /// Function name (fresh module's name; the profile's for drops).
+    pub name: String,
+    /// GUID the counts landed under.
+    pub guid: u64,
+    /// `checksum-match` | `recovered` | `renamed` | `dropped`.
+    pub status: String,
+    /// For renames: the profiled (old) name.
+    pub renamed_from: Option<String>,
+    /// For renames: anchor-sequence similarity, rounded.
+    pub similarity: Option<f64>,
+    /// Probes mapped through exact anchors.
+    pub matched_probes: usize,
+    /// Probes mapped positionally between anchors.
+    pub fuzzy_probes: usize,
+    /// Profiled probes with no mapping.
+    pub dropped_probes: usize,
+    /// Repeated call-anchor labels (positional alignment there).
+    pub ambiguous_anchors: usize,
+    /// Checksum matched while call targets changed (`SM004`).
+    pub anchor_drift: bool,
+    /// Source profile weight.
+    pub old_weight: u64,
+    /// Weight present in the recovered profile.
+    pub recovered_weight: u64,
+    /// `recovered_weight / old_weight`, rounded.
+    pub recovered_fraction: f64,
+}
+
+/// One drift scenario's full differential result.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name (e.g. `change_cfg`).
+    pub scenario: String,
+    /// Workload the profile was collected on.
+    pub workload: String,
+    /// Profiled functions examined.
+    pub funcs_total: usize,
+    /// Functions whose checksum still matched (passthrough).
+    pub checksum_matched: usize,
+    /// Functions salvaged by anchor alignment.
+    pub recovered: usize,
+    /// Functions transplanted under a new name.
+    pub renamed: usize,
+    /// Functions with nothing recoverable.
+    pub dropped: usize,
+    /// Source weight held by checksum-mismatched functions.
+    pub stale_old_weight: u64,
+    /// Weight recovered for them.
+    pub stale_recovered_weight: u64,
+    /// `stale_recovered_weight / stale_old_weight`, rounded.
+    pub stale_recovered_fraction: f64,
+    /// Per-function records, sorted by name.
+    pub functions: Vec<FuncDiffRecord>,
+    /// `SM` diagnostics emitted for this scenario.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ScenarioReport {
+    /// Builds a scenario report from a match outcome plus the diagnostics
+    /// its lint pass produced.
+    pub fn from_outcome(
+        scenario: &str,
+        workload: &str,
+        outcome: &MatchOutcome,
+        diagnostics: Vec<Diagnostic>,
+    ) -> Self {
+        let functions: Vec<FuncDiffRecord> = outcome
+            .funcs
+            .iter()
+            .map(|f| {
+                let (renamed_from, similarity) = match &f.status {
+                    FuncMatchStatus::Renamed {
+                        from, similarity, ..
+                    } => (Some(from.clone()), Some(round4(*similarity))),
+                    _ => (None, None),
+                };
+                FuncDiffRecord {
+                    name: f.name.clone(),
+                    guid: f.guid,
+                    status: f.status.tag().to_string(),
+                    renamed_from,
+                    similarity,
+                    matched_probes: f.matched_probes,
+                    fuzzy_probes: f.fuzzy_probes,
+                    dropped_probes: f.dropped_probes,
+                    ambiguous_anchors: f.ambiguous_anchors,
+                    anchor_drift: f.anchor_drift,
+                    old_weight: f.old_weight,
+                    recovered_weight: f.recovered_weight,
+                    recovered_fraction: round4(f.recovered_fraction()),
+                }
+            })
+            .collect();
+        ScenarioReport {
+            scenario: scenario.to_string(),
+            workload: workload.to_string(),
+            funcs_total: outcome.funcs.len(),
+            checksum_matched: outcome.count("checksum-match"),
+            recovered: outcome.count("recovered"),
+            renamed: outcome.count("renamed"),
+            dropped: outcome.count("dropped"),
+            stale_old_weight: outcome.stale_old_weight(),
+            stale_recovered_weight: outcome.stale_recovered_weight(),
+            stale_recovered_fraction: round4(outcome.stale_recovered_fraction()),
+            functions,
+            diagnostics,
+        }
+    }
+}
+
+/// The complete `csspgo_diff` report.
+#[derive(Clone, Debug, Serialize)]
+pub struct DiffReport {
+    /// Format tag for downstream consumers.
+    pub schema: &'static str,
+    /// One entry per analyzed (scenario, workload) pair.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl DiffReport {
+    /// An empty report with the current schema tag.
+    pub fn new() -> Self {
+        DiffReport {
+            schema: "csspgo-diff-v1",
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Pretty JSON (the CI artifact and golden-test payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("diff reports are serializable")
+    }
+}
+
+impl Default for DiffReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csspgo_core::profile::ProbeProfile;
+    use csspgo_core::stalematch::{match_stale_profile, MatchConfig};
+
+    #[test]
+    fn report_counts_reconcile_with_outcome() {
+        let mut m = csspgo_lang::compile(
+            "fn g(x) { return x; } fn f(x) { if (x > 0) { return g(x); } return 0; }",
+            "t",
+        )
+        .unwrap();
+        csspgo_opt::probes::run(&mut m);
+        let mut p = ProbeProfile::default();
+        for f in &m.functions {
+            let fp = p.funcs.entry(f.guid).or_default();
+            fp.checksum = f.probe_checksum.unwrap();
+            fp.record_sum(1, 5);
+            fp.recompute_totals();
+            p.names.insert(f.guid, f.name.clone());
+        }
+        let out = match_stale_profile(&m, &p, &MatchConfig::default());
+        let sr = ScenarioReport::from_outcome("s", "w", &out, Vec::new());
+        assert_eq!(sr.funcs_total, 2);
+        assert_eq!(sr.checksum_matched, 2);
+        assert_eq!(
+            sr.funcs_total,
+            sr.checksum_matched + sr.recovered + sr.renamed + sr.dropped
+        );
+        let mut report = DiffReport::new();
+        report.scenarios.push(sr);
+        let json = report.to_json();
+        assert!(json.contains("csspgo-diff-v1"), "{json}");
+        assert!(json.contains("\"checksum_matched\": 2"), "{json}");
+    }
+
+    #[test]
+    fn rounding_is_stable() {
+        assert_eq!(round4(0.123_449_99), 0.1234);
+        assert_eq!(round4(1.0), 1.0);
+        assert_eq!(round4(2.0 / 3.0), 0.6667);
+    }
+}

@@ -17,6 +17,12 @@
 //! * **`PF…` profile flow & integrity** — Kirchhoff-style conservation and
 //!   dominance bounds over annotated block counts, context-tree consistency,
 //!   checksum staleness, and probe-range checks over collected profiles.
+//! * **`SM…` stale-profile matching** — lints over the anchor-based
+//!   stale-profile matcher ([`csspgo_core::stalematch`]): alignment
+//!   ambiguity, matcher invariants (injectivity, weight conservation),
+//!   checksum-invisible call retargets, low-confidence renames. The
+//!   [`diffreport`] module turns match outcomes into the `csspgo_diff`
+//!   JSON report.
 //!
 //! The raw `IV`/`PI` checks deliberately live in `csspgo_ir` so the opt
 //! pipeline's inter-pass checkpoints ([`csspgo_opt::verify_after_pass`])
@@ -37,15 +43,19 @@
 //! ```
 
 pub mod diag;
+pub mod diffreport;
+pub mod matching;
 pub mod module_lints;
 pub mod profile_lints;
 
-pub use diag::{find_lint, Diagnostic, Lint, Policy, Report, Severity, LINTS};
+pub use diag::{find_lint, render_lint_list, Diagnostic, Lint, Policy, Report, Severity, LINTS};
+pub use diffreport::{DiffReport, FuncDiffRecord, ScenarioReport};
 pub use module_lints::FlowTolerance;
 pub use profile_lints::ContextTolerance;
 
 use csspgo_core::context::ContextProfile;
 use csspgo_core::profile::ProbeProfile;
+use csspgo_core::stalematch::{MatchConfig, MatchOutcome};
 use csspgo_ir::Module;
 
 /// Tuning knobs for the analyses that need tolerance to sampling noise.
@@ -109,6 +119,19 @@ impl Analyzer {
     /// probe profile, checked against the module it claims to describe.
     pub fn analyze_probe_profile(&mut self, unit: &str, module: &Module, profile: &ProbeProfile) {
         profile_lints::analyze_probe_profile(&self.policy, unit, module, profile, &mut self.report);
+    }
+
+    /// Stale-profile matching lints (`SM001`–`SM005`): runs the anchor
+    /// matcher over `profile` against `module` and lints the outcome,
+    /// returning it for report building or count recovery.
+    pub fn analyze_stale_match(
+        &mut self,
+        unit: &str,
+        module: &Module,
+        profile: &ProbeProfile,
+        cfg: &MatchConfig,
+    ) -> MatchOutcome {
+        matching::analyze_stale_match(&self.policy, unit, module, profile, cfg, &mut self.report)
     }
 
     /// Context-tree consistency lint (`PF003`) over a context trie.

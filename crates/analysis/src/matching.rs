@@ -1,0 +1,260 @@
+//! Stale-profile matching lints (`SM001`–`SM005`).
+//!
+//! The matching *algorithm* lives in [`csspgo_core::stalematch`] so the
+//! annotation pipeline can consume recovered counts without a dependency
+//! cycle (this crate depends on `csspgo-core`, not the other way around;
+//! same layering note as the `IV`/`PI` checks in the crate docs). This
+//! module adds lint identity, policy, and reporting on top of a
+//! [`MatchOutcome`]:
+//!
+//! * `SM001` — a call-anchor label repeats on one side of an alignment, so
+//!   the match between those anchors is positional, not exact.
+//! * `SM002` — two source probes mapped onto one target probe. The mapping
+//!   is injective by construction; this firing means the matcher itself is
+//!   broken (default `Deny`).
+//! * `SM003` — a function recovered more weight than its source profile
+//!   held. Also impossible by construction (default `Deny`).
+//! * `SM004` — the checksum matches but call-anchor targets changed: the
+//!   CFG *shape* hash cannot see a call retarget, so counts silently
+//!   describe calls to a different function.
+//! * `SM005` — a rename was adopted below the high-confidence similarity
+//!   threshold.
+
+use crate::diag::{find_lint, Lint, Policy, Report};
+use csspgo_core::profile::ProbeProfile;
+use csspgo_core::stalematch::{match_stale_profile, FuncMatchStatus, MatchConfig, MatchOutcome};
+use csspgo_ir::Module;
+
+fn lint(id: &str) -> &'static Lint {
+    find_lint(id).expect("SM lints are registered")
+}
+
+/// Runs the matcher and emits the `SM` diagnostics for its outcome.
+/// Returns the outcome so callers can also consume the recovered profile
+/// or build a [`crate::diffreport::DiffReport`].
+pub fn analyze_stale_match(
+    policy: &Policy,
+    unit: &str,
+    module: &Module,
+    profile: &ProbeProfile,
+    cfg: &MatchConfig,
+    report: &mut Report,
+) -> MatchOutcome {
+    let outcome = match_stale_profile(module, profile, cfg);
+    emit_match_lints(policy, unit, &outcome, cfg, report);
+    outcome
+}
+
+/// Emits `SM001`–`SM005` for an already-computed [`MatchOutcome`].
+pub fn emit_match_lints(
+    policy: &Policy,
+    unit: &str,
+    outcome: &MatchOutcome,
+    cfg: &MatchConfig,
+    report: &mut Report,
+) {
+    for f in &outcome.funcs {
+        let func = Some(f.name.clone());
+        if f.ambiguous_anchors > 0 {
+            report.emit(
+                policy,
+                lint("SM001"),
+                unit,
+                func.clone(),
+                None,
+                format!(
+                    "{} repeated call-anchor label(s): alignment is positional there",
+                    f.ambiguous_anchors
+                ),
+            );
+        }
+        if f.two_to_one > 0 {
+            report.emit(
+                policy,
+                lint("SM002"),
+                unit,
+                func.clone(),
+                None,
+                format!(
+                    "{} probe mapping(s) collided on one target probe",
+                    f.two_to_one
+                ),
+            );
+        }
+        if f.recovered_weight > f.old_weight {
+            report.emit(
+                policy,
+                lint("SM003"),
+                unit,
+                func.clone(),
+                None,
+                format!(
+                    "recovered weight {} exceeds source weight {}",
+                    f.recovered_weight, f.old_weight
+                ),
+            );
+        }
+        if f.anchor_drift {
+            report.emit(
+                policy,
+                lint("SM004"),
+                unit,
+                func.clone(),
+                None,
+                "checksum matches but call-anchor targets changed (CFG-shape hash \
+                 cannot see a call retarget)"
+                    .into(),
+            );
+        }
+        if let FuncMatchStatus::Renamed {
+            from, similarity, ..
+        } = &f.status
+        {
+            if *similarity < cfg.strong_rename_similarity {
+                report.emit(
+                    policy,
+                    lint("SM005"),
+                    unit,
+                    func.clone(),
+                    None,
+                    format!(
+                        "adopted rename {from} -> {} at similarity {similarity:.2} \
+                         (high-confidence threshold {:.2})",
+                        f.name, cfg.strong_rename_similarity
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csspgo_ir::probe::anchor_sequence;
+
+    fn probed(src: &str) -> Module {
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::discriminators::run(&mut m);
+        csspgo_opt::probes::run(&mut m);
+        m
+    }
+
+    fn profile_for(module: &Module) -> ProbeProfile {
+        let mut p = ProbeProfile::default();
+        for f in &module.functions {
+            let fp = p.funcs.entry(f.guid).or_default();
+            fp.checksum = f.probe_checksum.unwrap();
+            fp.entry = 100;
+            for a in anchor_sequence(module, f.id) {
+                fp.record_sum(a.index, 10);
+                if let Some(callee) = a.callee {
+                    fp.callsite_mut(a.index, callee).entry = 10;
+                }
+            }
+            fp.recompute_totals();
+            p.names.insert(f.guid, f.name.clone());
+        }
+        p
+    }
+
+    const SRC: &str = r#"
+fn a(x) { return x + 1; }
+fn b(x) { return x + 2; }
+fn f(x) {
+    let u = a(x);
+    let v = a(u);
+    let w = b(v);
+    return w;
+}
+"#;
+
+    #[test]
+    fn clean_profile_emits_nothing_under_deny_all() {
+        let m = probed(SRC);
+        let p = profile_for(&m);
+        let mut report = Report::new();
+        let out = analyze_stale_match(
+            &Policy::deny_all(),
+            "u",
+            &m,
+            &p,
+            &MatchConfig::default(),
+            &mut report,
+        );
+        assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+        assert_eq!(out.count("checksum-match"), 3);
+    }
+
+    #[test]
+    fn drifted_profile_reports_ambiguity_but_no_invariant_violations() {
+        let m_old = probed(SRC);
+        let p = profile_for(&m_old);
+        // CFG drift in `f` (extra branch) forces a real alignment; the
+        // repeated `a` label is ambiguous.
+        let drifted = SRC.replace(
+            "let u = a(x);",
+            "if (x > 1000000) { return 0; }\n    let u = a(x);",
+        );
+        let m_new = probed(&drifted);
+        let mut report = Report::new();
+        analyze_stale_match(
+            &Policy::default(),
+            "u",
+            &m_new,
+            &p,
+            &MatchConfig::default(),
+            &mut report,
+        );
+        assert!(!report.by_lint("SM001").is_empty(), "ambiguous `a` label");
+        assert!(report.by_lint("SM002").is_empty());
+        assert!(report.by_lint("SM003").is_empty());
+        assert!(!report.has_denied());
+    }
+
+    #[test]
+    fn call_retarget_fires_anchor_drift() {
+        // `a`/`b` have identical CFG shapes, so swapping the callee keeps
+        // f's checksum while changing the call target.
+        let m_old = probed(SRC);
+        let p = profile_for(&m_old);
+        let m_new = probed(&SRC.replace("let w = b(v);", "let w = a(v);"));
+        assert_eq!(
+            m_old.functions[2].probe_checksum, m_new.functions[2].probe_checksum,
+            "retarget must be checksum-invisible for this test to bite"
+        );
+        let mut report = Report::new();
+        analyze_stale_match(
+            &Policy::default(),
+            "u",
+            &m_new,
+            &p,
+            &MatchConfig::default(),
+            &mut report,
+        );
+        assert!(!report.by_lint("SM004").is_empty(), "retarget undetected");
+    }
+
+    #[test]
+    fn low_confidence_rename_fires_sm005() {
+        let m_old = probed(SRC);
+        let p = profile_for(&m_old);
+        // Rename f -> f2 *and* drift its body: the anchor sequences still
+        // overlap enough to adopt, but below the 0.9 confidence bar.
+        let renamed = SRC
+            .replace("fn f(x)", "fn f2(x)")
+            .replace("let w = b(v);", "let w = b(v);\n    let z = b(w);");
+        let m_new = probed(&renamed);
+        let mut report = Report::new();
+        let out = analyze_stale_match(
+            &Policy::default(),
+            "u",
+            &m_new,
+            &p,
+            &MatchConfig::default(),
+            &mut report,
+        );
+        assert_eq!(out.count("renamed"), 1, "{:#?}", out.funcs);
+        assert!(!report.by_lint("SM005").is_empty());
+    }
+}

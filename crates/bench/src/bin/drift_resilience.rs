@@ -33,8 +33,8 @@ fn main() {
             "| {v} | {} | {} | {penalty:+.2} | {} | {} |",
             clean.eval.cycles,
             drifted.eval.cycles,
-            drifted.annotate_stats.stale,
-            broken.annotate_stats.stale,
+            drifted.annotate_stats.stale_total(),
+            broken.annotate_stats.stale_total(),
         );
     }
     println!("\n(paper: AutoFDO lost 8% under comment drift; CSSPGO is unaffected and");

@@ -24,6 +24,7 @@
 use csspgo_bench::{traffic_scale, write_pipeline_bench, PipelineBenchRecord};
 use csspgo_core::pipeline::{run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
 use csspgo_core::ranges::RangeCounts;
+use csspgo_core::stalematch::StaleMatching;
 use csspgo_core::stream::StreamAggregator;
 use csspgo_core::tailcall::TailCallGraph;
 use csspgo_core::Workload;
@@ -175,18 +176,30 @@ fn serve(workload: &Workload, cfg: &PipelineConfig) -> Vec<PipelineBenchRecord> 
 
     // A stale profile triggers a refresh: recompile through the drifted
     // cycle (profile collected on the old source, build uses new code).
+    // The refresh opts into stale matching — a service living off periodic
+    // refreshes is exactly where checksum-gated count drops hurt — and the
+    // salvage counters ride into the bench record.
     if agg.is_stale() {
+        let mut refresh_cfg = cfg.clone();
+        refresh_cfg.annotate.stale_matching = StaleMatching::Recover;
         let drifted_src = drift::insert_body_comments(&workload.source);
-        let outcome = run_pgo_cycle_drifted(workload, PgoVariant::CsspgoFull, cfg, &drifted_src)
-            .unwrap_or_else(|e| panic!("{}: refresh cycle failed: {e}", workload.name));
-        records.push(PipelineBenchRecord::labeled(
-            &workload.name,
-            "refresh",
-            &outcome.stage_times,
-        ));
+        let outcome =
+            run_pgo_cycle_drifted(workload, PgoVariant::CsspgoFull, &refresh_cfg, &drifted_src)
+                .unwrap_or_else(|e| panic!("{}: refresh cycle failed: {e}", workload.name));
+        records.push(
+            PipelineBenchRecord::labeled(&workload.name, "refresh", &outcome.stage_times)
+                .with_stale(
+                    outcome.annotate_stats.stale_dropped,
+                    outcome.annotate_stats.stale_recovered,
+                ),
+        );
         println!(
-            "{:>16} refresh  : drift-triggered recompile, eval {} cycles",
-            workload.name, outcome.eval.cycles
+            "{:>16} refresh  : drift-triggered recompile, eval {} cycles, \
+             {} stale dropped / {} recovered",
+            workload.name,
+            outcome.eval.cycles,
+            outcome.annotate_stats.stale_dropped,
+            outcome.annotate_stats.stale_recovered
         );
     }
 

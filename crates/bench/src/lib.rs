@@ -129,6 +129,13 @@ pub struct PipelineBenchRecord {
     pub recompile_ms: f64,
     pub evaluate_ms: f64,
     pub total_ms: f64,
+    /// Functions whose stale (checksum-mismatched) counts were dropped at
+    /// annotation time. 0 for rows without an annotation stage (epoch
+    /// ingest timings).
+    pub stale_dropped: usize,
+    /// Functions whose stale counts the matcher salvaged
+    /// (`stale_matching: recover`).
+    pub stale_recovered: usize,
 }
 
 impl PipelineBenchRecord {
@@ -151,7 +158,17 @@ impl PipelineBenchRecord {
             recompile_ms: t.recompile_ms,
             evaluate_ms: t.evaluate_ms,
             total_ms: t.total_ms(),
+            stale_dropped: 0,
+            stale_recovered: 0,
         }
+    }
+
+    /// Attaches annotation stale-handling counters (for rows that ran an
+    /// annotation stage, e.g. `profile_serve`'s drift `refresh`).
+    pub fn with_stale(mut self, dropped: usize, recovered: usize) -> Self {
+        self.stale_dropped = dropped;
+        self.stale_recovered = recovered;
+        self
     }
 }
 
@@ -232,10 +249,12 @@ fn work(n) {
             recompile_ms: 4.0,
             evaluate_ms: 1.5,
         };
-        let rec = PipelineBenchRecord::new("hhvm", PgoVariant::CsspgoFull, &t);
+        let rec = PipelineBenchRecord::new("hhvm", PgoVariant::CsspgoFull, &t).with_stale(2, 5);
         assert_eq!(rec.total_ms, t.total_ms());
+        assert_eq!((rec.stale_dropped, rec.stale_recovered), (2, 5));
         let json = serde_json::to_string(&vec![rec]).unwrap();
         assert!(json.contains("\"correlate_ms\""), "{json}");
+        assert!(json.contains("\"stale_recovered\":5"), "{json}");
         assert!(json.contains("hhvm"), "{json}");
     }
 }

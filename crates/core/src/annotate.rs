@@ -19,6 +19,7 @@
 
 use crate::inference::repair_counts;
 use crate::profile::{FlatFuncProfile, FlatProfile, LocKey, ProbeFuncProfile, ProbeProfile};
+use crate::stalematch::{match_stale_profile, FuncMatchStatus, MatchConfig, StaleMatching};
 use csspgo_ir::annot::InlinePlan;
 use csspgo_ir::debuginfo::DebugLoc;
 use csspgo_ir::inst::InstKind;
@@ -36,6 +37,10 @@ pub struct AnnotateConfig {
     pub replay_max_callee_size: usize,
     /// Maximum replayed inlines per function.
     pub inline_budget: usize,
+    /// How checksum-mismatched (stale) functions are handled: dropped
+    /// ([`StaleMatching::Off`], [`StaleMatching::Report`]) or salvaged
+    /// through the anchor-based matcher ([`StaleMatching::Recover`]).
+    pub stale_matching: StaleMatching,
 }
 
 impl Default for AnnotateConfig {
@@ -44,6 +49,7 @@ impl Default for AnnotateConfig {
             replay_min_total: 8,
             replay_max_callee_size: 200,
             inline_budget: 64,
+            stale_matching: StaleMatching::Off,
         }
     }
 }
@@ -53,10 +59,23 @@ impl Default for AnnotateConfig {
 pub struct AnnotateStats {
     /// Functions annotated with counts.
     pub annotated: usize,
-    /// Functions rejected for checksum mismatch (CSSPGO staleness).
-    pub stale: usize,
+    /// Functions whose checksum mismatched and whose counts were dropped
+    /// (all of them when stale matching is off; only the unsalvageable
+    /// ones under [`StaleMatching::Recover`]).
+    pub stale_dropped: usize,
+    /// Checksum-mismatched functions whose counts the stale matcher
+    /// recovered (always 0 unless [`StaleMatching::Recover`] is on).
+    pub stale_recovered: usize,
     /// Inlines replayed from the profile or plan.
     pub replayed_inlines: usize,
+}
+
+impl AnnotateStats {
+    /// Every function that failed the checksum gate, salvaged or not (the
+    /// old `stale` counter).
+    pub fn stale_total(&self) -> usize {
+        self.stale_dropped + self.stale_recovered
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -211,6 +230,32 @@ pub fn csspgo_annotate(
     cfg: &AnnotateConfig,
 ) -> AnnotateStats {
     let mut stats = AnnotateStats::default();
+
+    // Stale-profile salvage (the paper's drift story, §III.A): instead of
+    // dropping checksum-mismatched functions below, statically re-map
+    // their counts onto the fresh probe space first. Checksum-matched
+    // functions pass through the matcher bit-identical, so this is a
+    // no-op on undrifted profiles.
+    let salvaged;
+    let profile = if cfg.stale_matching == StaleMatching::Recover {
+        let outcome = match_stale_profile(module, profile, &MatchConfig::default());
+        for f in &outcome.funcs {
+            match f.status {
+                FuncMatchStatus::Recovered | FuncMatchStatus::Renamed { .. } => {
+                    stats.stale_recovered += 1;
+                }
+                FuncMatchStatus::Dropped if module.find_function_by_guid(f.guid).is_some() => {
+                    stats.stale_dropped += 1;
+                }
+                _ => {}
+            }
+        }
+        salvaged = outcome.profile;
+        &salvaged
+    } else {
+        profile
+    };
+
     let order = csspgo_opt::callgraph::CallGraph::build(module).top_down_order();
 
     for fid in order {
@@ -221,13 +266,14 @@ pub fn csspgo_annotate(
         let fp = fp.clone();
 
         // Source-drift detection: the profile's checksum must match the
-        // fresh IR's CFG checksum.
+        // fresh IR's CFG checksum. (Under `Recover`, salvaged functions
+        // carry the fresh checksum and sail through.)
         let fresh_checksum = module
             .func(fid)
             .probe_checksum
             .unwrap_or_else(|| cfg_checksum(module.func(fid)));
         if fp.checksum != 0 && fp.checksum != fresh_checksum {
-            stats.stale += 1;
+            stats.stale_dropped += 1;
             continue;
         }
 
@@ -455,9 +501,38 @@ mod tests {
         fp.checksum = 0x1234; // wrong on purpose
         fp.record_sum(1, 50);
         let stats = csspgo_annotate(&mut m, &profile, None, &AnnotateConfig::default());
-        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.stale_dropped, 1);
+        assert_eq!(stats.stale_total(), 1);
         assert_eq!(stats.annotated, 0);
         assert_eq!(m.functions[0].block(BlockId(0)).count, None);
+    }
+
+    #[test]
+    fn stale_matching_recover_salvages_mismatched_counts() {
+        // The same CFG compiled twice; the profile's checksum is forced
+        // wrong so the gate rejects it, then `Recover` salvages it via the
+        // (trivial) anchor alignment.
+        let src = "fn f(a) { if (a > 0) { return 1; } return 2; }";
+        let mut m = csspgo_lang::compile(src, "t").unwrap();
+        csspgo_opt::probes::run(&mut m);
+        let guid = m.functions[0].guid;
+        let mut profile = ProbeProfile::default();
+        let fp = profile.funcs.entry(guid).or_default();
+        fp.checksum = 0x1234; // mismatch on purpose
+        fp.record_sum(1, 100);
+        fp.record_sum(2, 80);
+        fp.record_sum(3, 20);
+        fp.entry = 100;
+        fp.recompute_totals();
+        let cfg = AnnotateConfig {
+            stale_matching: StaleMatching::Recover,
+            ..AnnotateConfig::default()
+        };
+        let stats = csspgo_annotate(&mut m, &profile, None, &cfg);
+        assert_eq!(stats.stale_recovered, 1);
+        assert_eq!(stats.stale_dropped, 0);
+        assert_eq!(stats.annotated, 1);
+        assert!(m.functions[0].block(BlockId(0)).count.is_some());
     }
 
     #[test]

@@ -217,6 +217,13 @@ impl ContextProfile {
     /// Collapses the trie into a [`ProbeProfile`]: contexts marked inlined
     /// stay as nested call-site profiles; everything else merges into base
     /// profiles (Algorithm 2's `MoveContextProfileToBaseProfile`).
+    ///
+    /// Non-inlined call edges leave a zero-body callsite *stub* (entry
+    /// count + callee checksum, no probes) in the caller, preserving which
+    /// target each call-site probe reached. Stubs carry no weight — probe
+    /// totals, replay eligibility, and annotation are identical with or
+    /// without them — but they are the call anchors the stale matcher's
+    /// rename detection aligns on.
     pub fn to_probe_profile(&self) -> ProbeProfile {
         let mut out = ProbeProfile {
             names: self.names.clone(),
@@ -240,6 +247,17 @@ impl ContextProfile {
                     let slot = dest.callsites.entry((*probe, *callee)).or_default();
                     convert(child, slot, deferred);
                 } else {
+                    // The child's counts move to its base profile, but the
+                    // call *edge* — which target this call-site probe
+                    // reached, and how often — is profile data in its own
+                    // right (the stale matcher's call anchors). Keep it as
+                    // a zero-body stub: entry and checksum only, so totals,
+                    // replay gates, and annotation are untouched.
+                    let stub = dest.callsites.entry((*probe, *callee)).or_default();
+                    stub.entry += child.entry;
+                    if stub.checksum == 0 {
+                        stub.checksum = child.checksum;
+                    }
                     deferred.push(child.clone());
                 }
             }
@@ -329,8 +347,16 @@ mod tests {
         let pp = cp.to_probe_profile();
         // Inlined context stays nested under main.
         assert_eq!(pp.funcs[&1].callsites[&(3, 9)].probes[&1], 100);
-        // Non-inlined context became guid 9's base profile.
+        // Non-inlined context became guid 9's base profile...
         assert_eq!(pp.funcs[&9].probes[&1], 40);
+        // ...but leaves a weightless call-edge stub behind: the anchor
+        // label survives, the counts do not.
+        let stub = &pp.funcs[&1].callsites[&(4, 9)];
+        assert!(stub.probes.is_empty());
+        assert_eq!(stub.total, 0, "stubs must not add weight");
+        // Total weight is conserved: 5 (main) + 100 (inlined) + 40 (base).
+        let total: u64 = pp.funcs.values().map(|f| f.total).sum();
+        assert_eq!(total, 145);
     }
 
     #[test]

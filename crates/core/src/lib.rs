@@ -23,6 +23,10 @@
 //!   pre-inliner with binary-extracted size estimates;
 //! * [`annotate`] — applying profiles onto fresh IR, replaying inline
 //!   decisions (AutoFDO's early inliner and CSSPGO's plan-driven inliner);
+//! * [`stalematch`] — static anchor-based stale-profile matching: recovers
+//!   checksum-mismatched counts by LCS-aligning call anchors and interval-
+//!   mapping block probes (the salvage path behind
+//!   [`stalematch::StaleMatching`]);
 //! * [`overlap`] — the block-overlap profile-quality metric of Table I;
 //! * [`pipeline`] — end-to-end PGO cycles for every variant the paper
 //!   evaluates ([`pipeline::PgoVariant`]), fed by pluggable
@@ -43,6 +47,7 @@ pub mod preinline;
 pub mod profile;
 pub mod ranges;
 pub mod shard;
+pub mod stalematch;
 pub mod stream;
 pub mod tailcall;
 pub mod textprof;

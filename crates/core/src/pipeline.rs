@@ -219,6 +219,14 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Sets the stale-profile handling mode (`off | report | recover`) —
+    /// shorthand for overriding just that field of the annotate knobs.
+    #[must_use]
+    pub fn stale_matching(mut self, mode: crate::stalematch::StaleMatching) -> Self {
+        self.cfg.annotate.stale_matching = mode;
+        self
+    }
+
     /// Sets the pre-inliner knobs.
     #[must_use]
     pub fn preinline(mut self, preinline: PreInlineConfig) -> Self {

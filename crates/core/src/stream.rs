@@ -463,20 +463,15 @@ impl<'b> StreamAggregator<'b> {
             Weights,
         }
         let mut section = Section::Header;
-        let mut context_start: Option<usize> = None;
         let mut graph = TailCallGraph::default();
         let mut saw_graph_edges = false;
         let mut weights: BTreeMap<(u64, u32), u64> = BTreeMap::new();
 
-        let mut offset = 0usize;
-        for (lineno, line) in text.lines().enumerate() {
-            let raw_len = line.len() + 1;
+        let Some((head, ctx_text)) = textprof::split_snapshot_context(text) else {
+            return Err(bad("snapshot has no !context section".into()));
+        };
+        for (lineno, line) in head.lines().enumerate() {
             let trimmed = line.trim();
-            if trimmed == "!context" {
-                context_start = Some(offset + raw_len);
-                break;
-            }
-            offset += raw_len;
             if trimmed.is_empty() {
                 continue;
             }
@@ -546,13 +541,6 @@ impl<'b> StreamAggregator<'b> {
             }
         }
 
-        let Some(ctx_start) = context_start else {
-            return Err(bad("snapshot has no !context section".into()));
-        };
-        // A snapshot truncated right at the `!context` marker has no
-        // trailing newline, putting `ctx_start` one past the end: treat it
-        // as an empty context section rather than slicing out of bounds.
-        let ctx_text = text.get(ctx_start..).unwrap_or("");
         let mut profile = textprof::parse_context(ctx_text)?;
         // The aggregator's working profile carries no names (exactly like
         // the batch unwinding path); the snapshot only named functions so

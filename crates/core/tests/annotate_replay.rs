@@ -131,7 +131,7 @@ fn probe_only_replays_nested_probe_profiles() {
     let mut m = fresh(true);
     let profile = probe_profile_with_nested(&m);
     let stats = csspgo_annotate(&mut m, &profile, None, &AnnotateConfig::default());
-    assert_eq!(stats.stale, 0);
+    assert_eq!(stats.stale_total(), 0);
     assert_eq!(stats.replayed_inlines, 1);
     assert_eq!(call_count(&m, "main"), 0);
 }

@@ -55,6 +55,115 @@ pub fn change_cfg(source: &str) -> String {
     out
 }
 
+/// Renames every function whose name is *not* in `keep` by appending
+/// `_v2` — definition and all call sites, whole-word. Call sites inside
+/// kept functions retarget too, so the rename is behaviour-preserving.
+///
+/// GUIDs are name hashes, so a renamed function vanishes from the profile's
+/// GUID space entirely: the stale matcher's rename detection (anchor-set
+/// similarity) is the only way its counts survive.
+pub fn rename_functions(source: &str, keep: &[&str]) -> String {
+    let mut names: Vec<String> = Vec::new();
+    for line in source.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix("fn ") {
+            if let Some(name) = rest.split('(').next() {
+                let name = name.trim();
+                if !name.is_empty() && !keep.contains(&name) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    // Longest first so `helper_fast` is not clobbered by a `helper` pass.
+    names.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+    let mut out = source.to_string();
+    for name in &names {
+        let mut rewritten = String::with_capacity(out.len() + 64);
+        let bytes = out.as_bytes();
+        let mut i = 0;
+        while let Some(pos) = out[i..].find(name.as_str()) {
+            let start = i + pos;
+            let end = start + name.len();
+            let before_ok = start == 0
+                || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+            let after_ok =
+                end == out.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            rewritten.push_str(&out[i..end]);
+            if before_ok && after_ok {
+                rewritten.push_str("_v2");
+            }
+            i = end;
+        }
+        rewritten.push_str(&out[i..]);
+        out = rewritten;
+    }
+    out
+}
+
+/// Inserts a harmless-but-CFG-visible statement (`let`-free dead loop
+/// guard) after the `nth` function header (0-based, wrapping), leaving the
+/// other functions untouched — a *partial* drift where only some checksums
+/// mismatch. Used by the matcher soundness property tests to generate
+/// varied edits.
+pub fn insert_statement(source: &str, nth: usize) -> String {
+    let headers = source
+        .lines()
+        .filter(|l| l.starts_with("fn ") && l.trim_end().ends_with('{'))
+        .count();
+    if headers == 0 {
+        return source.to_string();
+    }
+    let target = nth % headers;
+    let mut seen = 0usize;
+    let mut out = String::with_capacity(source.len() + 64);
+    for line in source.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if line.starts_with("fn ") && line.trim_end().ends_with('{') {
+            if seen == target {
+                out.push_str("    if (1 > 2) { return 0 - 424242; }\n");
+            }
+            seen += 1;
+        }
+    }
+    out
+}
+
+/// Deletes the first single-line guard (`if (...) { ...; }`) from the
+/// `nth` function that has one (0-based, wrapping). CFG-changing in the
+/// *shrinking* direction — the probe space loses indices instead of
+/// gaining them. Unlike the other mutators this may change behaviour;
+/// it exists for matcher *soundness* property tests, which only assert
+/// structural invariants of the mapping, not result equality.
+pub fn delete_statement(source: &str, nth: usize) -> String {
+    let is_guard = |l: &str| l.trim_start().starts_with("if (") && l.trim_end().ends_with("; }");
+    let mut fn_starts: Vec<usize> = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+    for (i, l) in lines.iter().enumerate() {
+        if l.starts_with("fn ")
+            && l.trim_end().ends_with('{')
+            && lines[i..].iter().any(|x| is_guard(x))
+        {
+            fn_starts.push(i);
+        }
+    }
+    if fn_starts.is_empty() {
+        return source.to_string();
+    }
+    let start = fn_starts[nth % fn_starts.len()];
+    let mut removed = false;
+    let mut out = String::with_capacity(source.len());
+    for (i, l) in lines.iter().enumerate() {
+        if !removed && i > start && is_guard(l) {
+            removed = true;
+            continue;
+        }
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +201,41 @@ mod tests {
     #[test]
     fn cfg_drift_changes_checksums() {
         assert_ne!(checksums(SRC), checksums(&change_cfg(SRC)));
+    }
+
+    #[test]
+    fn rename_rewrites_definition_and_call_sites() {
+        let src = "fn helper(x) { return x; }\nfn main(n) { return helper(n); }\n";
+        let renamed = rename_functions(src, &["main"]);
+        assert!(renamed.contains("fn helper_v2(x)"), "{renamed}");
+        assert!(renamed.contains("return helper_v2(n);"), "{renamed}");
+        assert!(renamed.contains("fn main(n)"), "kept name must not change");
+        // Behaviour-preserving: still compiles and the call resolves.
+        csspgo_lang::compile(&renamed, "t").unwrap();
+        // Whole-word only: `helper_fast` must not become `helper_v2_fast`.
+        let tricky = "fn helper(x) { return x; }\nfn helper_fast(x) { return helper(x); }\n";
+        let r = rename_functions(tricky, &["helper_fast"]);
+        assert!(
+            r.contains("fn helper_fast(x) { return helper_v2(x); }"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn statement_mutators_change_one_functions_checksum() {
+        let two = "fn a(x) {\n    if (x > 0) { return 1; }\n    return 2;\n}\nfn b(x) {\n    return x;\n}\n";
+        let base = checksums(two);
+        let ins = checksums(&insert_statement(two, 1));
+        assert_eq!(base[0], ins[0], "untargeted function untouched");
+        assert_ne!(base[1], ins[1], "targeted function must drift");
+        let del = checksums(&delete_statement(two, 0));
+        assert_ne!(base[0], del[0], "guard removal must drift");
+        assert_eq!(base[1], del[1]);
+        // No-ops degrade gracefully.
+        assert_eq!(
+            delete_statement("fn c() { return 0; }\n", 0),
+            "fn c() { return 0; }\n"
+        );
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "  CFG-changing drift:   {:>9} cycles, {} stale profiles rejected",
-            broken.eval.cycles, broken.annotate_stats.stale
+            broken.eval.cycles,
+            broken.annotate_stats.stale_total()
         );
         println!();
     }

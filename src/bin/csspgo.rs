@@ -313,9 +313,10 @@ fn cmd_pgo(args: &[String]) -> Result<(), String> {
         outcome.profiling.cycles, outcome.profiling.samples
     );
     println!(
-        "annotation: {} functions, {} stale, {} inlines replayed, plan {}",
+        "annotation: {} functions, {} stale dropped, {} stale recovered, {} inlines replayed, plan {}",
         outcome.annotate_stats.annotated,
-        outcome.annotate_stats.stale,
+        outcome.annotate_stats.stale_dropped,
+        outcome.annotate_stats.stale_recovered,
         outcome.annotate_stats.replayed_inlines,
         outcome.plan_len
     );

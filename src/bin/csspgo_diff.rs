@@ -1,0 +1,357 @@
+//! `csspgo_diff` — the stale-profile matcher and cross-build differential
+//! analyzer.
+//!
+//! Two modes:
+//!
+//! * **Scenario mode** (default): for each shipped workload, collect a
+//!   probe profile on the clean build, then replay every drift scenario
+//!   from [`csspgo::workloads::drift`] (comment drift, CFG-changing drift,
+//!   function renames) against it. Each scenario runs the anchor-based
+//!   matcher ([`csspgo::core::stalematch`]), emits the `SM` lints, and is
+//!   summarized in a match-quality report: matched/fuzzy/dropped probes,
+//!   recovered-weight fractions, rename adoptions.
+//! * **File mode** (`--profile` + `--source`): match a saved profile — a
+//!   probe-profile JSON or a `csspgo-stream-snapshot` text — against a
+//!   freshly compiled source file.
+//!
+//! ```text
+//! csspgo_diff --json diff-report.json
+//! csspgo_diff --workload ad_ranker --scenario change_cfg
+//! csspgo_diff --profile probe.json --source new_version.src
+//! ```
+//!
+//! Exits nonzero iff any diagnostic reaches `Deny` severity; with the
+//! default policy that is the matcher-invariant lints (`SM002`/`SM003`),
+//! which must never fire.
+
+use csspgo::analysis::{Analyzer, DiffReport, Policy, ScenarioReport};
+use csspgo::codegen::{lower_module, CodegenConfig};
+use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
+use csspgo::core::profile::ProbeProfile;
+use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
+use csspgo::core::stalematch::MatchConfig;
+use csspgo::core::tailcall::TailCallGraph;
+use csspgo::core::{textprof, Workload};
+use csspgo::ir::Module;
+use csspgo::sim::{Machine, SimConfig};
+use csspgo::workloads::drift;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("csspgo_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        r#"csspgo_diff — stale-profile matcher & differential profile analyzer
+
+USAGE:
+  csspgo_diff [--workload <name>] [--scenario <name,...>] [--scale <f>]
+              [--deny <lint,...|all>] [--allow <lint,...|all>] [--json <file>]
+  csspgo_diff --profile <probe.json|snapshot.txt> --source <file> [--json <file>]
+
+Scenarios: insert_comments, insert_body_comments, change_cfg, rename.
+Default runs every scenario over every shipped workload at --scale 0.05.
+Exits 1 if any denied lint fires (default policy: the SM002/SM003 matcher
+invariants), 2 on usage errors."#
+    );
+}
+
+/// A named source mutator: one shipped drift scenario.
+type Scenario = (&'static str, fn(&Workload) -> String);
+
+/// The shipped drift scenarios: name → source mutator.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        ("insert_comments", |w| drift::insert_comments(&w.source)),
+        ("insert_body_comments", |w| {
+            drift::insert_body_comments(&w.source)
+        }),
+        ("change_cfg", |w| drift::change_cfg(&w.source)),
+        // Rename ONE non-entry function (the realistic refactor): its GUID
+        // vanishes and must be rename-matched by anchor similarity, while
+        // its callers keep their CFG shape but drift their call anchors
+        // (`SM004`).
+        ("rename", rename_one),
+    ]
+}
+
+/// Renames one non-entry function of the workload, keeping the rest. The
+/// target is the function with the most calls to other defined functions:
+/// rename matching needs call anchors as evidence, so renaming a leaf
+/// would be undetectable by construction.
+fn rename_one(w: &Workload) -> String {
+    let names: Vec<&str> = w
+        .source
+        .lines()
+        .filter_map(|l| l.strip_prefix("fn "))
+        .filter_map(|rest| rest.split('(').next())
+        .map(str::trim)
+        .collect();
+    let mut calls: Vec<(usize, &str)> = Vec::new();
+    let mut current: Option<&str> = None;
+    for line in w.source.lines() {
+        if let Some(rest) = line.strip_prefix("fn ") {
+            current = rest.split('(').next().map(str::trim);
+            calls.push((0, current.unwrap_or("")));
+            continue;
+        }
+        if let (Some(cur), Some(slot)) = (current, calls.last_mut()) {
+            slot.0 += names
+                .iter()
+                .filter(|n| **n != cur)
+                .map(|n| line.matches(&format!("{n}(")).count())
+                .sum::<usize>();
+        }
+    }
+    let target = calls
+        .iter()
+        .filter(|(_, n)| *n != w.entry)
+        .max_by_key(|(c, _)| *c)
+        .map(|&(_, n)| n);
+    let keep: Vec<&str> = names
+        .iter()
+        .filter(|n| Some(**n) != target)
+        .copied()
+        .collect();
+    drift::rename_functions(&w.source, &keep)
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return Ok(true);
+    }
+
+    let mut policy = Policy::default();
+    for v in multi_value(args, "--deny")? {
+        policy.deny.extend(v.split(',').map(str::to_string));
+    }
+    for v in multi_value(args, "--allow")? {
+        policy.allow.extend(v.split(',').map(str::to_string));
+    }
+    policy.validate()?;
+    let json_out = opt_value(args, "--json")?;
+    let match_cfg = MatchConfig::default();
+
+    let mut analyzer = Analyzer::new(policy);
+    let mut report = DiffReport::new();
+
+    let profile_file = opt_value(args, "--profile")?;
+    let source_file = opt_value(args, "--source")?;
+    match (profile_file, source_file) {
+        (Some(pf), Some(sf)) => {
+            let profile = load_profile(&pf)?;
+            let src = std::fs::read_to_string(&sf).map_err(|e| format!("reading {sf}: {e}"))?;
+            let module = probed_module(&src, &sf)?;
+            let before = analyzer.report().diagnostics.len();
+            let outcome = analyzer.analyze_stale_match(&sf, &module, &profile, &match_cfg);
+            let diags = analyzer.report().diagnostics[before..].to_vec();
+            report
+                .scenarios
+                .push(ScenarioReport::from_outcome("file", &sf, &outcome, diags));
+        }
+        (None, None) => {
+            let only = opt_value(args, "--workload")?;
+            let scale: f64 = match opt_value(args, "--scale")? {
+                Some(s) => s.parse().map_err(|_| format!("bad --scale `{s}`"))?,
+                None => 0.05,
+            };
+            let wanted = match opt_value(args, "--scenario")? {
+                Some(s) => s.split(',').map(str::to_string).collect(),
+                None => Vec::new(),
+            };
+            for (name, _) in wanted.iter().map(|s| (s.as_str(), ())) {
+                if !scenarios().iter().any(|(n, _)| *n == name) {
+                    return Err(format!("unknown scenario `{name}`"));
+                }
+            }
+
+            let mut workloads = csspgo::workloads::server_workloads();
+            if let Some(name) = &only {
+                workloads.retain(|w| &w.name == name);
+                if workloads.is_empty() {
+                    return Err(format!("unknown workload `{name}`"));
+                }
+            }
+            for workload in &workloads {
+                let scaled = workload.scaled(scale);
+                diff_workload(&scaled, &wanted, &match_cfg, &mut analyzer, &mut report)
+                    .map_err(|e| format!("{}: {e}", workload.name))?;
+            }
+        }
+        _ => return Err("--profile and --source must be given together".into()),
+    }
+
+    print_summary(&report);
+    let lint_report = analyzer.into_report();
+    print!("{}", lint_report.render_human());
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote JSON report to {path}");
+    }
+    Ok(!lint_report.has_denied())
+}
+
+/// Collects a probe profile on the clean build of `workload`, then matches
+/// it against each drifted rebuild.
+fn diff_workload(
+    workload: &Workload,
+    wanted: &[String],
+    match_cfg: &MatchConfig,
+    analyzer: &mut Analyzer,
+    report: &mut DiffReport,
+) -> Result<(), String> {
+    let profile = collect_probe_profile(workload)?;
+    for (name, mutate) in scenarios() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == name) {
+            continue;
+        }
+        let drifted_src = mutate(workload);
+        let module = probed_module(&drifted_src, &workload.name)?;
+        let unit = format!("{}/{}", workload.name, name);
+        let before = analyzer.report().diagnostics.len();
+        let outcome = analyzer.analyze_stale_match(&unit, &module, &profile, match_cfg);
+        let diags = analyzer.report().diagnostics[before..].to_vec();
+        report.scenarios.push(ScenarioReport::from_outcome(
+            name,
+            &workload.name,
+            &outcome,
+            diags,
+        ));
+    }
+    Ok(())
+}
+
+/// Compiles `src` and inserts pseudo-probes (the fresh-build side of the
+/// match).
+fn probed_module(src: &str, name: &str) -> Result<Module, String> {
+    let mut module = csspgo::lang::compile(src, name).map_err(|e| e.to_string())?;
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    Ok(module)
+}
+
+/// Runs the full CSSPGO collection pipeline on the clean build — like
+/// `csspgo_lint`'s stage 3, except cold contexts are *not* trimmed: the
+/// differential analyzer wants maximum call-edge fidelity (trimming merges
+/// cold contexts into base profiles, discarding exactly the call anchors
+/// that rename matching aligns on), and it runs offline where profile size
+/// does not matter.
+fn collect_probe_profile(workload: &Workload) -> Result<ProbeProfile, String> {
+    let config = PipelineConfig::default();
+    let mut module = probed_module(&workload.source, &workload.name)?;
+    csspgo::opt::run_pipeline(&mut module, &config.opt);
+    let binary = lower_module(&module, &CodegenConfig::default());
+    let sim_cfg = SimConfig {
+        lbr_size: config.lbr_size,
+        pebs: config.pebs,
+        sample_period: config.sample_period,
+        seed: config.seed,
+        max_steps: config.max_steps,
+        ..SimConfig::default()
+    };
+    let mut machine = Machine::new(&binary, sim_cfg);
+    for (name, values) in &workload.setup {
+        machine.set_global(name, values);
+    }
+    let samples = BatchSource
+        .collect(&mut machine, workload)
+        .map_err(|e| e.to_string())?;
+    let rc = sharded_range_counts(&binary, &samples, config.ingest_shards);
+    let tail_graph = TailCallGraph::build(&binary, &rc);
+    let unwound =
+        sharded_context_profile(&binary, Some(&tail_graph), &samples, config.ingest_shards);
+    let mut ctx_profile = unwound.profile;
+    let checksums = binary
+        .funcs
+        .iter()
+        .filter_map(|f| f.probe_checksum.map(|c| (f.guid, c)))
+        .collect();
+    ctx_profile.set_checksums(&checksums);
+    let mut probe_prof = ctx_profile.to_probe_profile();
+    for (fidx, c) in rc.entry_counts(&binary) {
+        let f = &binary.funcs[fidx as usize];
+        probe_prof
+            .names
+            .entry(f.guid)
+            .or_insert_with(|| f.name.clone());
+        if let Some(fp) = probe_prof.funcs.get_mut(&f.guid) {
+            fp.entry = fp.entry.max(c);
+        }
+    }
+    Ok(probe_prof)
+}
+
+/// Loads a saved profile: probe-profile JSON, or the context section of a
+/// stream snapshot.
+fn load_profile(path: &str) -> Result<ProbeProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if text.starts_with("# csspgo-stream-snapshot") {
+        let (_, ctx) = textprof::split_snapshot_context(&text)
+            .ok_or_else(|| format!("{path}: snapshot has no !context section"))?;
+        let ctx_profile = textprof::parse_context(ctx).map_err(|e| e.to_string())?;
+        Ok(ctx_profile.to_probe_profile())
+    } else {
+        textprof::parse_probe_json(&text).map_err(|e| e.to_string())
+    }
+}
+
+/// One line per scenario: the quality headline.
+fn print_summary(report: &DiffReport) {
+    println!("| scenario | workload | funcs | matched | recovered | renamed | dropped | stale weight recovered |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for s in &report.scenarios {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1}% |",
+            s.scenario,
+            s.workload,
+            s.funcs_total,
+            s.checksum_matched,
+            s.recovered,
+            s.renamed,
+            s.dropped,
+            s.stale_recovered_fraction * 100.0
+        );
+    }
+}
+
+/// Pulls the (optional, single) value of `--flag`.
+fn opt_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+/// Pulls every value of a repeatable `--flag`.
+fn multi_value(args: &[String], flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            out.push(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))?,
+            );
+        }
+    }
+    Ok(out)
+}

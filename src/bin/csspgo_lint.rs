@@ -10,7 +10,10 @@
 //!    probe invariants — cloned probes must carry duplication factors),
 //! 3. the collected **context profile** (context-tree consistency) and the
 //!    flattened **probe profile** (checksum staleness, probe ranges),
-//! 4. the profile-**annotated** module (flow conservation, dominance).
+//! 4. the **stale matcher** run over the collected profile (`SM` lints: on
+//!    an undrifted build every function must pass through bit-identical,
+//!    with no anchor drift and no matcher-invariant violations),
+//! 5. the profile-**annotated** module (flow conservation, dominance).
 //!
 //! ```text
 //! csspgo_lint --deny all --json report.json
@@ -21,11 +24,12 @@
 //! Exits nonzero iff any diagnostic reaches `Deny` severity — `--deny all`
 //! over the shipped workloads is the repo's CI gate.
 
-use csspgo::analysis::{Analyzer, Policy, LINTS};
+use csspgo::analysis::{render_lint_list, Analyzer, Policy};
 use csspgo::codegen::{lower_module, CodegenConfig};
 use csspgo::core::annotate::{csspgo_annotate, AnnotateConfig};
 use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
 use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
+use csspgo::core::stalematch::MatchConfig;
 use csspgo::core::tailcall::TailCallGraph;
 use csspgo::core::Workload;
 use csspgo::sim::{Machine, SimConfig};
@@ -70,15 +74,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Ok(true);
     }
     if args.iter().any(|a| a == "--list") {
-        for l in LINTS {
-            println!(
-                "{:6} {:24} {:8} {}",
-                l.id,
-                l.name,
-                l.default_severity.to_string(),
-                l.description
-            );
-        }
+        print!("{}", render_lint_list());
         return Ok(true);
     }
 
@@ -188,7 +184,18 @@ fn lint_workload(workload: &Workload, analyzer: &mut Analyzer) -> Result<(), Str
         &probe_prof,
     );
 
-    // Stage 4: annotate a fresh module (no inline replay, so block counts
+    // Stage 4: the stale matcher over the just-collected profile. The
+    // build has not drifted, so every function must pass through
+    // bit-identical with no SM diagnostics — anchor drift or an invariant
+    // violation here means the matcher or the probe metadata is broken.
+    analyzer.analyze_stale_match(
+        &format!("{}/stale-match", workload.name),
+        &module,
+        &probe_prof,
+        &MatchConfig::default(),
+    );
+
+    // Stage 5: annotate a fresh module (no inline replay, so block counts
     // stay on the common CFG) and check flow conservation.
     let no_replay = AnnotateConfig {
         inline_budget: 0,

@@ -1,6 +1,7 @@
 //! Integration tests for the paper's source-drift story (§III.A).
 
 use csspgo::core::pipeline::{run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
+use csspgo::core::stalematch::{match_stale_profile, MatchConfig, StaleMatching};
 use csspgo::workloads::drift;
 
 fn cfg() -> PipelineConfig {
@@ -17,7 +18,8 @@ fn csspgo_is_immune_to_comment_drift() {
     let clean = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg()).unwrap();
     let after = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted).unwrap();
     assert_eq!(
-        after.annotate_stats.stale, 0,
+        after.annotate_stats.stale_total(),
+        0,
         "comments must not look stale"
     );
     assert_eq!(
@@ -49,7 +51,101 @@ fn csspgo_rejects_cfg_changing_drift_via_checksums() {
     let drifted = drift::change_cfg(&w.source);
     let after = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted).unwrap();
     assert!(
-        after.annotate_stats.stale > 0,
+        after.annotate_stats.stale_total() > 0,
         "CFG change must be detected as a checksum mismatch"
     );
+    assert_eq!(
+        after.annotate_stats.stale_recovered, 0,
+        "stale matching defaults to off"
+    );
+}
+
+#[test]
+fn stale_matching_recovers_cfg_drift_counts() {
+    // The PR 5 acceptance bar: on a shipped CFG-changing drift, the
+    // matcher must restore at least 60% of the weight that the checksum
+    // gate would otherwise drop, end to end on a *collected* profile.
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let drifted = drift::change_cfg(&w.source);
+
+    // Matcher-level weight check on the real collected profile.
+    let profile = collect_probe_profile(&w);
+    let mut module = csspgo::lang::compile(&drifted, &w.name).unwrap();
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    let outcome = match_stale_profile(&module, &profile, &MatchConfig::default());
+    assert!(
+        outcome.stale_old_weight() > 0,
+        "change_cfg must invalidate checksums"
+    );
+    assert!(
+        outcome.stale_recovered_fraction() >= 0.6,
+        "recovered only {:.1}% of stale weight",
+        outcome.stale_recovered_fraction() * 100.0
+    );
+
+    // Pipeline-level check: the recover path consumes the salvaged counts.
+    let recover_cfg = PipelineConfig::builder()
+        .sample_period(101)
+        .stale_matching(StaleMatching::Recover)
+        .build()
+        .expect("valid test config");
+    let off = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted).unwrap();
+    let rec = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &recover_cfg, &drifted).unwrap();
+    assert!(rec.annotate_stats.stale_recovered > 0, "nothing salvaged");
+    assert!(
+        rec.annotate_stats.stale_dropped < off.annotate_stats.stale_dropped,
+        "recovery must shrink the dropped set ({} vs {})",
+        rec.annotate_stats.stale_dropped,
+        off.annotate_stats.stale_dropped
+    );
+    // Annotation counts steer optimization, never semantics.
+    assert_eq!(off.eval_result_hash, rec.eval_result_hash);
+}
+
+/// Collects a probe profile on the clean build of `w` — the same pipeline
+/// `csspgo_diff` and `csspgo_lint` stage 3 run.
+fn collect_probe_profile(w: &csspgo::core::Workload) -> csspgo::core::profile::ProbeProfile {
+    use csspgo::core::pipeline::{BatchSource, ProfileSource};
+    use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
+    use csspgo::core::tailcall::TailCallGraph;
+
+    let config = cfg();
+    let mut module = csspgo::lang::compile(&w.source, &w.name).unwrap();
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    csspgo::opt::run_pipeline(&mut module, &config.opt);
+    let binary = csspgo::codegen::lower_module(&module, &config.codegen);
+    let sim_cfg = csspgo::sim::SimConfig {
+        lbr_size: config.lbr_size,
+        pebs: config.pebs,
+        sample_period: config.sample_period,
+        seed: config.seed,
+        max_steps: config.max_steps,
+        ..csspgo::sim::SimConfig::default()
+    };
+    let mut machine = csspgo::sim::Machine::new(&binary, sim_cfg);
+    for (name, values) in &w.setup {
+        machine.set_global(name, values);
+    }
+    let samples = BatchSource.collect(&mut machine, w).unwrap();
+    let rc = sharded_range_counts(&binary, &samples, config.ingest_shards);
+    let tail_graph = TailCallGraph::build(&binary, &rc);
+    let unwound =
+        sharded_context_profile(&binary, Some(&tail_graph), &samples, config.ingest_shards);
+    let mut ctx_profile = unwound.profile;
+    let checksums = binary
+        .funcs
+        .iter()
+        .filter_map(|f| f.probe_checksum.map(|c| (f.guid, c)))
+        .collect();
+    ctx_profile.set_checksums(&checksums);
+    let mut probe_prof = ctx_profile.to_probe_profile();
+    for (fidx, c) in rc.entry_counts(&binary) {
+        let guid = binary.funcs[fidx as usize].guid;
+        if let Some(fp) = probe_prof.funcs.get_mut(&guid) {
+            fp.entry = fp.entry.max(c);
+        }
+    }
+    probe_prof
 }

@@ -92,7 +92,11 @@ fn sampling_variants_produce_profiles_and_annotations() {
     ] {
         assert!(o[&v].profiling.samples > 0, "{v} sampled nothing");
         assert!(o[&v].annotate_stats.annotated > 0, "{v} annotated nothing");
-        assert_eq!(o[&v].annotate_stats.stale, 0, "{v} spuriously stale");
+        assert_eq!(
+            o[&v].annotate_stats.stale_total(),
+            0,
+            "{v} spuriously stale"
+        );
     }
 }
 

@@ -128,7 +128,8 @@ fn serve(n, mode) {
     let refreshed =
         run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &cfg(), &drifted_src).unwrap();
     assert_eq!(
-        refreshed.annotate_stats.stale, 0,
+        refreshed.annotate_stats.stale_total(),
+        0,
         "probe checksums survive comment-only drift"
     );
     let clean = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &cfg()).unwrap();
