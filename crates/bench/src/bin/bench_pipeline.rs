@@ -1,17 +1,116 @@
 //! Perf trajectory of the PGO cycle itself: per-stage wall times
-//! (compile, simulate, correlate, pre-inline, recompile, evaluate) for
-//! every server workload, written to `BENCH_pipeline.json` so perf work
-//! across PRs has a measurable baseline.
+//! (compile, simulate, correlate, pre-inline, serialize, deserialize,
+//! recompile, evaluate) for every server workload, written to
+//! `BENCH_pipeline.json` so perf work across PRs has a measurable baseline.
+//!
+//! If a previous `BENCH_pipeline.json` exists at the output path, a
+//! per-stage speedup table against it is printed before the file is
+//! replaced — old-schema files (no serialize/deserialize columns) compare
+//! on the stages they do carry.
+//!
+//! `--gate <ratio>` turns the run into a regression gate: it fails (exit 1)
+//! if any workload's `CSSPGO (full)` correlation takes more than `ratio`×
+//! its `AutoFDO` correlation — the hot path this harness exists to watch.
 //!
 //! Output path defaults to `BENCH_pipeline.json` in the working directory;
 //! override with the `BENCH_PIPELINE_OUT` environment variable.
 
 use csspgo_bench::{
-    experiment_config, par_map, traffic_scale, write_pipeline_bench, PipelineBenchRecord,
+    experiment_config, par_map, read_pipeline_bench, traffic_scale, write_pipeline_bench,
+    PipelineBenchRecord, PrevBenchRecord, BENCH_STAGES,
 };
 use csspgo_core::pipeline::{run_pgo_cycle, PgoVariant};
+use std::collections::HashMap;
+use std::process::ExitCode;
 
-fn main() {
+/// Parses the optional `--gate <ratio>` argument.
+fn gate_ratio(args: &[String]) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == "--gate") {
+        None => Ok(None),
+        Some(i) => {
+            let raw = args.get(i + 1).ok_or("--gate needs a ratio")?;
+            let ratio: f64 = raw.parse().map_err(|_| format!("bad --gate `{raw}`"))?;
+            if ratio <= 0.0 || !ratio.is_finite() {
+                return Err(format!("--gate must be a positive ratio, got {raw}"));
+            }
+            Ok(Some(ratio))
+        }
+    }
+}
+
+/// Prints the per-stage speedup table of this run against a previous one:
+/// `previous_ms / current_ms` per stage, so >1.0 means the stage got
+/// faster. Stages absent from the old file print `-`.
+fn print_speedups(prev: &[PrevBenchRecord], records: &[PipelineBenchRecord]) {
+    let by_key: HashMap<(&str, &str), &PrevBenchRecord> = prev
+        .iter()
+        .map(|r| ((r.workload.as_str(), r.variant.as_str()), r))
+        .collect();
+    println!("\n# Speedup vs previous run (old ms / new ms; >1.0 = faster)");
+    let header: Vec<&str> = BENCH_STAGES
+        .iter()
+        .map(|s| s.trim_end_matches("_ms"))
+        .collect();
+    println!("| workload | variant | {} | total |", header.join(" | "));
+    println!("|---|---|{}", "---|".repeat(BENCH_STAGES.len() + 1));
+    let mut matched = 0usize;
+    for r in records {
+        let Some(p) = by_key.get(&(r.workload.as_str(), r.variant.as_str())) else {
+            continue;
+        };
+        matched += 1;
+        let mut cells = Vec::new();
+        for stage in BENCH_STAGES.iter().chain(["total_ms"].iter()) {
+            let cell = match (p.stage(stage), r.stage(stage)) {
+                (Some(old), Some(new)) if new > 0.0 => format!("{:.2}x", old / new),
+                _ => "-".to_string(),
+            };
+            cells.push(cell);
+        }
+        println!("| {} | {} | {} |", r.workload, r.variant, cells.join(" | "));
+    }
+    if matched == 0 {
+        println!("(no (workload, variant) rows in common with the previous run)");
+    }
+}
+
+/// Applies the correlate-time gate; returns the offending lines.
+fn gate_failures(records: &[PipelineBenchRecord], ratio: f64) -> Vec<String> {
+    let full = PgoVariant::CsspgoFull.to_string();
+    let base = PgoVariant::AutoFdo.to_string();
+    let mut by_workload: HashMap<&str, (Option<f64>, Option<f64>)> = HashMap::new();
+    for r in records {
+        let slot = by_workload.entry(r.workload.as_str()).or_default();
+        if r.variant == base {
+            slot.0 = Some(r.correlate_ms);
+        } else if r.variant == full {
+            slot.1 = Some(r.correlate_ms);
+        }
+    }
+    let mut failures = Vec::new();
+    let mut names: Vec<&&str> = by_workload.keys().collect();
+    names.sort();
+    for name in names {
+        if let (Some(autofdo), Some(csspgo)) = by_workload[*name] {
+            if autofdo > 0.0 && csspgo > ratio * autofdo {
+                failures.push(format!(
+                    "{name}: CSSPGO-full correlate {csspgo:.1}ms > {ratio}x AutoFDO {autofdo:.1}ms"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = match gate_ratio(&args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("bench_pipeline: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let cfg = experiment_config();
     let scale = traffic_scale();
     let variants = [
@@ -35,17 +134,22 @@ fn main() {
     });
 
     println!("# Pipeline stage wall times (ms), scale={scale}");
-    println!("| workload | variant | compile | simulate | correlate | pre-inline | recompile | evaluate | total |");
-    println!("|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| workload | variant | compile | simulate | correlate | pre-inline \
+         | serialize | deserialize | recompile | evaluate | total |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &records {
         println!(
-            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {:.2} | {:.1} | {:.1} | {:.1} |",
             r.workload,
             r.variant,
             r.compile_ms,
             r.simulate_ms,
             r.correlate_ms,
             r.preinline_ms,
+            r.serialize_ms,
+            r.deserialize_ms,
             r.recompile_ms,
             r.evaluate_ms,
             r.total_ms
@@ -54,6 +158,22 @@ fn main() {
 
     let path =
         std::env::var("BENCH_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    if let Some(prev) = read_pipeline_bench(&path) {
+        print_speedups(&prev, &records);
+    }
     write_pipeline_bench(&path, &records).expect("write pipeline bench records");
     println!("\nwrote {} records to {path}", records.len());
+
+    if let Some(ratio) = gate {
+        let failures = gate_failures(&records, ratio);
+        if !failures.is_empty() {
+            eprintln!("\ncorrelate-time gate FAILED (ratio {ratio}):");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("correlate-time gate passed (ratio {ratio})");
+    }
+    ExitCode::SUCCESS
 }

@@ -10,8 +10,10 @@
 //!    pin the tail-call graph;
 //! 2. serves the training traffic in epochs, draining the PMU in bounded
 //!    batches and sealing each epoch into the cumulative profile;
-//! 3. snapshot→restore round-trips the aggregator mid-stream and verifies
-//!    the resumed state matches (the epoch invariant, live);
+//! 3. snapshot→restore round-trips the aggregator mid-stream — through the
+//!    binary `binprof` wire format by default (`CSSPGO_SNAPSHOT_FORMAT=text`
+//!    selects the human-readable debug format) — and verifies the resumed
+//!    state matches (the epoch invariant, live);
 //! 4. runs the evaluation traffic as a final epoch: if its probe-weight
 //!    overlap drops below the drift threshold, the profile is stale and
 //!    the service triggers a recompilation through the existing
@@ -128,22 +130,44 @@ fn serve(workload: &Workload, cfg: &PipelineConfig) -> Vec<PipelineBenchRecord> 
         epoch_record(&format!("epoch-{}", summary.epoch), traffic_ms, &summary);
 
         // Mid-stream snapshot→restore→resume check, once per workload.
+        // Binary (binprof) is the production snapshot path; set
+        // CSSPGO_SNAPSHOT_FORMAT=text to persist the human-readable debug
+        // format instead. Both formats are verified to restore the exact
+        // aggregator state regardless of which one is persisted.
         if !snapshot_checked && i == 0 {
-            let snap = agg.snapshot();
-            let restored =
-                StreamAggregator::restore(&binary, cfg.stream.clone(), cfg.ingest_shards, &snap)
+            let text_snapshot = std::env::var("CSSPGO_SNAPSHOT_FORMAT")
+                .map(|v| v.eq_ignore_ascii_case("text"))
+                .unwrap_or(false);
+            let bin = agg.snapshot_bin();
+            let text = agg.snapshot();
+            let from_bin =
+                StreamAggregator::restore_bin(&binary, cfg.stream.clone(), cfg.ingest_shards, &bin)
+                    .unwrap_or_else(|e| {
+                        panic!("{}: binary snapshot restore failed: {e}", workload.name)
+                    });
+            let from_text =
+                StreamAggregator::restore(&binary, cfg.stream.clone(), cfg.ingest_shards, &text)
                     .unwrap_or_else(|e| panic!("{}: snapshot restore failed: {e}", workload.name));
-            assert_eq!(
-                restored.context_profile(),
-                agg.context_profile(),
-                "{}: restored profile diverged from live aggregator",
-                workload.name
-            );
-            assert_eq!(restored.total_samples(), agg.total_samples());
+            for restored in [&from_bin, &from_text] {
+                assert_eq!(
+                    restored.context_profile(),
+                    agg.context_profile(),
+                    "{}: restored profile diverged from live aggregator",
+                    workload.name
+                );
+                assert_eq!(restored.total_samples(), agg.total_samples());
+            }
+            let (fmt, size) = if text_snapshot {
+                ("text", text.len())
+            } else {
+                ("binary", bin.len())
+            };
             println!(
-                "{:>16} snapshot : {} bytes, restore verified bit-identical",
+                "{:>16} snapshot : {fmt} {size} bytes ({} bin / {} text), \
+                 both formats restore bit-identical",
                 workload.name,
-                snap.len()
+                bin.len(),
+                text.len()
             );
             snapshot_checked = true;
         }

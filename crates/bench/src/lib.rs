@@ -10,7 +10,7 @@
 use csspgo_core::pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig, StageTimes};
 use csspgo_core::Workload;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Scale factor applied to workload traffic; override with the
@@ -116,16 +116,28 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// Schema tag stamped on every emitted bench record. Bumped when the
+/// record shape changes; consumers comparing against an older file key
+/// their leniency off this string (`v1` files carried no tag at all).
+pub const BENCH_SCHEMA: &str = "csspgo-bench-v2";
+
 /// One (workload, variant) entry of `BENCH_pipeline.json`: per-stage wall
 /// times of a PGO cycle, in milliseconds.
 #[derive(Clone, Debug, Serialize)]
 pub struct PipelineBenchRecord {
+    /// Record-shape version ([`BENCH_SCHEMA`]).
+    pub schema: String,
     pub workload: String,
     pub variant: String,
     pub compile_ms: f64,
     pub simulate_ms: f64,
     pub correlate_ms: f64,
     pub preinline_ms: f64,
+    /// Binary (`binprof`) profile serialization time in the hand-off
+    /// between correlation and recompilation.
+    pub serialize_ms: f64,
+    /// Binary profile load time on the consuming side of the hand-off.
+    pub deserialize_ms: f64,
     pub recompile_ms: f64,
     pub evaluate_ms: f64,
     pub total_ms: f64,
@@ -149,12 +161,15 @@ impl PipelineBenchRecord {
     /// timings, labeled `epoch-N`) share the `BENCH_pipeline.json` shape.
     pub fn labeled(workload: &str, label: &str, t: &StageTimes) -> Self {
         PipelineBenchRecord {
+            schema: BENCH_SCHEMA.to_string(),
             workload: workload.to_string(),
             variant: label.to_string(),
             compile_ms: t.compile_ms,
             simulate_ms: t.simulate_ms,
             correlate_ms: t.correlate_ms,
             preinline_ms: t.preinline_ms,
+            serialize_ms: t.serialize_ms,
+            deserialize_ms: t.deserialize_ms,
             recompile_ms: t.recompile_ms,
             evaluate_ms: t.evaluate_ms,
             total_ms: t.total_ms(),
@@ -180,6 +195,89 @@ impl PipelineBenchRecord {
 pub fn write_pipeline_bench(path: &str, records: &[PipelineBenchRecord]) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(records).expect("stage times always serialize");
     std::fs::write(path, json)
+}
+
+/// The per-stage columns shared by [`PipelineBenchRecord`] and
+/// [`PrevBenchRecord`], in presentation order.
+pub const BENCH_STAGES: [&str; 8] = [
+    "compile_ms",
+    "simulate_ms",
+    "correlate_ms",
+    "preinline_ms",
+    "serialize_ms",
+    "deserialize_ms",
+    "recompile_ms",
+    "evaluate_ms",
+];
+
+impl PipelineBenchRecord {
+    /// Looks a stage column up by its [`BENCH_STAGES`] name.
+    pub fn stage(&self, stage: &str) -> Option<f64> {
+        match stage {
+            "compile_ms" => Some(self.compile_ms),
+            "simulate_ms" => Some(self.simulate_ms),
+            "correlate_ms" => Some(self.correlate_ms),
+            "preinline_ms" => Some(self.preinline_ms),
+            "serialize_ms" => Some(self.serialize_ms),
+            "deserialize_ms" => Some(self.deserialize_ms),
+            "recompile_ms" => Some(self.recompile_ms),
+            "evaluate_ms" => Some(self.evaluate_ms),
+            "total_ms" => Some(self.total_ms),
+            _ => None,
+        }
+    }
+}
+
+/// A leniently-parsed record from a previously written
+/// `BENCH_pipeline.json`. Every column is optional so files written by
+/// older harness versions — no `schema` tag, no serialize/deserialize
+/// stages — still load for the cross-run speedup comparison.
+#[derive(Clone, Debug, Deserialize)]
+pub struct PrevBenchRecord {
+    pub schema: Option<String>,
+    pub workload: String,
+    pub variant: String,
+    pub compile_ms: Option<f64>,
+    pub simulate_ms: Option<f64>,
+    pub correlate_ms: Option<f64>,
+    pub preinline_ms: Option<f64>,
+    pub serialize_ms: Option<f64>,
+    pub deserialize_ms: Option<f64>,
+    pub recompile_ms: Option<f64>,
+    pub evaluate_ms: Option<f64>,
+    pub total_ms: Option<f64>,
+}
+
+impl PrevBenchRecord {
+    /// Looks a stage column up by its [`BENCH_STAGES`] name.
+    pub fn stage(&self, stage: &str) -> Option<f64> {
+        match stage {
+            "compile_ms" => self.compile_ms,
+            "simulate_ms" => self.simulate_ms,
+            "correlate_ms" => self.correlate_ms,
+            "preinline_ms" => self.preinline_ms,
+            "serialize_ms" => self.serialize_ms,
+            "deserialize_ms" => self.deserialize_ms,
+            "recompile_ms" => self.recompile_ms,
+            "evaluate_ms" => self.evaluate_ms,
+            "total_ms" => self.total_ms,
+            _ => None,
+        }
+    }
+}
+
+/// Reads a previously written `BENCH_pipeline.json` if one exists and
+/// parses. Unreadable or unparsable files are reported on stderr and
+/// treated as absent — a stale baseline must never fail a fresh run.
+pub fn read_pipeline_bench(path: &str) -> Option<Vec<PrevBenchRecord>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match serde_json::from_str(&text) {
+        Ok(records) => Some(records),
+        Err(e) => {
+            eprintln!("warning: ignoring unparsable previous run at {path}: {e}");
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,15 +344,56 @@ fn work(n) {
             simulate_ms: 2.0,
             correlate_ms: 3.0,
             preinline_ms: 0.5,
+            serialize_ms: 0.25,
+            deserialize_ms: 0.125,
             recompile_ms: 4.0,
             evaluate_ms: 1.5,
         };
         let rec = PipelineBenchRecord::new("hhvm", PgoVariant::CsspgoFull, &t).with_stale(2, 5);
         assert_eq!(rec.total_ms, t.total_ms());
+        assert_eq!(rec.schema, BENCH_SCHEMA);
         assert_eq!((rec.stale_dropped, rec.stale_recovered), (2, 5));
+        for stage in BENCH_STAGES {
+            assert!(rec.stage(stage).is_some(), "missing stage {stage}");
+        }
         let json = serde_json::to_string(&vec![rec]).unwrap();
         assert!(json.contains("\"correlate_ms\""), "{json}");
+        assert!(json.contains("\"serialize_ms\""), "{json}");
+        assert!(json.contains("\"schema\""), "{json}");
         assert!(json.contains("\"stale_recovered\":5"), "{json}");
         assert!(json.contains("hhvm"), "{json}");
+    }
+
+    #[test]
+    fn previous_run_parses_leniently() {
+        // A v1-era file: no schema tag, no serialize/deserialize columns.
+        let v1 = r#"[{
+            "workload": "hhvm",
+            "variant": "AutoFDO",
+            "compile_ms": 1.0,
+            "simulate_ms": 2.0,
+            "correlate_ms": 3.0,
+            "preinline_ms": 0.0,
+            "recompile_ms": 4.0,
+            "evaluate_ms": 1.5,
+            "total_ms": 11.5
+        }]"#;
+        let records: Vec<PrevBenchRecord> = serde_json::from_str(v1).unwrap();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.schema, None);
+        assert_eq!(r.stage("correlate_ms"), Some(3.0));
+        assert_eq!(r.stage("serialize_ms"), None);
+
+        // A fresh record survives the same lenient parse round-trip.
+        let t = StageTimes {
+            serialize_ms: 0.5,
+            ..StageTimes::default()
+        };
+        let rec = PipelineBenchRecord::labeled("hhvm", "epoch-0", &t);
+        let json = serde_json::to_string(&vec![rec]).unwrap();
+        let back: Vec<PrevBenchRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back[0].schema.as_deref(), Some(BENCH_SCHEMA));
+        assert_eq!(back[0].stage("serialize_ms"), Some(0.5));
     }
 }

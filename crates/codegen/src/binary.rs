@@ -86,6 +86,52 @@ pub struct Binary {
     pub frame_spans: Vec<(u32, u32)>,
 }
 
+/// Dense byte→instruction map: O(1) [`Binary::index_of_addr`] for the
+/// sample-resolution hot path, where every LBR entry and stack frame costs
+/// an address lookup. The text segment of a laid-out binary is contiguous
+/// and small, so one `u32` slot per code byte buys a plain array load in
+/// place of a branchy binary search.
+pub struct AddrIndex {
+    base: u64,
+    /// Instruction index per byte offset from `base`; `u32::MAX` = gap.
+    map: Vec<u32>,
+}
+
+impl AddrIndex {
+    /// Builds the map from a laid-out binary.
+    pub fn build(binary: &Binary) -> Self {
+        let (Some(&first), Some(&last), Some(last_inst)) = (
+            binary.addrs.first(),
+            binary.addrs.last(),
+            binary.insts.last(),
+        ) else {
+            return AddrIndex {
+                base: 0,
+                map: Vec::new(),
+            };
+        };
+        let mut map = vec![u32::MAX; (last + last_inst.size as u64 - first) as usize];
+        for (i, &a) in binary.addrs.iter().enumerate() {
+            let start = (a - first) as usize;
+            for slot in &mut map[start..start + binary.insts[i].size as usize] {
+                *slot = i as u32;
+            }
+        }
+        AddrIndex { base: first, map }
+    }
+
+    /// The flat index of the instruction whose byte range contains `addr`;
+    /// agrees with [`Binary::index_of_addr`] on every address.
+    #[inline]
+    pub fn index_of_addr(&self, addr: u64) -> Option<usize> {
+        let off = addr.checked_sub(self.base)?;
+        match self.map.get(usize::try_from(off).ok()?) {
+            Some(&v) if v != u32::MAX => Some(v as usize),
+            _ => None,
+        }
+    }
+}
+
 impl Binary {
     /// The flat index of the instruction whose byte range contains `addr`.
     pub fn index_of_addr(&self, addr: u64) -> Option<usize> {

@@ -12,6 +12,7 @@
 //! cold functions to be context-insensitive") merges cold subtrees into the
 //! per-function base profiles.
 
+use crate::fasthash::FastMap;
 use crate::profile::{ProbeFuncProfile, ProbeProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -283,6 +284,155 @@ impl ContextProfile {
     }
 }
 
+/// Dense identifier of one interned context in a [`ContextTrieBuilder`].
+pub type ContextId = u32;
+
+/// Arena node of the hash-consed builder trie. Counts use plain `HashMap`s
+/// during ingestion; the sort into `BTreeMap`s happens once, at
+/// [`ContextTrieBuilder::into_profile`] time.
+#[derive(Debug, Default)]
+struct BuilderNode {
+    guid: u64,
+    entry: u64,
+    probes: FastMap<u32, u64>,
+    /// Child edges in creation order: `((call-site probe, callee), id)`.
+    children: Vec<((u32, u64), ContextId)>,
+}
+
+/// A hash-consed write-optimized context trie, the ingestion-side
+/// counterpart of [`ContextProfile`].
+///
+/// [`ContextProfile::node_for_path_mut`] walks a chain of `BTreeMap`s —
+/// one ordered-map lookup (with its pointer-chasing rebalance-ready nodes)
+/// *per frame per hit*, which dominates CSSPGO correlation time. The
+/// builder instead interns each `(parent, call-site probe, callee)` edge
+/// into a dense [`ContextId`] arena through one flat hash map, so walking
+/// a hot path that has been seen before is a few `HashMap` probes over
+/// integer keys, and extending it allocates nothing but the arena slot.
+///
+/// The builder is **order-insensitive by construction**: all counters are
+/// `+=` and [`into_profile`](Self::into_profile) sorts every map, so the
+/// resulting [`ContextProfile`] is bit-identical to one built through
+/// `add_probe_hit`/`add_entry` from the same hits in any order (property
+/// tests in `tests/proptest_kernel.rs` pin this).
+#[derive(Debug, Default)]
+pub struct ContextTrieBuilder {
+    nodes: Vec<BuilderNode>,
+    roots: FastMap<u64, ContextId>,
+    /// Edge interner: `(parent id, call-site probe, callee guid)` → child.
+    edges: FastMap<(ContextId, u32, u64), ContextId>,
+}
+
+impl ContextTrieBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned contexts (arena size).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn alloc(&mut self, guid: u64) -> ContextId {
+        let id = self.nodes.len() as ContextId;
+        self.nodes.push(BuilderNode {
+            guid,
+            ..BuilderNode::default()
+        });
+        id
+    }
+
+    /// Interns the context reached by `path` into `owner_guid`, returning
+    /// its dense id. Same navigation as
+    /// [`ContextProfile::node_for_path_mut`]: `path[0].guid` roots the
+    /// walk, each frame's probe selects the edge to the next frame's
+    /// function (or `owner_guid` for the last).
+    pub fn intern(&mut self, path: &[FrameKey], owner_guid: u64) -> ContextId {
+        let root_guid = path.first().map(|f| f.guid).unwrap_or(owner_guid);
+        let mut id = match self.roots.get(&root_guid) {
+            Some(&id) => id,
+            None => {
+                let id = self.alloc(root_guid);
+                self.roots.insert(root_guid, id);
+                id
+            }
+        };
+        for (k, frame) in path.iter().enumerate() {
+            let callee = path.get(k + 1).map(|f| f.guid).unwrap_or(owner_guid);
+            id = match self.edges.get(&(id, frame.probe, callee)) {
+                Some(&child) => child,
+                None => {
+                    let child = self.alloc(callee);
+                    self.edges.insert((id, frame.probe, callee), child);
+                    self.nodes[id as usize]
+                        .children
+                        .push(((frame.probe, callee), child));
+                    child
+                }
+            };
+        }
+        id
+    }
+
+    /// Adds `count` samples of `probe_index` at an already-interned context.
+    pub fn add_probe_hit_at(&mut self, id: ContextId, probe_index: u32, count: u64) {
+        *self.nodes[id as usize]
+            .probes
+            .entry(probe_index)
+            .or_insert(0) += count;
+    }
+
+    /// Records `count` calls entering an already-interned context.
+    pub fn add_entry_at(&mut self, id: ContextId, count: u64) {
+        self.nodes[id as usize].entry += count;
+    }
+
+    /// Convenience: intern + probe hit.
+    pub fn add_probe_hit(
+        &mut self,
+        path: &[FrameKey],
+        owner_guid: u64,
+        probe_index: u32,
+        count: u64,
+    ) {
+        let id = self.intern(path, owner_guid);
+        self.add_probe_hit_at(id, probe_index, count);
+    }
+
+    /// Convenience: intern + entry.
+    pub fn add_entry(&mut self, path: &[FrameKey], owner_guid: u64, count: u64) {
+        let id = self.intern(path, owner_guid);
+        self.add_entry_at(id, count);
+    }
+
+    /// Sorts the arena into a canonical [`ContextProfile`]. Checksums and
+    /// inline marks are ingestion-time zero/false, exactly as
+    /// `add_probe_hit` leaves them.
+    pub fn into_profile(self) -> ContextProfile {
+        fn build(nodes: &[BuilderNode], id: ContextId) -> ContextNode {
+            let n = &nodes[id as usize];
+            ContextNode {
+                guid: n.guid,
+                checksum: 0,
+                entry: n.entry,
+                probes: n.probes.iter().map(|(&k, &v)| (k, v)).collect(),
+                children: n
+                    .children
+                    .iter()
+                    .map(|&(key, child)| (key, build(nodes, child)))
+                    .collect(),
+                inlined: false,
+            }
+        }
+        let mut out = ContextProfile::new();
+        for (&guid, &id) in &self.roots {
+            out.roots.insert(guid, build(&self.nodes, id));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +519,42 @@ mod tests {
         cp.set_checksums(&table);
         assert_eq!(cp.roots[&1].checksum, 0xaa);
         assert_eq!(cp.node_for_path(&[fk(1, 3)], 9).unwrap().checksum, 0xbb);
+    }
+
+    #[test]
+    fn builder_matches_btreemap_path() {
+        let hits: Vec<(Vec<FrameKey>, u64, u32, u64)> = vec![
+            (vec![], 1, 1, 5),
+            (vec![fk(1, 3)], 9, 1, 100),
+            (vec![fk(1, 3), fk(9, 2)], 7, 4, 12),
+            (vec![fk(1, 3)], 9, 1, 1), // repeat path reuses interned node
+            (vec![fk(2, 5)], 9, 1, 50),
+        ];
+        let mut reference = ContextProfile::new();
+        let mut builder = ContextTrieBuilder::new();
+        for (path, owner, probe, count) in &hits {
+            reference.add_probe_hit(path, *owner, *probe, *count);
+            builder.add_probe_hit(path, *owner, *probe, *count);
+        }
+        reference.add_entry(&[fk(1, 3)], 9, 7);
+        builder.add_entry(&[fk(1, 3)], 9, 7);
+        let built = builder.into_profile();
+        assert_eq!(built, reference);
+        assert_eq!(
+            serde_json::to_string(&built).unwrap(),
+            serde_json::to_string(&reference).unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_interning_is_stable() {
+        let mut b = ContextTrieBuilder::new();
+        let a = b.intern(&[fk(1, 3)], 9);
+        let again = b.intern(&[fk(1, 3)], 9);
+        assert_eq!(a, again, "same path must intern to the same id");
+        let other = b.intern(&[fk(1, 4)], 9);
+        assert_ne!(a, other);
+        assert_eq!(b.node_count(), 3); // root + two contexts
     }
 
     #[test]

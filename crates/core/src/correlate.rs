@@ -16,14 +16,46 @@
 use crate::profile::{FlatFuncProfile, FlatProfile, LocKey, ProbeFuncProfile, ProbeProfile};
 use crate::ranges::RangeCounts;
 use csspgo_codegen::Binary;
+use std::collections::BTreeSet;
+
+/// GUIDs a flat profile can ask a name for: nested call-site callees.
+fn collect_flat_guids(f: &FlatFuncProfile, out: &mut BTreeSet<u64>) {
+    for (&(_, callee), child) in &f.callsites {
+        out.insert(callee);
+        collect_flat_guids(child, out);
+    }
+}
+
+/// GUIDs a probe profile can ask a name for: nested call-site callees.
+fn collect_probe_guids(f: &ProbeFuncProfile, out: &mut BTreeSet<u64>) {
+    for (&(_, callee), child) in &f.callsites {
+        out.insert(callee);
+        collect_probe_guids(child, out);
+    }
+}
+
+/// Fills `names` from the binary's function table, but only for GUIDs the
+/// profile actually references. The former per-build "clone every function
+/// name" loop was O(program size) per correlation regardless of how little
+/// was profiled; sharing the binary's name table by borrow and copying
+/// just the referenced entries keeps profile construction proportional to
+/// profile content.
+fn name_referenced(
+    names: &mut std::collections::BTreeMap<u64, String>,
+    binary: &Binary,
+    needed: &BTreeSet<u64>,
+) {
+    for &guid in needed {
+        if let Some(f) = binary.func_by_guid(guid) {
+            names.insert(guid, f.name.clone());
+        }
+    }
+}
 
 /// Builds an AutoFDO-style profile from LBR range counts.
 pub fn dwarf_profile(binary: &Binary, rc: &RangeCounts) -> FlatProfile {
     let counts = rc.inst_counts(binary);
     let mut out = FlatProfile::default();
-    for f in &binary.funcs {
-        out.names.insert(f.guid, f.name.clone());
-    }
 
     for (idx, &count) in counts.iter().enumerate() {
         if count == 0 {
@@ -54,6 +86,11 @@ pub fn dwarf_profile(binary: &Binary, rc: &RangeCounts) -> FlatProfile {
     for f in out.funcs.values_mut() {
         f.recompute_totals();
     }
+    let mut needed: BTreeSet<u64> = out.funcs.keys().copied().collect();
+    for f in out.funcs.values() {
+        collect_flat_guids(f, &mut needed);
+    }
+    name_referenced(&mut out.names, binary, &needed);
     out
 }
 
@@ -61,9 +98,6 @@ pub fn dwarf_profile(binary: &Binary, rc: &RangeCounts) -> FlatProfile {
 pub fn probe_profile(binary: &Binary, rc: &RangeCounts) -> ProbeProfile {
     let counts = rc.inst_counts(binary);
     let mut out = ProbeProfile::default();
-    for f in &binary.funcs {
-        out.names.insert(f.guid, f.name.clone());
-    }
 
     for (idx, &count) in counts.iter().enumerate() {
         if count == 0 {
@@ -115,6 +149,11 @@ pub fn probe_profile(binary: &Binary, rc: &RangeCounts) -> ProbeProfile {
     for f in out.funcs.values_mut() {
         f.recompute_totals();
     }
+    let mut needed: BTreeSet<u64> = out.funcs.keys().copied().collect();
+    for f in out.funcs.values() {
+        collect_probe_guids(f, &mut needed);
+    }
+    name_referenced(&mut out.names, binary, &needed);
     out
 }
 

@@ -1,0 +1,108 @@
+//! A fast, non-cryptographic hasher for the correlation kernel's internal
+//! maps (the Fx/rustc multiply-rotate construction).
+//!
+//! The kernel's hot maps — sample dedup keys, context interners, range
+//! memos, trie edges — are keyed by integers and small integer tuples that
+//! the process never exposes to untrusted input, so SipHash's DoS
+//! resistance buys nothing here while costing a large slice of correlate
+//! time (it showed up as the single hottest symbol when profiling the
+//! unwind). Wire formats and user-facing maps keep the std default.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher: one rotate + xor + multiply per 8-byte word.
+#[derive(Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed through [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FastHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let a = (7u64, vec![(1u64, 2u64)], vec![3u64]);
+        let b = (7u64, vec![(1u64, 2u64)], vec![3u64]);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        let hashes: FastSet<u64> = (0u64..10_000).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 10_000, "trivial collisions on dense keys");
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FastMap<(u32, u64), u64> = FastMap::default();
+        for i in 0..1000u64 {
+            *m.entry((i as u32 % 17, i)).or_insert(0) += i;
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(0, 17)], 17);
+    }
+}

@@ -16,6 +16,9 @@
 //!   every LBR range from synchronized LBR + stack samples;
 //! * [`shard`] — parallel sharded sample ingestion (chunk → partial
 //!   profiles → count-additive merge, bit-identical to sequential);
+//! * [`binprof`] — the compact binary profile wire format (ExtBinary-shaped
+//!   header/sections/varints), the production serialization behind
+//!   snapshots and pipeline hand-off; textprof stays the debug format;
 //! * [`tailcall`] — the missing-frame inferrer for tail-call-broken stacks;
 //! * [`inference`] — profile inference (flow-conservation repair, the
 //!   Profi stand-in used by *all* sampling variants, per the paper's setup);
@@ -37,8 +40,10 @@
 //! * [`workload`] — the workload abstraction consumed by the pipelines.
 
 pub mod annotate;
+pub mod binprof;
 pub mod context;
 pub mod correlate;
+pub mod fasthash;
 pub mod inference;
 pub mod merge;
 pub mod overlap;

@@ -317,6 +317,11 @@ pub struct StageTimes {
     pub correlate_ms: f64,
     /// Pre-inliner (full CSSPGO only; 0 otherwise).
     pub preinline_ms: f64,
+    /// Encoding the generated profile to the binprof wire format
+    /// ([`crate::binprof`]); 0 for variants that hand off no profile.
+    pub serialize_ms: f64,
+    /// Decoding the binprof payload back into the compiler-side profile.
+    pub deserialize_ms: f64,
     /// Optimized rebuild (annotate + opt + lowering).
     pub recompile_ms: f64,
     /// Evaluation run on the final binary.
@@ -330,6 +335,8 @@ impl StageTimes {
             + self.simulate_ms
             + self.correlate_ms
             + self.preinline_ms
+            + self.serialize_ms
+            + self.deserialize_ms
             + self.recompile_ms
             + self.evaluate_ms
     }
@@ -355,6 +362,8 @@ pub enum PipelineError {
     InvalidConfig(String),
     /// Malformed profile or snapshot text.
     Profile(crate::textprof::ParseError),
+    /// Malformed binary profile payload (see [`crate::binprof`]).
+    Decode(crate::binprof::DecodeError),
     /// Streaming-aggregation misuse: buffer overflow, binary mismatch,
     /// malformed snapshot structure (see [`crate::stream`]).
     Stream(String),
@@ -369,6 +378,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
             PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PipelineError::Profile(e) => write!(f, "profile data error: {e}"),
+            PipelineError::Decode(e) => write!(f, "profile decode error: {e}"),
             PipelineError::Stream(msg) => write!(f, "stream aggregation error: {msg}"),
             PipelineError::Inconsistent(msg) => write!(f, "internal inconsistency: {msg}"),
         }
@@ -392,6 +402,12 @@ impl From<csspgo_sim::SimError> for PipelineError {
 impl From<crate::textprof::ParseError> for PipelineError {
     fn from(e: crate::textprof::ParseError) -> Self {
         PipelineError::Profile(e)
+    }
+}
+
+impl From<crate::binprof::DecodeError> for PipelineError {
+    fn from(e: crate::binprof::DecodeError) -> Self {
+        PipelineError::Decode(e)
     }
 }
 
@@ -722,6 +738,34 @@ pub fn run_pgo_cycle_with(
     };
     outcome.stage_times.correlate_ms = ms_since(stage_start) - preinline_ms;
     outcome.stage_times.preinline_ms = preinline_ms;
+
+    // ---------- profile hand-off through the binary wire format ----------
+    // Production profiles travel between collector and compiler as binprof
+    // payloads; the pipeline serializes the generated profile and compiles
+    // from the decoded copy, so the wire format is load-bearing — a lossy
+    // encode or a decode regression fails the cycle, and both costs are
+    // visible as stage times.
+    let generated = match generated {
+        Generated::Flat(p) => {
+            let t = Instant::now();
+            let bytes = crate::binprof::encode_flat(&p);
+            outcome.stage_times.serialize_ms = ms_since(t);
+            let t = Instant::now();
+            let decoded = crate::binprof::decode_flat(&bytes)?;
+            outcome.stage_times.deserialize_ms = ms_since(t);
+            Generated::Flat(decoded)
+        }
+        Generated::Probe(p, plan) => {
+            let t = Instant::now();
+            let bytes = crate::binprof::encode_probe(&p);
+            outcome.stage_times.serialize_ms = ms_since(t);
+            let t = Instant::now();
+            let decoded = crate::binprof::decode_probe(&bytes)?;
+            outcome.stage_times.deserialize_ms = ms_since(t);
+            Generated::Probe(decoded, plan)
+        }
+        other => other,
+    };
 
     // ---------- quality snapshot (no replay, common CFG) ----------
     {

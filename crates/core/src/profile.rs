@@ -77,7 +77,7 @@ impl FlatFuncProfile {
 }
 
 /// A whole-program AutoFDO-style profile.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlatProfile {
     /// Top-level (outermost) function profiles by GUID.
     pub funcs: BTreeMap<u64, FlatFuncProfile>,
@@ -131,7 +131,7 @@ impl ProbeFuncProfile {
 }
 
 /// A whole-program probe profile (probe-only CSSPGO).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProbeProfile {
     /// Top-level function profiles by GUID.
     pub funcs: BTreeMap<u64, ProbeFuncProfile>,

@@ -74,8 +74,11 @@ pub struct UnwindOutput {
 }
 
 /// Unwinds `samples` into a [`ContextProfile`], `shards`-way parallel
-/// (`0` = auto). The unwinder processes each sample independently, so
-/// chunking plus [`merge_context`] reproduces the sequential trie exactly.
+/// (`0` = auto). Each shard runs the batched fast path
+/// ([`Unwinder::unwind_batched`]: sample dedup + hash-consed trie), itself
+/// bit-identical to sequential [`Unwinder::unwind_into`]; the unwinder
+/// processes each sample independently, so chunking plus [`merge_context`]
+/// reproduces the sequential trie exactly.
 pub fn sharded_context_profile(
     binary: &Binary,
     tail_graph: Option<&TailCallGraph>,
@@ -84,9 +87,8 @@ pub fn sharded_context_profile(
 ) -> UnwindOutput {
     let shards = resolve_shards(shards, samples.len());
     if shards <= 1 {
-        let mut profile = ContextProfile::new();
         let mut uw = Unwinder::new(binary, tail_graph);
-        uw.unwind_into(samples, &mut profile);
+        let profile = uw.unwind_batched(samples);
         return UnwindOutput {
             profile,
             infer_stats: uw.infer_stats,
@@ -96,9 +98,8 @@ pub fn sharded_context_profile(
     let partials: Vec<(ContextProfile, InferStats, u64)> = chunked(samples, shards)
         .into_par_iter()
         .map(|chunk| {
-            let mut profile = ContextProfile::new();
             let mut uw = Unwinder::new(binary, tail_graph);
-            uw.unwind_into(chunk, &mut profile);
+            let profile = uw.unwind_batched(chunk);
             (profile, uw.infer_stats, uw.broken_stacks)
         })
         .collect();

@@ -12,9 +12,12 @@
 //! * each epoch is ingested with the same sharded machinery as the batch
 //!   pipeline ([`crate::shard`]) and folded into the cumulative profile
 //!   with the count-additive cross-host merge ([`crate::merge`]);
-//! * the cumulative state round-trips through a text snapshot
-//!   ([`StreamAggregator::snapshot`] / [`StreamAggregator::restore`])
-//!   whose context section is the [`crate::textprof`] CS format;
+//! * the cumulative state round-trips through a snapshot — the production
+//!   path is the compact binary format ([`StreamAggregator::snapshot_bin`]
+//!   / [`StreamAggregator::restore_bin`], built on [`crate::binprof`]);
+//!   the text form ([`StreamAggregator::snapshot`] /
+//!   [`StreamAggregator::restore`]) stays as the human-readable debug
+//!   format, losslessly interchangeable with the binary one;
 //! * consecutive epochs are compared for *drift* (distribution overlap of
 //!   probe weights); a stale epoch flags the profile for recompilation via
 //!   the existing [`crate::pipeline::run_pgo_cycle_drifted`] path.
@@ -29,6 +32,7 @@
 //! (typically from a calibration epoch) and persisted inside snapshots;
 //! rebuilding it mid-stream would change how later samples unwind.
 
+use crate::binprof::{self, put_uvarint, Kind};
 use crate::context::ContextProfile;
 use crate::merge::merge_context;
 use crate::pipeline::{PipelineError, StageTimes};
@@ -383,7 +387,9 @@ impl<'b> StreamAggregator<'b> {
     // Snapshot / restore
     // -----------------------------------------------------------------
 
-    /// Serializes the cumulative state to text. The context section is the
+    /// Serializes the cumulative state to text — the human-readable
+    /// **debug** snapshot format (production snapshots use
+    /// [`Self::snapshot_bin`]). The context section is the
     /// [`crate::textprof`] CS format (named via the binary's symbol table
     /// so GUIDs survive the name-hash round-trip); ranges, branches, and
     /// the pinned tail-call graph ride along in sorted line sections, and
@@ -555,6 +561,186 @@ impl<'b> StreamAggregator<'b> {
         }
         Ok(agg)
     }
+
+    /// Serializes the cumulative state to the compact binary snapshot — the
+    /// production snapshot path (the text [`Self::snapshot`] is the debug
+    /// format). Same content as the text snapshot: fingerprint guard,
+    /// epoch/sample counters, pinned tail-call graph, range/branch counts,
+    /// previous-epoch probe weights, and the context profile (as a nested
+    /// [`crate::binprof`] payload — GUIDs are stored natively, so no name
+    /// round-trip is needed). The encoding is canonical: restoring and
+    /// re-snapshotting yields byte-identical output.
+    pub fn snapshot_bin(&self) -> Vec<u8> {
+        let mut buf = binprof::header(Kind::StreamSnapshot);
+
+        let mut meta = Vec::new();
+        put_uvarint(&mut meta, binary_fingerprint(self.binary));
+        put_uvarint(&mut meta, self.epochs_sealed);
+        put_uvarint(&mut meta, self.total_samples);
+        binprof::put_section(&mut buf, binprof::section::STREAM_META, &meta);
+
+        if let Some(g) = &self.tail_graph {
+            let mut edges: Vec<(u32, u32, usize)> = g.edges().collect();
+            edges.sort_unstable();
+            // An edgeless pinned graph is indistinguishable from "no graph"
+            // in the text snapshot; mirror that so the formats stay
+            // losslessly interchangeable.
+            if !edges.is_empty() {
+                let mut sec = Vec::new();
+                put_uvarint(&mut sec, edges.len() as u64);
+                for (caller, callee, inst) in edges {
+                    put_uvarint(&mut sec, u64::from(caller));
+                    put_uvarint(&mut sec, u64::from(callee));
+                    put_uvarint(&mut sec, inst as u64);
+                }
+                binprof::put_section(&mut buf, binprof::section::STREAM_TAILGRAPH, &sec);
+            }
+        }
+
+        let counts_section = |map: &std::collections::HashMap<(usize, usize), u64>| {
+            let mut entries: Vec<((usize, usize), u64)> =
+                map.iter().map(|(&k, &v)| (k, v)).collect();
+            entries.sort_unstable();
+            let mut sec = Vec::new();
+            put_uvarint(&mut sec, entries.len() as u64);
+            let mut prev = 0u64;
+            for ((a, b), c) in entries {
+                put_uvarint(&mut sec, (a as u64).wrapping_sub(prev));
+                put_uvarint(&mut sec, b as u64);
+                put_uvarint(&mut sec, c);
+                prev = a as u64;
+            }
+            sec
+        };
+        binprof::put_section(
+            &mut buf,
+            binprof::section::STREAM_RANGES,
+            &counts_section(&self.rc.ranges),
+        );
+        binprof::put_section(
+            &mut buf,
+            binprof::section::STREAM_BRANCHES,
+            &counts_section(&self.rc.branches),
+        );
+
+        if let Some(w) = self.last_weights.as_ref().filter(|w| !w.is_empty()) {
+            let mut sec = Vec::new();
+            put_uvarint(&mut sec, w.len() as u64);
+            let mut prev = 0u64;
+            for (&(guid, probe), &count) in w {
+                put_uvarint(&mut sec, guid.wrapping_sub(prev));
+                put_uvarint(&mut sec, u64::from(probe));
+                put_uvarint(&mut sec, count);
+                prev = guid;
+            }
+            binprof::put_section(&mut buf, binprof::section::STREAM_WEIGHTS, &sec);
+        }
+
+        binprof::put_section(
+            &mut buf,
+            binprof::section::STREAM_CONTEXT,
+            &binprof::encode_context(&self.profile),
+        );
+        buf
+    }
+
+    /// Rebuilds an aggregator from a [`Self::snapshot_bin`] payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Decode`] when the payload is malformed and
+    /// [`PipelineError::Stream`] when it was taken against a different
+    /// binary build.
+    pub fn restore_bin(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        bytes: &[u8],
+    ) -> Result<Self, PipelineError> {
+        use crate::binprof::DecodeError;
+        let mut r = binprof::check_header(bytes, Kind::StreamSnapshot)?;
+        let sections = binprof::read_sections(&mut r)?;
+        let find = |tag: u8| sections.iter().find(|(t, _)| *t == tag).map(|(_, p)| *p);
+
+        let mut agg = Self::build(binary, config, ingest_shards, None);
+
+        let meta = find(binprof::section::STREAM_META)
+            .ok_or(DecodeError::Corrupt("missing stream metadata section"))?;
+        let mut mr = binprof::Reader::new(meta);
+        let fp = mr.uvarint()?;
+        if fp != binary_fingerprint(binary) {
+            return Err(PipelineError::Stream(
+                "snapshot was taken against a different binary build".into(),
+            ));
+        }
+        agg.epochs_sealed = mr.uvarint()?;
+        agg.total_samples = mr.uvarint()?;
+
+        if let Some(sec) = find(binprof::section::STREAM_TAILGRAPH) {
+            let mut gr = binprof::Reader::new(sec);
+            let n = gr.uvarint()?;
+            let mut graph = TailCallGraph::default();
+            for _ in 0..n {
+                let caller = u32::try_from(gr.uvarint()?)
+                    .map_err(|_| DecodeError::Corrupt("tail-graph caller overflow"))?;
+                let callee = u32::try_from(gr.uvarint()?)
+                    .map_err(|_| DecodeError::Corrupt("tail-graph callee overflow"))?;
+                let inst = gr.uvarint()? as usize;
+                graph.insert_edge(caller, callee, inst);
+            }
+            if n > 0 {
+                agg.tail_graph = Some(graph);
+            }
+        }
+
+        type PairCounts = Vec<((usize, usize), u64)>;
+        let read_counts = |payload: &[u8]| -> Result<PairCounts, DecodeError> {
+            let mut cr = binprof::Reader::new(payload);
+            let n = cr.uvarint()?;
+            let mut out = Vec::new();
+            let mut prev = 0u64;
+            for _ in 0..n {
+                let a = prev.wrapping_add(cr.uvarint()?);
+                let b = cr.uvarint()?;
+                let c = cr.uvarint()?;
+                out.push(((a as usize, b as usize), c));
+                prev = a;
+            }
+            Ok(out)
+        };
+        if let Some(sec) = find(binprof::section::STREAM_RANGES) {
+            for (k, v) in read_counts(sec)? {
+                agg.rc.ranges.insert(k, v);
+            }
+        }
+        if let Some(sec) = find(binprof::section::STREAM_BRANCHES) {
+            for (k, v) in read_counts(sec)? {
+                agg.rc.branches.insert(k, v);
+            }
+        }
+
+        if let Some(sec) = find(binprof::section::STREAM_WEIGHTS) {
+            let mut wr = binprof::Reader::new(sec);
+            let n = wr.uvarint()?;
+            let mut weights: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+            let mut prev = 0u64;
+            for _ in 0..n {
+                let guid = prev.wrapping_add(wr.uvarint()?);
+                let probe = u32::try_from(wr.uvarint()?)
+                    .map_err(|_| DecodeError::Corrupt("weight probe overflow"))?;
+                weights.insert((guid, probe), wr.uvarint()?);
+                prev = guid;
+            }
+            if !weights.is_empty() {
+                agg.last_weights = Some(weights);
+            }
+        }
+
+        let ctx = find(binprof::section::STREAM_CONTEXT)
+            .ok_or(DecodeError::Corrupt("missing stream context section"))?;
+        agg.profile = binprof::decode_context(ctx)?;
+        Ok(agg)
+    }
 }
 
 #[cfg(test)]
@@ -698,6 +884,81 @@ fn serve(n, mode) {
             .unwrap()
             .snapshot();
         assert_eq!(snap, resnap);
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_and_matches_text_restore() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(2600, 1), (2400, 2)]);
+        let graph = calibration_graph(&b, &samples);
+        let (rc_ref, profile_ref) = batch_reference(&b, &graph, &samples);
+
+        let cut = samples.len() / 3;
+        let mut agg =
+            StreamAggregator::with_tail_graph(&b, StreamConfig::default(), 2, graph.clone());
+        agg.push_batch(samples[..cut].to_vec()).unwrap();
+        agg.seal_epoch();
+
+        let text = agg.snapshot();
+        let bin = agg.snapshot_bin();
+        assert!(
+            bin.len() < text.len(),
+            "binary snapshot ({}) should be smaller than text ({})",
+            bin.len(),
+            text.len()
+        );
+
+        // Binary restore resumes exactly like the text restore.
+        let mut resumed =
+            StreamAggregator::restore_bin(&b, StreamConfig::default(), 2, &bin).unwrap();
+        assert_eq!(resumed.epochs_sealed(), 1);
+        assert_eq!(resumed.total_samples(), cut as u64);
+        resumed.push_batch(samples[cut..].to_vec()).unwrap();
+        resumed.seal_epoch();
+        assert_eq!(resumed.context_profile(), &profile_ref);
+        assert_eq!(resumed.range_counts(), &rc_ref);
+
+        // Both formats restore to the same state: text-restored and
+        // binary-restored aggregators re-emit identical binary snapshots.
+        let from_text = StreamAggregator::restore(&b, StreamConfig::default(), 2, &text).unwrap();
+        assert_eq!(from_text.snapshot_bin(), bin);
+
+        // Canonical: restore → re-snapshot is byte-identical.
+        let resnap = StreamAggregator::restore_bin(&b, StreamConfig::default(), 2, &bin)
+            .unwrap()
+            .snapshot_bin();
+        assert_eq!(resnap, bin);
+    }
+
+    #[test]
+    fn binary_restore_rejects_wrong_binary_and_garbage() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(1200, 1)]);
+        let mut agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
+        agg.push_batch(samples).unwrap();
+        agg.seal_epoch();
+        let bin = agg.snapshot_bin();
+
+        let mut m2 =
+            csspgo_lang::compile("fn serve(n, mode) { return n + mode; }", "other").unwrap();
+        csspgo_opt::discriminators::run(&mut m2);
+        csspgo_opt::probes::run(&mut m2);
+        let other = lower_module(&m2, &CodegenConfig::default());
+        let err =
+            StreamAggregator::restore_bin(&other, StreamConfig::default(), 1, &bin).unwrap_err();
+        assert!(matches!(err, PipelineError::Stream(_)), "{err}");
+
+        let err =
+            StreamAggregator::restore_bin(&b, StreamConfig::default(), 1, b"nonsense").unwrap_err();
+        assert!(matches!(err, PipelineError::Decode(_)), "{err}");
+
+        // Truncation anywhere must error, never panic.
+        for cut in [0, 5, 11, bin.len() / 2, bin.len() - 1] {
+            assert!(
+                StreamAggregator::restore_bin(&b, StreamConfig::default(), 1, &bin[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! 2. the **optimized** module after the whole pass pipeline (IR verifier,
 //!    probe invariants — cloned probes must carry duplication factors),
 //! 3. the collected **context profile** (context-tree consistency) and the
-//!    flattened **probe profile** (checksum staleness, probe ranges),
+//!    flattened **probe profile** (checksum staleness, probe ranges) —
+//!    additionally round-tripped through both the text and the binary
+//!    (`binprof`) wire formats, which must produce identical findings,
 //! 4. the **stale matcher** run over the collected profile (`SM` lints: on
 //!    an undrifted build every function must pass through bit-identical,
 //!    with no anchor drift and no matcher-invariant violations),
@@ -27,10 +29,12 @@
 use csspgo::analysis::{render_lint_list, Analyzer, Policy};
 use csspgo::codegen::{lower_module, CodegenConfig};
 use csspgo::core::annotate::{csspgo_annotate, AnnotateConfig};
+use csspgo::core::binprof;
 use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
 use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
 use csspgo::core::stalematch::MatchConfig;
 use csspgo::core::tailcall::TailCallGraph;
+use csspgo::core::textprof::{parse_probe_json, write_probe_json};
 use csspgo::core::Workload;
 use csspgo::sim::{Machine, SimConfig};
 use std::process::ExitCode;
@@ -183,6 +187,26 @@ fn lint_workload(workload: &Workload, analyzer: &mut Analyzer) -> Result<(), Str
         &module,
         &probe_prof,
     );
+
+    // Wire-format equivalence: the same profile loaded back through the
+    // text and the binary format must lint identically — a decoder bug
+    // that perturbs counts or structure shows up as diverging reports.
+    let from_text = parse_probe_json(&write_probe_json(&probe_prof))
+        .map_err(|e| format!("text probe round-trip: {e}"))?;
+    let from_bin = binprof::decode_probe(&binprof::encode_probe(&probe_prof))
+        .map_err(|e| format!("binary probe round-trip: {e}"))?;
+    if from_bin != probe_prof {
+        return Err("binary probe round-trip is not lossless".into());
+    }
+    let mut reports = Vec::new();
+    for prof in [&from_text, &from_bin] {
+        let mut scratch = Analyzer::new(Policy::default());
+        scratch.analyze_probe_profile(&format!("{}/probe-profile", workload.name), &module, prof);
+        reports.push(scratch.into_report().to_json());
+    }
+    if reports[0] != reports[1] {
+        return Err("text-loaded and binary-loaded profiles lint differently".into());
+    }
 
     // Stage 4: the stale matcher over the just-collected profile. The
     // build has not drifted, so every function must pass through
