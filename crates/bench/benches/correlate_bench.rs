@@ -15,7 +15,7 @@ use csspgo_core::context::ContextProfile;
 use csspgo_core::pipeline::PipelineConfig;
 use csspgo_core::ranges::RangeCounts;
 use csspgo_core::shard::sharded_context_profile;
-use csspgo_core::stream::StreamAggregator;
+use csspgo_core::stream::{SnapshotFormat, StreamAggregator};
 use csspgo_core::tailcall::TailCallGraph;
 use csspgo_core::textprof;
 use csspgo_core::unwind::Unwinder;
@@ -126,25 +126,29 @@ fn bench_snapshot(c: &mut Criterion) {
     );
     agg.push_batch(p.samples.clone()).unwrap();
     agg.seal_epoch();
-    let bin = agg.snapshot_bin();
-    let text = agg.snapshot();
+    let bin = agg.snapshot_as(SnapshotFormat::Binary);
+    let text = agg.snapshot_as(SnapshotFormat::Text);
     println!(
         "haas stream snapshot: {} bytes binary, {} bytes text",
         bin.len(),
         text.len()
     );
-    c.bench_function("snapshot/binary", |b| b.iter(|| agg.snapshot_bin().len()));
-    c.bench_function("snapshot/text", |b| b.iter(|| agg.snapshot().len()));
+    c.bench_function("snapshot/binary", |b| {
+        b.iter(|| agg.snapshot_as(SnapshotFormat::Binary).len())
+    });
+    c.bench_function("snapshot/text", |b| {
+        b.iter(|| agg.snapshot_as(SnapshotFormat::Text).len())
+    });
     c.bench_function("restore/binary", |b| {
         b.iter(|| {
-            StreamAggregator::restore_bin(&p.binary, cfg.stream.clone(), cfg.ingest_shards, &bin)
+            StreamAggregator::restore_from(&p.binary, cfg.stream.clone(), cfg.ingest_shards, &bin)
                 .unwrap()
                 .total_samples()
         })
     });
     c.bench_function("restore/text", |b| {
         b.iter(|| {
-            StreamAggregator::restore(&p.binary, cfg.stream.clone(), cfg.ingest_shards, &text)
+            StreamAggregator::restore_from(&p.binary, cfg.stream.clone(), cfg.ingest_shards, &text)
                 .unwrap()
                 .total_samples()
         })

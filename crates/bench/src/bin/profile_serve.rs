@@ -1,244 +1,136 @@
 //! The streaming profile-aggregation service: drives each server workload
-//! as *continuous* traffic, feeding PMU sample batches into a
-//! [`StreamAggregator`] epoch by epoch — the deployment mode the paper's
-//! CSSPGO runs in (AlwaysOn-style collection, periodic profile refreshes)
-//! rather than a one-shot batch cycle.
+//! as *continuous* traffic through the library fleet service
+//! ([`FleetService`]) — one single-version tenant per workload, the
+//! deployment mode the paper's CSSPGO runs in (AlwaysOn-style collection,
+//! periodic profile refreshes) rather than a one-shot batch cycle.
 //!
-//! Per workload the service:
+//! This binary is a thin CLI wrapper: all serving logic (calibration
+//! epoch, steady-state PMU draining, mid-stream snapshot self-check,
+//! drift probe, bounded-queue refreshes) lives in `csspgo_core::fleet`.
+//! The wrapper only builds the tenant specs, maps [`FleetEvent`]s onto the
+//! `BENCH_pipeline.json` record shape (variant column = `epoch-N` /
+//! `drift-probe` / `refresh`), and writes `BENCH_profile_serve.json`
+//! (override with `BENCH_PROFILE_SERVE_OUT`).
 //!
-//! 1. builds the probed profiling binary and runs a *calibration* epoch to
-//!    pin the tail-call graph;
-//! 2. serves the training traffic in epochs, draining the PMU in bounded
-//!    batches and sealing each epoch into the cumulative profile;
-//! 3. snapshot→restore round-trips the aggregator mid-stream — through the
-//!    binary `binprof` wire format by default (`CSSPGO_SNAPSHOT_FORMAT=text`
-//!    selects the human-readable debug format) — and verifies the resumed
-//!    state matches (the epoch invariant, live);
-//! 4. runs the evaluation traffic as a final epoch: if its probe-weight
-//!    overlap drops below the drift threshold, the profile is stale and
-//!    the service triggers a recompilation through the existing
-//!    [`run_pgo_cycle_drifted`] path.
-//!
-//! Per-epoch ingest timings are emitted in the `BENCH_pipeline.json`
-//! record shape (variant column = `epoch-N` / `refresh`), written to
-//! `BENCH_profile_serve.json` (override with `BENCH_PROFILE_SERVE_OUT`).
+//! The snapshot self-check persists through the binary `binprof` wire
+//! format by default; `CSSPGO_SNAPSHOT_FORMAT=text` selects the
+//! human-readable debug format (unknown values warn and fall back).
 
-use csspgo_bench::{traffic_scale, write_pipeline_bench, PipelineBenchRecord};
-use csspgo_core::pipeline::{run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
-use csspgo_core::ranges::RangeCounts;
-use csspgo_core::stalematch::StaleMatching;
-use csspgo_core::stream::StreamAggregator;
-use csspgo_core::tailcall::TailCallGraph;
-use csspgo_core::Workload;
-use csspgo_sim::{Machine, SimConfig};
+use csspgo_bench::{
+    snapshot_format_from_env, traffic_scale, write_pipeline_bench, PipelineBenchRecord,
+};
+use csspgo_core::fleet::{
+    FleetBinaries, FleetConfig, FleetEvent, FleetService, TenantId, TenantSpec,
+};
+use csspgo_core::pipeline::PipelineConfig;
 use csspgo_workloads::drift;
-use std::time::Instant;
+use std::collections::HashMap;
 
 /// Traffic calls per epoch.
 const EPOCH_CALLS: usize = 4;
 /// PMU drain granularity: samples pulled off the machine per batch.
 const BATCH_SAMPLES: usize = 256;
 
-fn ms_since(t: Instant) -> f64 {
-    t.elapsed().as_secs_f64() * 1e3
-}
-
-fn sim_config(cfg: &PipelineConfig) -> SimConfig {
-    SimConfig {
-        lbr_size: cfg.lbr_size,
-        pebs: cfg.pebs,
-        sample_period: cfg.sample_period,
-        seed: cfg.seed,
-        max_steps: cfg.max_steps,
-        ..SimConfig::default()
-    }
-}
-
-/// One workload served end to end; returns its bench records.
-fn serve(workload: &Workload, cfg: &PipelineConfig) -> Vec<PipelineBenchRecord> {
-    let mut records = Vec::new();
-
-    // ---------- probed profiling build ----------
-    let t = Instant::now();
-    let mut module = csspgo_lang::compile(&workload.source, &workload.name)
-        .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-    csspgo_opt::discriminators::run(&mut module);
-    csspgo_opt::probes::run(&mut module);
-    csspgo_opt::run_pipeline(&mut module, &cfg.opt);
-    let binary = csspgo_codegen::lower_module(&module, &cfg.codegen);
-    let compile_ms = ms_since(t);
-
-    let mut machine = Machine::new(&binary, sim_config(cfg));
-    for (name, values) in &workload.setup {
-        machine.set_global(name, values);
-    }
-
-    // ---------- calibration epoch: pin the tail-call graph ----------
-    let calib = workload.train_calls.iter().take(EPOCH_CALLS);
-    let t = Instant::now();
-    for args in calib.clone() {
-        machine
-            .call(&workload.entry, args)
-            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-    }
-    let calib_traffic_ms = ms_since(t);
-    let calib_samples = machine.take_samples();
-    let mut calib_rc = RangeCounts::default();
-    calib_rc.add_samples(&binary, &calib_samples);
-    let graph = TailCallGraph::build(&binary, &calib_rc);
-
-    let mut agg =
-        StreamAggregator::with_tail_graph(&binary, cfg.stream.clone(), cfg.ingest_shards, graph);
-    agg.push_batch(calib_samples)
-        .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-    let summary = agg.seal_epoch();
-    let mut epoch_record = |label: &str, traffic_ms: f64, s: &csspgo_core::EpochSummary| {
-        let mut times = s.stage_times(traffic_ms);
-        times.compile_ms = if s.epoch == 0 { compile_ms } else { 0.0 };
-        records.push(PipelineBenchRecord::labeled(&workload.name, label, &times));
-        println!(
-            "{:>16} {label:>9}: {:6} samples  {:7} nodes  overlap {:.3}{}",
-            workload.name,
-            s.samples,
-            s.nodes_cumulative,
-            s.overlap,
-            if s.stale { "  STALE" } else { "" }
-        );
-    };
-    epoch_record("epoch-0", calib_traffic_ms, &summary);
-
-    // ---------- steady-state epochs over the remaining traffic ----------
-    let mut snapshot_checked = false;
-    for (i, calls) in workload.train_calls[EPOCH_CALLS.min(workload.train_calls.len())..]
-        .chunks(EPOCH_CALLS)
-        .enumerate()
-    {
-        let t = Instant::now();
-        for args in calls {
-            machine
-                .call(&workload.entry, args)
-                .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-        }
-        let traffic_ms = ms_since(t);
-        // Drain the PMU in bounded batches, as a collector daemon would.
-        while machine.pending_samples() > 0 {
-            let batch = machine.take_sample_batch(BATCH_SAMPLES);
-            agg.push_batch(batch)
-                .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-        }
-        let summary = agg.seal_epoch();
-        epoch_record(&format!("epoch-{}", summary.epoch), traffic_ms, &summary);
-
-        // Mid-stream snapshot→restore→resume check, once per workload.
-        // Binary (binprof) is the production snapshot path; set
-        // CSSPGO_SNAPSHOT_FORMAT=text to persist the human-readable debug
-        // format instead. Both formats are verified to restore the exact
-        // aggregator state regardless of which one is persisted.
-        if !snapshot_checked && i == 0 {
-            let text_snapshot = std::env::var("CSSPGO_SNAPSHOT_FORMAT")
-                .map(|v| v.eq_ignore_ascii_case("text"))
-                .unwrap_or(false);
-            let bin = agg.snapshot_bin();
-            let text = agg.snapshot();
-            let from_bin =
-                StreamAggregator::restore_bin(&binary, cfg.stream.clone(), cfg.ingest_shards, &bin)
-                    .unwrap_or_else(|e| {
-                        panic!("{}: binary snapshot restore failed: {e}", workload.name)
-                    });
-            let from_text =
-                StreamAggregator::restore(&binary, cfg.stream.clone(), cfg.ingest_shards, &text)
-                    .unwrap_or_else(|e| panic!("{}: snapshot restore failed: {e}", workload.name));
-            for restored in [&from_bin, &from_text] {
-                assert_eq!(
-                    restored.context_profile(),
-                    agg.context_profile(),
-                    "{}: restored profile diverged from live aggregator",
-                    workload.name
-                );
-                assert_eq!(restored.total_samples(), agg.total_samples());
-            }
-            let (fmt, size) = if text_snapshot {
-                ("text", text.len())
-            } else {
-                ("binary", bin.len())
-            };
-            println!(
-                "{:>16} snapshot : {fmt} {size} bytes ({} bin / {} text), \
-                 both formats restore bit-identical",
-                workload.name,
-                bin.len(),
-                text.len()
-            );
-            snapshot_checked = true;
-        }
-    }
-
-    // ---------- drift probe: evaluation traffic as the final epoch ----------
-    let t = Instant::now();
-    for args in &workload.eval_calls {
-        machine
-            .call(&workload.entry, args)
-            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-    }
-    let traffic_ms = ms_since(t);
-    while machine.pending_samples() > 0 {
-        let batch = machine.take_sample_batch(BATCH_SAMPLES);
-        agg.push_batch(batch)
-            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
-    }
-    let summary = agg.seal_epoch();
-    epoch_record("drift-probe", traffic_ms, &summary);
-
-    let profile = agg.to_probe_profile(cfg.trim_threshold);
-    println!(
-        "{:>16} final    : {} epochs, {} samples, probe profile total {}",
-        workload.name,
-        agg.epochs_sealed(),
-        agg.total_samples(),
-        profile.total()
-    );
-
-    // A stale profile triggers a refresh: recompile through the drifted
-    // cycle (profile collected on the old source, build uses new code).
-    // The refresh opts into stale matching — a service living off periodic
-    // refreshes is exactly where checksum-gated count drops hurt — and the
-    // salvage counters ride into the bench record.
-    if agg.is_stale() {
-        let mut refresh_cfg = cfg.clone();
-        refresh_cfg.annotate.stale_matching = StaleMatching::Recover;
-        let drifted_src = drift::insert_body_comments(&workload.source);
-        let outcome =
-            run_pgo_cycle_drifted(workload, PgoVariant::CsspgoFull, &refresh_cfg, &drifted_src)
-                .unwrap_or_else(|e| panic!("{}: refresh cycle failed: {e}", workload.name));
-        records.push(
-            PipelineBenchRecord::labeled(&workload.name, "refresh", &outcome.stage_times)
-                .with_stale(
-                    outcome.annotate_stats.stale_dropped,
-                    outcome.annotate_stats.stale_recovered,
-                ),
-        );
-        println!(
-            "{:>16} refresh  : drift-triggered recompile, eval {} cycles, \
-             {} stale dropped / {} recovered",
-            workload.name,
-            outcome.eval.cycles,
-            outcome.annotate_stats.stale_dropped,
-            outcome.annotate_stats.stale_recovered
-        );
-    }
-
-    records
-}
-
 fn main() {
-    let cfg = PipelineConfig::builder()
+    let pipeline = PipelineConfig::builder()
         .build()
         .expect("default service config is valid");
+    let trim_threshold = pipeline.trim_threshold;
+    let cfg = FleetConfig::builder()
+        .pipeline(pipeline)
+        .epoch_calls(EPOCH_CALLS)
+        .batch_samples(BATCH_SAMPLES)
+        .snapshot_format(snapshot_format_from_env())
+        .build()
+        .expect("default fleet config is valid");
     let scale = traffic_scale();
 
+    // One single-version tenant per server workload; a drift refresh
+    // rebuilds against cosmetically-changed source (the stale-profile
+    // path a service living off periodic refreshes exercises).
+    let specs: Vec<TenantSpec> = csspgo_workloads::server_workloads()
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut spec = TenantSpec::single_version(TenantId(i as u32), w.scaled(scale));
+            spec.refresh_source = Some(drift::insert_body_comments(&spec.workload.source));
+            spec
+        })
+        .collect();
+    let names: HashMap<TenantId, String> = specs
+        .iter()
+        .map(|s| (s.id, s.workload.name.clone()))
+        .collect();
+
+    let binaries = FleetBinaries::compile(&specs, &cfg)
+        .unwrap_or_else(|e| panic!("fleet compile failed: {e}"));
+    let mut service = FleetService::new(&binaries, cfg);
+    let run = service
+        .run()
+        .unwrap_or_else(|e| panic!("fleet serve failed: {e}"));
+
     let mut records = Vec::new();
-    for workload in csspgo_workloads::server_workloads() {
-        records.extend(serve(&workload.scaled(scale), &cfg));
+    for event in &run.events {
+        match event {
+            FleetEvent::Epoch(e) => {
+                records.push(PipelineBenchRecord::labeled(
+                    &e.workload,
+                    &e.label,
+                    &e.stage_times,
+                ));
+                println!(
+                    "{:>16} {:>11}: {:6} samples  {:7} nodes  overlap {:.3}{}",
+                    e.workload,
+                    e.label,
+                    e.summary.samples,
+                    e.summary.nodes_cumulative,
+                    e.summary.overlap,
+                    if e.summary.stale { "  STALE" } else { "" }
+                );
+            }
+            FleetEvent::SnapshotChecked {
+                tenant,
+                format,
+                bytes,
+                ..
+            } => {
+                println!(
+                    "{:>16} {:>11}: {format} {bytes} bytes, restores bit-identical",
+                    names[tenant], "snapshot"
+                );
+            }
+            FleetEvent::Refresh(e) => {
+                records.push(
+                    PipelineBenchRecord::labeled(&e.workload, "refresh", &e.stage_times)
+                        .with_stale(e.stale_dropped, e.stale_recovered),
+                );
+                println!(
+                    "{:>16} {:>11}: drift-triggered recompile, eval {} cycles, \
+                     {} stale dropped / {} recovered",
+                    e.workload, "refresh", e.eval_cycles, e.stale_dropped, e.stale_recovered
+                );
+            }
+            FleetEvent::RefreshDropped { tenant, .. } => {
+                println!(
+                    "{:>16} {:>11}: refresh dropped at the bounded queue",
+                    names[tenant], "refresh"
+                );
+            }
+        }
+    }
+
+    for (id, version) in service.registry() {
+        let agg = service
+            .aggregator(id, &version)
+            .expect("registry entries resolve");
+        println!(
+            "{:>16} {:>11}: {} epochs, {} samples, probe profile total {}",
+            names[&id],
+            "final",
+            agg.epochs_sealed(),
+            agg.total_samples(),
+            agg.to_probe_profile(trim_threshold).total()
+        );
     }
 
     let path = std::env::var("BENCH_PROFILE_SERVE_OUT")

@@ -7,8 +7,9 @@
 //! variants' presentation order before the behavioural-equivalence check,
 //! so completion order never changes what gets compared or printed.
 
+use csspgo_core::fleet::{EpochEvent, FleetStats, RefreshEvent};
 use csspgo_core::pipeline::{run_pgo_cycle, PgoOutcome, PgoVariant, PipelineConfig, StageTimes};
-use csspgo_core::Workload;
+use csspgo_core::{SnapshotFormat, Workload};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -24,6 +25,23 @@ pub fn traffic_scale() -> f64 {
             Err(_) => {
                 eprintln!("warning: CSSPGO_SCALE={raw:?} is not a number; using scale 1.0");
                 1.0
+            }
+        },
+    }
+}
+
+/// Snapshot wire format for the serving bins' mid-stream self-check;
+/// override with `CSSPGO_SNAPSHOT_FORMAT=text|binary`. An unrecognized
+/// value warns on stderr and falls back to binary (the production
+/// format), following the [`traffic_scale`] convention.
+pub fn snapshot_format_from_env() -> SnapshotFormat {
+    match std::env::var("CSSPGO_SNAPSHOT_FORMAT") {
+        Err(_) => SnapshotFormat::Binary,
+        Ok(raw) => match raw.parse() {
+            Ok(fmt) => fmt,
+            Err(e) => {
+                eprintln!("warning: CSSPGO_SNAPSHOT_FORMAT: {e}; using binary");
+                SnapshotFormat::Binary
             }
         },
     }
@@ -280,6 +298,146 @@ pub fn read_pipeline_bench(path: &str) -> Option<Vec<PrevBenchRecord>> {
     }
 }
 
+/// Schema tag on `BENCH_profile_fleet.json`.
+pub const FLEET_SCHEMA: &str = "csspgo-fleet-v1";
+
+/// One per-tenant epoch row of `BENCH_profile_fleet.json`: the
+/// [`PipelineBenchRecord`] stage columns plus fleet context — tenant,
+/// version, residency, and eviction counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetBenchRecord {
+    /// Record-shape version ([`FLEET_SCHEMA`]).
+    pub schema: String,
+    /// Tenant id (`t0`, `t1`, …).
+    pub tenant: String,
+    pub workload: String,
+    /// Binary version label (`v0`, `v1`, …).
+    pub version: String,
+    /// Row label: `epoch-N`, `drift-probe`, or `refresh`.
+    pub label: String,
+    pub samples: u64,
+    /// Epoch-to-epoch probe-weight overlap (1.0 for non-epoch rows).
+    pub overlap: f64,
+    pub stale: bool,
+    /// Context nodes resident after the row (beyond base profiles).
+    pub resident_contexts: usize,
+    /// Subtrees evicted by this row's cap enforcement.
+    pub evicted_subtrees: usize,
+    /// Weight this row's eviction folded into base profiles.
+    pub evicted_weight: u64,
+    pub total_ms: f64,
+    /// Stale-matching counters (refresh rows only).
+    pub stale_dropped: usize,
+    pub stale_recovered: usize,
+}
+
+impl FleetBenchRecord {
+    /// Builds an epoch row from a fleet [`EpochEvent`].
+    pub fn epoch(e: &EpochEvent) -> Self {
+        FleetBenchRecord {
+            schema: FLEET_SCHEMA.to_string(),
+            tenant: e.tenant.to_string(),
+            workload: e.workload.clone(),
+            version: e.version.clone(),
+            label: e.label.clone(),
+            samples: e.summary.samples as u64,
+            overlap: e.summary.overlap,
+            stale: e.summary.stale,
+            resident_contexts: e.resident_contexts,
+            evicted_subtrees: e.evicted_this_epoch.subtrees,
+            evicted_weight: e.evicted_this_epoch.weight_folded,
+            total_ms: e.stage_times.total_ms(),
+            stale_dropped: 0,
+            stale_recovered: 0,
+        }
+    }
+
+    /// Builds a refresh row from a fleet [`RefreshEvent`].
+    pub fn refresh(e: &RefreshEvent) -> Self {
+        FleetBenchRecord {
+            schema: FLEET_SCHEMA.to_string(),
+            tenant: e.tenant.to_string(),
+            workload: e.workload.clone(),
+            version: e.version.clone(),
+            label: "refresh".to_string(),
+            samples: 0,
+            overlap: 1.0,
+            stale: true,
+            resident_contexts: 0,
+            evicted_subtrees: 0,
+            evicted_weight: 0,
+            total_ms: e.stage_times.total_ms(),
+            stale_dropped: e.stale_dropped,
+            stale_recovered: e.stale_recovered,
+        }
+    }
+}
+
+/// Fleet-wide aggregates of `BENCH_profile_fleet.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetBenchAggregates {
+    pub tenants: usize,
+    pub versions: usize,
+    pub epochs_sealed: u64,
+    pub total_samples: u64,
+    /// Context nodes resident across the fleet at the end of the run.
+    pub resident_contexts: usize,
+    /// Cold-context subtrees evicted fleet-wide.
+    pub evicted_subtrees: usize,
+    /// Weight folded into base profiles fleet-wide (conserved).
+    pub evicted_weight: u64,
+    /// Drift refreshes that ran.
+    pub refreshes_triggered: usize,
+    /// Drift refreshes dropped at the bounded queue.
+    pub refreshes_dropped: usize,
+}
+
+impl From<FleetStats> for FleetBenchAggregates {
+    fn from(s: FleetStats) -> Self {
+        FleetBenchAggregates {
+            tenants: s.tenants,
+            versions: s.versions,
+            epochs_sealed: s.epochs_sealed,
+            total_samples: s.total_samples,
+            resident_contexts: s.resident_contexts,
+            evicted_subtrees: s.evicted.subtrees,
+            evicted_weight: s.evicted.weight_folded,
+            refreshes_triggered: s.refreshes_triggered,
+            refreshes_dropped: s.refreshes_dropped,
+        }
+    }
+}
+
+/// The `BENCH_profile_fleet.json` document: per-tenant rows + aggregates.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetBenchReport {
+    /// Record-shape version ([`FLEET_SCHEMA`]).
+    pub schema: String,
+    pub records: Vec<FleetBenchRecord>,
+    pub aggregates: FleetBenchAggregates,
+}
+
+impl FleetBenchReport {
+    /// Assembles the document (stamps the schema tag).
+    pub fn new(records: Vec<FleetBenchRecord>, stats: FleetStats) -> Self {
+        FleetBenchReport {
+            schema: FLEET_SCHEMA.to_string(),
+            records,
+            aggregates: stats.into(),
+        }
+    }
+}
+
+/// Writes the fleet report as pretty JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_fleet_bench(path: &str, report: &FleetBenchReport) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report).expect("fleet records always serialize");
+    std::fs::write(path, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +520,60 @@ fn work(n) {
         assert!(json.contains("\"schema\""), "{json}");
         assert!(json.contains("\"stale_recovered\":5"), "{json}");
         assert!(json.contains("hhvm"), "{json}");
+    }
+
+    #[test]
+    fn fleet_report_serializes() {
+        use csspgo_core::fleet::TenantId;
+        use csspgo_core::{EpochSummary, EvictStats};
+
+        let epoch = EpochEvent {
+            tenant: TenantId(3),
+            workload: "ad_ranker".to_string(),
+            version: "v1".to_string(),
+            label: "epoch-2".to_string(),
+            summary: EpochSummary {
+                epoch: 2,
+                samples: 512,
+                overlap: 0.9,
+                ..EpochSummary::default()
+            },
+            stage_times: StageTimes {
+                simulate_ms: 2.0,
+                correlate_ms: 1.0,
+                ..StageTimes::default()
+            },
+            resident_contexts: 40,
+            evicted_this_epoch: EvictStats {
+                subtrees: 2,
+                nodes_folded: 5,
+                weight_folded: 99,
+            },
+            evicted_total: EvictStats::default(),
+        };
+        let refresh = RefreshEvent {
+            tenant: TenantId(3),
+            workload: "ad_ranker".to_string(),
+            version: "v1".to_string(),
+            stage_times: StageTimes::default(),
+            stale_dropped: 1,
+            stale_recovered: 4,
+            eval_cycles: 1000,
+        };
+        let records = vec![
+            FleetBenchRecord::epoch(&epoch),
+            FleetBenchRecord::refresh(&refresh),
+        ];
+        assert_eq!(records[0].tenant, "t3");
+        assert_eq!(records[0].evicted_weight, 99);
+        assert_eq!(records[1].label, "refresh");
+        assert_eq!(records[1].stale_recovered, 4);
+
+        let report = FleetBenchReport::new(records, FleetStats::default());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains(FLEET_SCHEMA), "{json}");
+        assert!(json.contains("\"resident_contexts\""), "{json}");
+        assert!(json.contains("\"refreshes_triggered\""), "{json}");
     }
 
     #[test]

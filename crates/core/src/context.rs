@@ -195,6 +195,31 @@ impl ContextProfile {
             .retain(|_, n| n.entry > 0 || !n.probes.is_empty() || !n.children.is_empty());
     }
 
+    /// Evicts one depth-1 context subtree — root `root` calling `callee`
+    /// through call-site probe `probe` — folding every count in the subtree
+    /// context-insensitively into the functions' base/root profiles (the
+    /// same conservation rule as [`Self::trim_cold`]). This is the
+    /// compaction granule of the fleet's shared context store: cold
+    /// subtrees stop costing trie nodes but their weight survives, so
+    /// [`Self::total`] is unchanged.
+    ///
+    /// Returns `(nodes_detached, weight_folded)` — the subtree's node count
+    /// and total sample weight — or `None` when no such edge exists.
+    pub fn evict_subtree(&mut self, root: u64, probe: u32, callee: u64) -> Option<(usize, u64)> {
+        let node = self
+            .roots
+            .get_mut(&root)?
+            .children
+            .remove(&(probe, callee))?;
+        let nodes = node.node_count();
+        let weight = node.total();
+        let mut queue = vec![node];
+        while let Some(n) = queue.pop() {
+            self.merge_into_base(n, &mut queue);
+        }
+        Some((nodes, weight))
+    }
+
     /// Merges a detached context node into its function's root profile,
     /// queueing its children for the same treatment.
     fn merge_into_base(&mut self, node: ContextNode, queue: &mut Vec<ContextNode>) {
@@ -507,6 +532,27 @@ mod tests {
         // Total weight is conserved: 5 (main) + 100 (inlined) + 40 (base).
         let total: u64 = pp.funcs.values().map(|f| f.total).sum();
         assert_eq!(total, 145);
+    }
+
+    #[test]
+    fn evict_subtree_conserves_totals() {
+        let mut cp = ContextProfile::new();
+        cp.add_probe_hit(&[], 1, 2, 5); // root body
+        cp.add_probe_hit(&[fk(1, 3)], 9, 1, 100); // context to evict
+        cp.add_probe_hit(&[fk(1, 3), fk(9, 2)], 7, 4, 12); // nested context
+        cp.add_probe_hit(&[fk(1, 4)], 9, 1, 40); // same callee, other context
+        let before_total = cp.total();
+        let (nodes, weight) = cp.evict_subtree(1, 3, 9).expect("edge exists");
+        assert_eq!(nodes, 2, "callee + nested grand-callee detached");
+        assert_eq!(weight, 112);
+        assert_eq!(cp.total(), before_total, "eviction must conserve weight");
+        // Counts fold into base profiles; the surviving context is intact.
+        assert_eq!(cp.roots[&9].probes[&1], 100);
+        assert_eq!(cp.roots[&7].probes[&4], 12);
+        assert_eq!(cp.node_for_path(&[fk(1, 4)], 9).unwrap().probes[&1], 40);
+        // Evicting a missing edge is a no-op.
+        assert!(cp.evict_subtree(1, 3, 9).is_none());
+        assert!(cp.evict_subtree(42, 0, 0).is_none());
     }
 
     #[test]

@@ -1,0 +1,1225 @@
+//! The multi-tenant profile-continuum fleet service.
+//!
+//! The paper's CSSPGO deployment is fleet-scale: AlwaysOn sampling across
+//! many services and binary versions, with periodic profile refreshes.
+//! This module is that service surface, composing three existing
+//! subsystems — [`crate::stream`] epoch aggregation, [`crate::shard`]'s
+//! bit-identical sharded ingestion (inside every aggregator), and the
+//! [`crate::stalematch`] recovery path — behind one library API:
+//!
+//! * a [`TenantId`]-keyed registry of tenants, each serving M binary
+//!   versions, each version wrapping its own [`StreamAggregator`];
+//! * concurrent epoch ingestion: each service round fans out across
+//!   tenants with rayon ([`FleetService::run_round`]) — per-tenant state
+//!   is disjoint, so the fan-out is trivially deterministic and every
+//!   tenant's profile stays *bit-identical* to serving it alone;
+//! * a context-profile store kept under a resident-node cap by
+//!   cold-context eviction: depth-1 trie subtrees are tracked
+//!   LRU-by-epoch ([`ContextEdge`] granules) and the coldest are folded
+//!   into the per-function base profiles
+//!   ([`StreamAggregator::evict_contexts`]) — totals are conserved, so
+//!   bounding memory never drops weight;
+//! * per-tenant drift watchdogs: the final eval epoch doubles as a drift
+//!   probe, and stale versions schedule recompiles through a *bounded*
+//!   refresh queue into the [`StaleMatching::Recover`] pipeline path
+//!   (overflow is recorded, not silently grown).
+//!
+//! Construction is two-phase because [`StreamAggregator`] (and
+//! [`Machine`]) borrow the profiled [`Binary`]: [`FleetBinaries::compile`]
+//! owns the compiled artifacts, then [`FleetService::new`] borrows them
+//! for the serving lifetime. `profile_serve` (one tenant at a time) and
+//! `profile_fleet` (N tenants × M versions) are both thin CLI wrappers
+//! over this type.
+
+use crate::context::ContextProfile;
+use crate::pipeline::{
+    run_pgo_cycle_drifted, PgoVariant, PipelineConfig, PipelineError, StageTimes,
+};
+use crate::ranges::RangeCounts;
+use crate::stalematch::StaleMatching;
+use crate::stream::{ContextEdge, EpochSummary, EvictStats, SnapshotFormat, StreamAggregator};
+use crate::tailcall::TailCallGraph;
+use crate::workload::Workload;
+use csspgo_codegen::Binary;
+use csspgo_sim::{Machine, SimConfig};
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Identity and specs
+// ---------------------------------------------------------------------
+
+/// Opaque tenant identity — the registry key for one served workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One binary version of a tenant's service: a release label plus the
+/// source it was built from.
+#[derive(Clone, Debug)]
+pub struct VersionSpec {
+    /// Release label (e.g. `v0`, `v1`).
+    pub label: String,
+    /// MiniLang source of this release.
+    pub source: String,
+}
+
+/// Everything the fleet needs to serve one tenant.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Registry key; must be unique across the fleet.
+    pub id: TenantId,
+    /// The workload supplying traffic (train/eval request streams and
+    /// staged globals). `workload.source` is only used as the profiling
+    /// source of a version whose [`VersionSpec::source`] equals it.
+    pub workload: Workload,
+    /// Binary versions served concurrently (canary + stable, etc.).
+    pub versions: Vec<VersionSpec>,
+    /// Source of the *next* release a drift-triggered refresh builds
+    /// against (profile collected on the stale version, build on this).
+    /// `None` rebuilds the drifted version's own source.
+    pub refresh_source: Option<String>,
+}
+
+impl TenantSpec {
+    /// A single-version tenant serving `workload` as release `v0`.
+    pub fn single_version(id: TenantId, workload: Workload) -> Self {
+        let source = workload.source.clone();
+        TenantSpec {
+            id,
+            workload,
+            versions: vec![VersionSpec {
+                label: "v0".to_string(),
+                source,
+            }],
+            refresh_source: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Fleet-service knobs, validated by [`FleetConfig::builder`] (mirroring
+/// [`PipelineConfig::builder`]).
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// The per-tenant pipeline knobs (sampling, opt, annotate, stream).
+    pub pipeline: PipelineConfig,
+    /// Traffic calls folded per epoch.
+    pub epoch_calls: usize,
+    /// PMU drain granularity: samples pulled off a machine per batch.
+    pub batch_samples: usize,
+    /// Resident context-node cap **per tenant-version** (`0` =
+    /// unbounded), counted as [`StreamAggregator::resident_contexts`] —
+    /// trie nodes beyond the per-function base profiles. The fleet-wide
+    /// footprint is bounded by `cap × versions`; keeping the slice per
+    /// version keeps eviction a pure function of that version's own
+    /// stream, which is what makes fleet serving bit-identical to solo
+    /// serving.
+    pub resident_cap: usize,
+    /// Bounded depth of the drift-refresh queue; watchdog requests past
+    /// this are dropped (and counted), never queued unboundedly.
+    pub refresh_queue_cap: usize,
+    /// Wire format used for the mid-stream snapshot self-check.
+    pub snapshot_format: SnapshotFormat,
+    /// Whether to snapshot→restore→compare each aggregator once
+    /// mid-stream (the epoch invariant, live).
+    pub snapshot_check: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            pipeline: PipelineConfig::default(),
+            epoch_calls: 4,
+            batch_samples: 256,
+            resident_cap: 0,
+            refresh_queue_cap: 8,
+            snapshot_format: SnapshotFormat::Binary,
+            snapshot_check: true,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            cfg: FleetConfig::default(),
+        }
+    }
+
+    /// Checks invariants the service relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for an impossible knob
+    /// combination (zero epoch size, zero batch size, zero queue depth,
+    /// or an invalid inner pipeline config).
+    pub fn validate(&self) -> Result<(), FleetError> {
+        let fail = |msg: String| Err(FleetError::InvalidConfig(msg));
+        if self.epoch_calls == 0 {
+            return fail("epoch_calls must be non-zero: an epoch must carry traffic".into());
+        }
+        if self.batch_samples == 0 {
+            return fail(
+                "batch_samples must be non-zero: the PMU drain would never advance".into(),
+            );
+        }
+        if self.refresh_queue_cap == 0 {
+            return fail(
+                "refresh_queue_cap must be non-zero: every drift refresh would be dropped".into(),
+            );
+        }
+        self.pipeline
+            .validate()
+            .map_err(|e| FleetError::InvalidConfig(e.to_string()))
+    }
+}
+
+/// Builder for [`FleetConfig`]; [`FleetConfigBuilder::build`] validates.
+#[derive(Clone, Debug, Default)]
+pub struct FleetConfigBuilder {
+    cfg: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the inner pipeline configuration.
+    #[must_use]
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.cfg.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the traffic calls folded per epoch.
+    #[must_use]
+    pub fn epoch_calls(mut self, calls: usize) -> Self {
+        self.cfg.epoch_calls = calls;
+        self
+    }
+
+    /// Sets the PMU drain batch size.
+    #[must_use]
+    pub fn batch_samples(mut self, samples: usize) -> Self {
+        self.cfg.batch_samples = samples;
+        self
+    }
+
+    /// Sets the per-version resident context-node cap (`0` = unbounded).
+    #[must_use]
+    pub fn resident_cap(mut self, cap: usize) -> Self {
+        self.cfg.resident_cap = cap;
+        self
+    }
+
+    /// Sets the bounded refresh-queue depth.
+    #[must_use]
+    pub fn refresh_queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.refresh_queue_cap = cap;
+        self
+    }
+
+    /// Sets the snapshot wire format for the mid-stream self-check.
+    #[must_use]
+    pub fn snapshot_format(mut self, format: SnapshotFormat) -> Self {
+        self.cfg.snapshot_format = format;
+        self
+    }
+
+    /// Enables or disables the mid-stream snapshot self-check.
+    #[must_use]
+    pub fn snapshot_check(mut self, check: bool) -> Self {
+        self.cfg.snapshot_check = check;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetConfig::validate`].
+    pub fn build(self) -> Result<FleetConfig, FleetError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Fleet-service failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A configuration combination rejected by [`FleetConfig::validate`].
+    InvalidConfig(String),
+    /// The fleet was given no tenants to serve.
+    NoTenants,
+    /// Two tenant specs share a [`TenantId`].
+    DuplicateTenant(TenantId),
+    /// A tenant spec carries no binary versions.
+    NoVersions(TenantId),
+    /// The mid-stream snapshot self-check restored to a different state —
+    /// the epoch invariant is broken for this tenant-version.
+    SnapshotDiverged {
+        /// Tenant whose check failed.
+        tenant: TenantId,
+        /// Version label whose check failed.
+        version: String,
+    },
+    /// An underlying pipeline stage failed (compile, simulate, refresh).
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig(msg) => write!(f, "invalid fleet configuration: {msg}"),
+            FleetError::NoTenants => write!(f, "fleet has no tenants"),
+            FleetError::DuplicateTenant(id) => write!(f, "duplicate tenant id {id}"),
+            FleetError::NoVersions(id) => write!(f, "tenant {id} has no binary versions"),
+            FleetError::SnapshotDiverged { tenant, version } => write!(
+                f,
+                "snapshot self-check diverged for tenant {tenant} version {version}"
+            ),
+            FleetError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for FleetError {
+    fn from(e: PipelineError) -> Self {
+        FleetError::Pipeline(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled fleet (phase 1: owns the binaries)
+// ---------------------------------------------------------------------
+
+struct CompiledVersion {
+    label: String,
+    source: String,
+    binary: Binary,
+    compile_ms: f64,
+}
+
+struct TenantBinaries {
+    spec: TenantSpec,
+    versions: Vec<CompiledVersion>,
+}
+
+/// The compiled fleet: owns every tenant's binaries so a
+/// [`FleetService`] can borrow them (aggregators and machines hold
+/// `&Binary` for their whole lifetime).
+pub struct FleetBinaries {
+    tenants: Vec<TenantBinaries>,
+}
+
+impl FleetBinaries {
+    /// Validates the specs and compiles every tenant × version probed
+    /// profiling binary, fanning the builds out with rayon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::NoTenants`] / [`FleetError::DuplicateTenant`]
+    /// / [`FleetError::NoVersions`] for malformed fleets and
+    /// [`FleetError::Pipeline`] when a source fails to compile.
+    pub fn compile(specs: &[TenantSpec], cfg: &FleetConfig) -> Result<FleetBinaries, FleetError> {
+        cfg.validate()?;
+        if specs.is_empty() {
+            return Err(FleetError::NoTenants);
+        }
+        let mut seen = BTreeSet::new();
+        for spec in specs {
+            if !seen.insert(spec.id) {
+                return Err(FleetError::DuplicateTenant(spec.id));
+            }
+            if spec.versions.is_empty() {
+                return Err(FleetError::NoVersions(spec.id));
+            }
+        }
+
+        // Flatten to (tenant, version) build units so rayon spreads the
+        // compiles evenly even when version counts are uneven.
+        let units: Vec<(usize, &VersionSpec)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, spec)| spec.versions.iter().map(move |v| (ti, v)))
+            .collect();
+        let compiled: Vec<Result<(usize, CompiledVersion), PipelineError>> = units
+            .into_par_iter()
+            .map(|(ti, v)| {
+                let t = Instant::now();
+                let name = format!("{}-{}", specs[ti].workload.name, v.label);
+                let mut module =
+                    csspgo_lang::compile(&v.source, &name).map_err(PipelineError::Compile)?;
+                csspgo_opt::discriminators::run(&mut module);
+                csspgo_opt::probes::run(&mut module);
+                csspgo_opt::run_pipeline(&mut module, &cfg.pipeline.opt);
+                let binary = csspgo_codegen::lower_module(&module, &cfg.pipeline.codegen);
+                Ok((
+                    ti,
+                    CompiledVersion {
+                        label: v.label.clone(),
+                        source: v.source.clone(),
+                        binary,
+                        compile_ms: t.elapsed().as_secs_f64() * 1e3,
+                    },
+                ))
+            })
+            .collect();
+
+        let mut tenants: Vec<TenantBinaries> = specs
+            .iter()
+            .map(|spec| TenantBinaries {
+                spec: spec.clone(),
+                versions: Vec::new(),
+            })
+            .collect();
+        // The shim preserves input order, so versions land back in spec
+        // order within each tenant.
+        for unit in compiled {
+            let (ti, version) = unit?;
+            tenants[ti].versions.push(version);
+        }
+        Ok(FleetBinaries { tenants })
+    }
+
+    /// Tenants in the compiled fleet.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Total binary versions across all tenants.
+    pub fn version_count(&self) -> usize {
+        self.tenants.iter().map(|t| t.versions.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// One sealed epoch on one tenant-version.
+#[derive(Clone, Debug)]
+pub struct EpochEvent {
+    /// Tenant the epoch belongs to.
+    pub tenant: TenantId,
+    /// Workload display name.
+    pub workload: String,
+    /// Version label the epoch ran on.
+    pub version: String,
+    /// Row label (`epoch-N` / `drift-probe`), matching the
+    /// `BENCH_pipeline.json` variant-column convention.
+    pub label: String,
+    /// What the seal did (sizes, stage times, drift verdict).
+    pub summary: EpochSummary,
+    /// Bench-record stage times (traffic time + aggregation split;
+    /// `compile_ms` set on the calibration epoch only).
+    pub stage_times: StageTimes,
+    /// Context-trie nodes resident after the seal (and any eviction).
+    pub resident_contexts: usize,
+    /// Eviction done by *this* epoch's cap enforcement.
+    pub evicted_this_epoch: EvictStats,
+    /// Cumulative eviction on this tenant-version so far.
+    pub evicted_total: EvictStats,
+}
+
+/// One drift-triggered refresh recompile that ran to completion.
+#[derive(Clone, Debug)]
+pub struct RefreshEvent {
+    /// Tenant that drifted.
+    pub tenant: TenantId,
+    /// Workload display name.
+    pub workload: String,
+    /// Version label whose profile went stale.
+    pub version: String,
+    /// Stage times of the full refresh PGO cycle.
+    pub stage_times: StageTimes,
+    /// Checksum-gated functions dropped during annotation.
+    pub stale_dropped: usize,
+    /// Checksum-gated functions the stale matcher salvaged.
+    pub stale_recovered: usize,
+    /// Evaluation cycles of the refreshed binary.
+    pub eval_cycles: u64,
+}
+
+/// Everything a fleet run reports, in service order.
+#[derive(Clone, Debug)]
+pub enum FleetEvent {
+    /// A sealed epoch.
+    Epoch(EpochEvent),
+    /// The mid-stream snapshot self-check passed on this tenant-version.
+    SnapshotChecked {
+        /// Tenant checked.
+        tenant: TenantId,
+        /// Version label checked.
+        version: String,
+        /// Wire format that was persisted.
+        format: SnapshotFormat,
+        /// Snapshot payload size.
+        bytes: usize,
+    },
+    /// A drift refresh ran.
+    Refresh(RefreshEvent),
+    /// The watchdog wanted a refresh but the bounded queue was full.
+    RefreshDropped {
+        /// Tenant whose request was dropped.
+        tenant: TenantId,
+        /// Version label whose request was dropped.
+        version: String,
+    },
+}
+
+/// Fleet-wide aggregates over one [`FleetService::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetStats {
+    /// Tenants served.
+    pub tenants: usize,
+    /// Tenant × version aggregators served.
+    pub versions: usize,
+    /// Epochs sealed across the fleet.
+    pub epochs_sealed: u64,
+    /// Samples folded across the fleet.
+    pub total_samples: u64,
+    /// Context-trie nodes resident across the fleet at the end.
+    pub resident_contexts: usize,
+    /// Cold-context eviction totals across the fleet.
+    pub evicted: EvictStats,
+    /// Drift refreshes that ran.
+    pub refreshes_triggered: usize,
+    /// Drift refreshes dropped at the bounded queue.
+    pub refreshes_dropped: usize,
+}
+
+/// The result of [`FleetService::run`]: the event stream plus aggregates.
+#[derive(Clone, Debug)]
+pub struct FleetRun {
+    /// Every epoch / snapshot / refresh event, in service order.
+    pub events: Vec<FleetEvent>,
+    /// Fleet-wide aggregates.
+    pub stats: FleetStats,
+}
+
+// ---------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------
+
+struct VersionRt<'b> {
+    label: String,
+    source: String,
+    binary: &'b Binary,
+    compile_ms: f64,
+    machine: Machine<'b>,
+    agg: Option<StreamAggregator<'b>>,
+    /// Next train-call index to serve.
+    cursor: usize,
+    /// Steady-state epochs served (names the `epoch-N` rows).
+    steady_epochs: usize,
+    /// Depth-1 context edges → last epoch they were hot (the LRU clock).
+    lru: BTreeMap<ContextEdge, u64>,
+    snapshot_checked: bool,
+}
+
+struct TenantRt<'b> {
+    id: TenantId,
+    workload: Workload,
+    refresh_source: Option<String>,
+    versions: Vec<VersionRt<'b>>,
+}
+
+struct RefreshRequest {
+    tenant: usize,
+    version: usize,
+}
+
+/// The serving half of the fleet: borrows a [`FleetBinaries`], owns every
+/// tenant's machines, aggregators, LRU clocks, and the bounded refresh
+/// queue. Drive it with [`FleetService::run`], or compose
+/// [`FleetService::calibrate`] / [`FleetService::run_round`] /
+/// [`FleetService::drift_probe`] / [`FleetService::process_refreshes`]
+/// directly.
+pub struct FleetService<'b> {
+    cfg: FleetConfig,
+    tenants: Vec<TenantRt<'b>>,
+    refresh_queue: VecDeque<RefreshRequest>,
+    refreshes_triggered: usize,
+    refreshes_dropped: usize,
+    epochs_sealed: u64,
+}
+
+impl<'b> FleetService<'b> {
+    /// Builds the serving runtime over a compiled fleet: one simulator
+    /// machine per tenant-version, globals staged, aggregators created at
+    /// calibration time.
+    pub fn new(binaries: &'b FleetBinaries, cfg: FleetConfig) -> FleetService<'b> {
+        let sim = sim_config(&cfg.pipeline);
+        let tenants = binaries
+            .tenants
+            .iter()
+            .map(|t| {
+                let versions = t
+                    .versions
+                    .iter()
+                    .map(|v| {
+                        let mut machine = Machine::new(&v.binary, sim.clone());
+                        for (name, values) in &t.spec.workload.setup {
+                            machine.set_global(name, values);
+                        }
+                        VersionRt {
+                            label: v.label.clone(),
+                            source: v.source.clone(),
+                            binary: &v.binary,
+                            compile_ms: v.compile_ms,
+                            machine,
+                            agg: None,
+                            cursor: 0,
+                            steady_epochs: 0,
+                            lru: BTreeMap::new(),
+                            snapshot_checked: false,
+                        }
+                    })
+                    .collect();
+                TenantRt {
+                    id: t.spec.id,
+                    workload: t.spec.workload.clone(),
+                    refresh_source: t.spec.refresh_source.clone(),
+                    versions,
+                }
+            })
+            .collect();
+        FleetService {
+            cfg,
+            tenants,
+            refresh_queue: VecDeque::new(),
+            refreshes_triggered: 0,
+            refreshes_dropped: 0,
+            epochs_sealed: 0,
+        }
+    }
+
+    /// Runs the calibration epoch on every tenant-version: the first
+    /// `epoch_calls` train requests pin each version's tail-call graph,
+    /// and the calibration samples become `epoch-0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Pipeline`] when a simulated request fails.
+    pub fn calibrate(&mut self) -> Result<Vec<FleetEvent>, FleetError> {
+        let cfg = &self.cfg;
+        let per_tenant: Vec<Result<Vec<FleetEvent>, FleetError>> = self
+            .tenants
+            .par_iter_mut()
+            .map(|t| t.calibrate(cfg))
+            .collect();
+        let events: Vec<FleetEvent> = sequence(per_tenant)?;
+        self.epochs_sealed += events.len() as u64;
+        Ok(events)
+    }
+
+    /// Serves one steady-state epoch of train traffic on every
+    /// tenant-version that still has requests, fanning out across tenants
+    /// with rayon. Per-tenant state is disjoint, so concurrency cannot
+    /// perturb any tenant's profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Pipeline`] when a simulated request fails
+    /// and [`FleetError::SnapshotDiverged`] when the mid-stream snapshot
+    /// self-check restores to a different state.
+    pub fn run_round(&mut self) -> Result<Vec<FleetEvent>, FleetError> {
+        let cfg = &self.cfg;
+        let per_tenant: Vec<Result<Vec<FleetEvent>, FleetError>> = self
+            .tenants
+            .par_iter_mut()
+            .map(|t| t.run_round(cfg))
+            .collect();
+        let events: Vec<FleetEvent> = sequence(per_tenant)?;
+        self.epochs_sealed += events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Epoch(_)))
+            .count() as u64;
+        Ok(events)
+    }
+
+    /// Whether every tenant-version has drained its train traffic.
+    pub fn is_done(&self) -> bool {
+        self.tenants.iter().all(|t| {
+            t.versions
+                .iter()
+                .all(|v| v.cursor >= t.workload.train_calls.len())
+        })
+    }
+
+    /// Serves the evaluation traffic as a final epoch on every
+    /// tenant-version — the drift probe. Stale versions are enqueued on
+    /// the bounded refresh queue; overflow becomes
+    /// [`FleetEvent::RefreshDropped`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Pipeline`] when a simulated request fails.
+    pub fn drift_probe(&mut self) -> Result<Vec<FleetEvent>, FleetError> {
+        let cfg = &self.cfg;
+        let per_tenant: Vec<Result<Vec<(usize, EpochEvent)>, FleetError>> = self
+            .tenants
+            .par_iter_mut()
+            .map(|t| t.drift_probe(cfg))
+            .collect();
+        let probed = per_tenant
+            .into_iter()
+            .collect::<Result<Vec<_>, FleetError>>()?;
+
+        let mut events = Vec::new();
+        for (ti, tenant_events) in probed.into_iter().enumerate() {
+            for (vi, event) in tenant_events {
+                let stale = event.summary.stale;
+                let version = event.version.clone();
+                let tenant = event.tenant;
+                events.push(FleetEvent::Epoch(event));
+                self.epochs_sealed += 1;
+                if stale {
+                    if self.refresh_queue.len() < self.cfg.refresh_queue_cap {
+                        self.refresh_queue.push_back(RefreshRequest {
+                            tenant: ti,
+                            version: vi,
+                        });
+                    } else {
+                        self.refreshes_dropped += 1;
+                        events.push(FleetEvent::RefreshDropped { tenant, version });
+                    }
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// Drains the refresh queue: each request runs a full drifted PGO
+    /// cycle with [`StaleMatching::Recover`] (profile collected on the
+    /// stale version, build on the tenant's next release source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Pipeline`] when a refresh cycle fails.
+    pub fn process_refreshes(&mut self) -> Result<Vec<FleetEvent>, FleetError> {
+        let mut events = Vec::new();
+        while let Some(req) = self.refresh_queue.pop_front() {
+            let tenant = &self.tenants[req.tenant];
+            let version = &tenant.versions[req.version];
+
+            // The profile was collected on this version's source; the
+            // refresh builds the tenant's next release against it.
+            let mut profiled = tenant.workload.clone();
+            profiled.source = version.source.clone();
+            let build_source = tenant
+                .refresh_source
+                .clone()
+                .unwrap_or_else(|| version.source.clone());
+
+            let mut refresh_cfg = self.cfg.pipeline.clone();
+            refresh_cfg.annotate.stale_matching = StaleMatching::Recover;
+            let outcome = run_pgo_cycle_drifted(
+                &profiled,
+                PgoVariant::CsspgoFull,
+                &refresh_cfg,
+                &build_source,
+            )?;
+            self.refreshes_triggered += 1;
+            events.push(FleetEvent::Refresh(RefreshEvent {
+                tenant: tenant.id,
+                workload: tenant.workload.name.clone(),
+                version: version.label.clone(),
+                stage_times: outcome.stage_times,
+                stale_dropped: outcome.annotate_stats.stale_dropped,
+                stale_recovered: outcome.annotate_stats.stale_recovered,
+                eval_cycles: outcome.eval.cycles,
+            }));
+        }
+        Ok(events)
+    }
+
+    /// The full service lifecycle: calibrate, serve train traffic to
+    /// exhaustion, drift-probe on eval traffic, drain the refresh queue.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetService::calibrate`], [`FleetService::run_round`],
+    /// [`FleetService::drift_probe`], [`FleetService::process_refreshes`].
+    pub fn run(&mut self) -> Result<FleetRun, FleetError> {
+        let mut events = self.calibrate()?;
+        while !self.is_done() {
+            events.extend(self.run_round()?);
+        }
+        events.extend(self.drift_probe()?);
+        events.extend(self.process_refreshes()?);
+        Ok(FleetRun {
+            events,
+            stats: self.stats(),
+        })
+    }
+
+    /// Fleet-wide aggregates over the service so far.
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = FleetStats {
+            tenants: self.tenants.len(),
+            epochs_sealed: self.epochs_sealed,
+            refreshes_triggered: self.refreshes_triggered,
+            refreshes_dropped: self.refreshes_dropped,
+            ..FleetStats::default()
+        };
+        for t in &self.tenants {
+            for v in &t.versions {
+                stats.versions += 1;
+                if let Some(agg) = &v.agg {
+                    stats.total_samples += agg.total_samples();
+                    stats.resident_contexts += agg.resident_contexts();
+                    stats.evicted.absorb(agg.evict_stats());
+                }
+            }
+        }
+        stats
+    }
+
+    /// The cumulative context profile of one tenant-version, if it has
+    /// been calibrated.
+    pub fn context_profile(&self, id: TenantId, version: &str) -> Option<&ContextProfile> {
+        self.aggregator(id, version).map(|a| a.context_profile())
+    }
+
+    /// Direct access to one tenant-version's aggregator, if calibrated.
+    pub fn aggregator(&self, id: TenantId, version: &str) -> Option<&StreamAggregator<'b>> {
+        self.tenants
+            .iter()
+            .find(|t| t.id == id)?
+            .versions
+            .iter()
+            .find(|v| v.label == version)?
+            .agg
+            .as_ref()
+    }
+
+    /// Registry view: every `(tenant, version-label)` pair served.
+    pub fn registry(&self) -> Vec<(TenantId, String)> {
+        self.tenants
+            .iter()
+            .flat_map(|t| t.versions.iter().map(|v| (t.id, v.label.clone())))
+            .collect()
+    }
+}
+
+impl TenantRt<'_> {
+    fn calibrate(&mut self, cfg: &FleetConfig) -> Result<Vec<FleetEvent>, FleetError> {
+        let mut events = Vec::new();
+        for v in &mut self.versions {
+            let calls = self
+                .workload
+                .train_calls
+                .iter()
+                .take(cfg.epoch_calls.min(self.workload.train_calls.len()));
+            let t = Instant::now();
+            for args in calls {
+                v.machine
+                    .call(&self.workload.entry, args)
+                    .map_err(|e| FleetError::Pipeline(PipelineError::Sim(e)))?;
+            }
+            let traffic_ms = t.elapsed().as_secs_f64() * 1e3;
+            v.cursor = cfg.epoch_calls.min(self.workload.train_calls.len());
+
+            let samples = v.machine.take_samples();
+            let mut rc = RangeCounts::default();
+            rc.add_samples(v.binary, &samples);
+            let graph = TailCallGraph::build(v.binary, &rc);
+            let mut agg = StreamAggregator::with_tail_graph(
+                v.binary,
+                cfg.pipeline.stream.clone(),
+                cfg.pipeline.ingest_shards,
+                graph,
+            );
+            agg.push_batch(samples)?;
+            let summary = agg.seal_epoch();
+            v.agg = Some(agg);
+            let evicted_this_epoch = v.enforce_cap(cfg, summary.epoch);
+
+            let mut times = summary.stage_times(traffic_ms);
+            times.compile_ms = v.compile_ms;
+            let agg = v.agg.as_ref().expect("calibrated above");
+            events.push(FleetEvent::Epoch(EpochEvent {
+                tenant: self.id,
+                workload: self.workload.name.clone(),
+                version: v.label.clone(),
+                label: "epoch-0".to_string(),
+                summary,
+                stage_times: times,
+                resident_contexts: agg.resident_contexts(),
+                evicted_this_epoch,
+                evicted_total: agg.evict_stats(),
+            }));
+        }
+        Ok(events)
+    }
+
+    fn run_round(&mut self, cfg: &FleetConfig) -> Result<Vec<FleetEvent>, FleetError> {
+        let mut events = Vec::new();
+        for v in &mut self.versions {
+            if v.cursor >= self.workload.train_calls.len() {
+                continue;
+            }
+            let end = (v.cursor + cfg.epoch_calls).min(self.workload.train_calls.len());
+            let calls = &self.workload.train_calls[v.cursor..end];
+            v.cursor = end;
+
+            let t = Instant::now();
+            for args in calls {
+                v.machine
+                    .call(&self.workload.entry, args)
+                    .map_err(|e| FleetError::Pipeline(PipelineError::Sim(e)))?;
+            }
+            let traffic_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            let agg = v.agg.as_mut().expect("run_round after calibrate");
+            // Drain the PMU in bounded batches, as a collector daemon
+            // would.
+            while v.machine.pending_samples() > 0 {
+                let batch = v.machine.take_sample_batch(cfg.batch_samples);
+                agg.push_batch(batch)?;
+            }
+            let summary = agg.seal_epoch();
+            v.steady_epochs += 1;
+            let evicted_this_epoch = v.enforce_cap(cfg, summary.epoch);
+
+            let agg = v.agg.as_ref().expect("run_round after calibrate");
+            events.push(FleetEvent::Epoch(EpochEvent {
+                tenant: self.id,
+                workload: self.workload.name.clone(),
+                version: v.label.clone(),
+                label: format!("epoch-{}", summary.epoch),
+                summary,
+                stage_times: summary.stage_times(traffic_ms),
+                resident_contexts: agg.resident_contexts(),
+                evicted_this_epoch,
+                evicted_total: agg.evict_stats(),
+            }));
+
+            // Mid-stream snapshot→restore self-check, once per version
+            // (the epoch invariant, live).
+            if cfg.snapshot_check && !v.snapshot_checked {
+                v.snapshot_checked = true;
+                let agg = v.agg.as_ref().expect("checked above");
+                let bytes = agg.snapshot_as(cfg.snapshot_format);
+                let restored = StreamAggregator::restore_from(
+                    v.binary,
+                    cfg.pipeline.stream.clone(),
+                    cfg.pipeline.ingest_shards,
+                    &bytes,
+                )?;
+                if restored.context_profile() != agg.context_profile()
+                    || restored.total_samples() != agg.total_samples()
+                {
+                    return Err(FleetError::SnapshotDiverged {
+                        tenant: self.id,
+                        version: v.label.clone(),
+                    });
+                }
+                events.push(FleetEvent::SnapshotChecked {
+                    tenant: self.id,
+                    version: v.label.clone(),
+                    format: cfg.snapshot_format,
+                    bytes: bytes.len(),
+                });
+            }
+        }
+        Ok(events)
+    }
+
+    /// Runs the eval traffic as the drift-probe epoch on every version;
+    /// returns `(version-index, event)` so the caller can schedule
+    /// refreshes for stale ones.
+    fn drift_probe(&mut self, cfg: &FleetConfig) -> Result<Vec<(usize, EpochEvent)>, FleetError> {
+        let mut events = Vec::new();
+        for (vi, v) in self.versions.iter_mut().enumerate() {
+            let t = Instant::now();
+            for args in &self.workload.eval_calls {
+                v.machine
+                    .call(&self.workload.entry, args)
+                    .map_err(|e| FleetError::Pipeline(PipelineError::Sim(e)))?;
+            }
+            let traffic_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            let agg = v.agg.as_mut().expect("drift_probe after calibrate");
+            while v.machine.pending_samples() > 0 {
+                let batch = v.machine.take_sample_batch(cfg.batch_samples);
+                agg.push_batch(batch)?;
+            }
+            let summary = agg.seal_epoch();
+            let evicted_this_epoch = v.enforce_cap(cfg, summary.epoch);
+
+            let agg = v.agg.as_ref().expect("drift_probe after calibrate");
+            events.push((
+                vi,
+                EpochEvent {
+                    tenant: self.id,
+                    workload: self.workload.name.clone(),
+                    version: v.label.clone(),
+                    label: "drift-probe".to_string(),
+                    summary,
+                    stage_times: summary.stage_times(traffic_ms),
+                    resident_contexts: agg.resident_contexts(),
+                    evicted_this_epoch,
+                    evicted_total: agg.evict_stats(),
+                },
+            ));
+        }
+        Ok(events)
+    }
+}
+
+impl VersionRt<'_> {
+    /// Touches this epoch's depth-1 context edges in the LRU clock, then
+    /// evicts coldest-first until the resident-node count is back under
+    /// the per-version cap. Eviction order is `(last-hot epoch, edge)` —
+    /// fully determined by this version's own stream, never by fleet
+    /// co-tenants, which is what keeps fleet serving bit-identical to
+    /// solo serving.
+    fn enforce_cap(&mut self, cfg: &FleetConfig, epoch: u64) -> EvictStats {
+        let agg = self.agg.as_mut().expect("cap enforcement after calibrate");
+        for &edge in agg.last_epoch_edges() {
+            self.lru.insert(edge, epoch);
+        }
+        let mut stats = EvictStats::default();
+        if cfg.resident_cap == 0 || agg.resident_contexts() <= cfg.resident_cap {
+            return stats;
+        }
+        let mut order: Vec<(u64, ContextEdge)> =
+            self.lru.iter().map(|(&edge, &ep)| (ep, edge)).collect();
+        order.sort_unstable();
+        for (_, edge) in order {
+            if agg.resident_contexts() <= cfg.resident_cap {
+                break;
+            }
+            stats.absorb(agg.evict_contexts(&[edge]));
+            self.lru.remove(&edge);
+        }
+        stats
+    }
+}
+
+/// Sequences per-tenant fan-out results, flattening events in tenant
+/// order (the shim's `collect` preserves input order).
+fn sequence<T>(per_tenant: Vec<Result<Vec<T>, FleetError>>) -> Result<Vec<T>, FleetError> {
+    let mut out = Vec::new();
+    for r in per_tenant {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+fn sim_config(cfg: &PipelineConfig) -> SimConfig {
+    SimConfig {
+        lbr_size: cfg.lbr_size,
+        pebs: cfg.pebs,
+        sample_period: cfg.sample_period,
+        seed: cfg.seed,
+        max_steps: cfg.max_steps,
+        ..SimConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload(name: &str) -> Workload {
+        // Three call levels with two mid-level call sites, so the context
+        // trie has depth and fan-out worth evicting.
+        let src = r#"
+fn leaf(x) {
+    if (x % 3 == 0) { return x * 2; }
+    return x + 1;
+}
+fn mid(x) {
+    if (x % 2 == 0) { return leaf(x) + 1; }
+    return leaf(x + 3);
+}
+fn serve(n, mode) {
+    let i = 0;
+    let s = 0;
+    while (i < n) {
+        if (mode == 1) { s = s + mid(i); } else { s = s + mid(i * 2); }
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+        Workload::new(
+            name,
+            src,
+            "serve",
+            vec![vec![60, 1]; 8],
+            vec![vec![60, 1]; 2],
+        )
+    }
+
+    #[test]
+    fn builder_validates_knobs() {
+        assert!(FleetConfig::builder().build().is_ok());
+        for bad in [
+            FleetConfig::builder().epoch_calls(0).build(),
+            FleetConfig::builder().batch_samples(0).build(),
+            FleetConfig::builder().refresh_queue_cap(0).build(),
+        ] {
+            match bad {
+                Err(FleetError::InvalidConfig(_)) => {}
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_malformed_fleets() {
+        let cfg = FleetConfig::default();
+        let err = FleetBinaries::compile(&[], &cfg).map(|_| ()).unwrap_err();
+        assert!(matches!(err, FleetError::NoTenants), "{err}");
+
+        let spec = TenantSpec::single_version(TenantId(1), tiny_workload("w"));
+        let err = FleetBinaries::compile(&[spec.clone(), spec.clone()], &cfg)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, FleetError::DuplicateTenant(TenantId(1))),
+            "{err}"
+        );
+
+        let mut empty = spec;
+        empty.versions.clear();
+        let err = FleetBinaries::compile(&[empty], &cfg)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, FleetError::NoVersions(TenantId(1))), "{err}");
+    }
+
+    #[test]
+    fn fleet_serves_tenants_and_reports_stats() {
+        let cfg = FleetConfig::builder()
+            .epoch_calls(2)
+            .build()
+            .expect("valid config");
+        let specs = vec![
+            TenantSpec::single_version(TenantId(1), tiny_workload("alpha")),
+            TenantSpec::single_version(TenantId(2), tiny_workload("beta")),
+        ];
+        let binaries = FleetBinaries::compile(&specs, &cfg).expect("compile fleet");
+        assert_eq!(binaries.tenant_count(), 2);
+        assert_eq!(binaries.version_count(), 2);
+
+        let mut service = FleetService::new(&binaries, cfg);
+        assert_eq!(service.registry().len(), 2);
+        let run = service.run().expect("fleet run");
+
+        let stats = run.stats;
+        assert_eq!(stats.tenants, 2);
+        assert_eq!(stats.versions, 2);
+        assert!(stats.total_samples > 0);
+        assert!(stats.resident_contexts > 0);
+        // 8 train calls at 2/epoch = 1 calibration + 3 steady rounds,
+        // plus the drift probe, per tenant.
+        assert_eq!(stats.epochs_sealed, 10);
+        let snapshot_checks = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::SnapshotChecked { .. }))
+            .count();
+        assert_eq!(snapshot_checks, 2);
+        assert!(service.context_profile(TenantId(1), "v0").is_some());
+        assert!(service.context_profile(TenantId(3), "v0").is_none());
+    }
+
+    #[test]
+    fn resident_cap_bounds_the_store_and_conserves_weight() {
+        let uncapped = FleetConfig::builder().epoch_calls(2).build().unwrap();
+        let spec = TenantSpec::single_version(TenantId(7), tiny_workload("capped"));
+        let binaries = FleetBinaries::compile(std::slice::from_ref(&spec), &uncapped).unwrap();
+        let mut service = FleetService::new(&binaries, uncapped.clone());
+        service.run().unwrap();
+        let full_nodes = service.stats().resident_contexts;
+        let full_total = service.context_profile(TenantId(7), "v0").unwrap().total();
+        assert!(full_nodes > 2, "need a trie worth evicting from");
+
+        let cap = full_nodes - 1;
+        let capped = FleetConfig::builder()
+            .epoch_calls(2)
+            .resident_cap(cap)
+            .build()
+            .unwrap();
+        let binaries = FleetBinaries::compile(&[spec], &capped).unwrap();
+        let mut service = FleetService::new(&binaries, capped);
+        let run = service.run().unwrap();
+
+        assert!(run.stats.resident_contexts <= cap, "cap not enforced");
+        assert!(run.stats.evicted.subtrees > 0, "nothing was evicted");
+        assert!(run.stats.evicted.weight_folded > 0);
+        // Conservation: the capped profile total matches the uncapped one.
+        let capped_total = service.context_profile(TenantId(7), "v0").unwrap().total();
+        assert_eq!(capped_total, full_total);
+    }
+
+    #[test]
+    fn refresh_queue_is_bounded() {
+        // Both tenants drift (train mode 1, eval mode 2), but the queue
+        // holds one request: the second becomes RefreshDropped.
+        let mk = |name: &str| {
+            let mut w = tiny_workload(name);
+            w.eval_calls = vec![vec![60, 2]; 4];
+            w
+        };
+        let mut pipeline = PipelineConfig::default();
+        pipeline.stream.drift_threshold = 0.95;
+        let cfg = FleetConfig::builder()
+            .pipeline(pipeline)
+            .epoch_calls(2)
+            .refresh_queue_cap(1)
+            .build()
+            .unwrap();
+        let specs = vec![
+            TenantSpec::single_version(TenantId(1), mk("drift_a")),
+            TenantSpec::single_version(TenantId(2), mk("drift_b")),
+        ];
+        let binaries = FleetBinaries::compile(&specs, &cfg).unwrap();
+        let mut service = FleetService::new(&binaries, cfg);
+        let run = service.run().unwrap();
+
+        let refreshed = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Refresh(_)))
+            .count();
+        let dropped = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::RefreshDropped { .. }))
+            .count();
+        assert_eq!(run.stats.refreshes_triggered, refreshed);
+        assert_eq!(run.stats.refreshes_dropped, dropped);
+        assert_eq!(refreshed, 1, "bounded queue admits exactly one");
+        assert_eq!(dropped, 1, "overflow must be recorded, not queued");
+    }
+}

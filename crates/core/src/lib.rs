@@ -37,6 +37,10 @@
 //! * [`stream`] — the streaming aggregation service: epoch-incremental
 //!   bounded-memory profile folding with snapshot/restore and drift
 //!   detection (the continuous-profiling deployment mode);
+//! * [`fleet`] — the multi-tenant profile-continuum service: N tenants ×
+//!   M binary versions of per-tenant aggregators behind a registry, with
+//!   LRU-by-epoch cold-context eviction, drift watchdogs scheduling
+//!   bounded-queue refreshes, and rayon fan-out across tenants;
 //! * [`workload`] — the workload abstraction consumed by the pipelines.
 
 pub mod annotate;
@@ -44,6 +48,7 @@ pub mod binprof;
 pub mod context;
 pub mod correlate;
 pub mod fasthash;
+pub mod fleet;
 pub mod inference;
 pub mod merge;
 pub mod overlap;
@@ -59,9 +64,15 @@ pub mod textprof;
 pub mod unwind;
 pub mod workload;
 
+pub use fleet::{
+    EpochEvent, FleetBinaries, FleetConfig, FleetConfigBuilder, FleetError, FleetEvent, FleetRun,
+    FleetService, FleetStats, RefreshEvent, TenantId, TenantSpec, VersionSpec,
+};
 pub use pipeline::{
     run_pgo_cycle, run_pgo_cycle_with, BatchSource, EpochSource, PgoOutcome, PgoVariant,
     PipelineConfig, PipelineConfigBuilder, PipelineError, ProfileSource, StageTimes,
 };
-pub use stream::{EpochSummary, StreamAggregator, StreamConfig};
+pub use stream::{
+    ContextEdge, EpochSummary, EvictStats, SnapshotFormat, StreamAggregator, StreamConfig,
+};
 pub use workload::Workload;

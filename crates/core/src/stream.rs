@@ -12,12 +12,17 @@
 //! * each epoch is ingested with the same sharded machinery as the batch
 //!   pipeline ([`crate::shard`]) and folded into the cumulative profile
 //!   with the count-additive cross-host merge ([`crate::merge`]);
-//! * the cumulative state round-trips through a snapshot — the production
-//!   path is the compact binary format ([`StreamAggregator::snapshot_bin`]
-//!   / [`StreamAggregator::restore_bin`], built on [`crate::binprof`]);
-//!   the text form ([`StreamAggregator::snapshot`] /
-//!   [`StreamAggregator::restore`]) stays as the human-readable debug
-//!   format, losslessly interchangeable with the binary one;
+//! * the cumulative state round-trips through a snapshot
+//!   ([`StreamAggregator::snapshot_as`] /
+//!   [`StreamAggregator::restore_from`]) in either [`SnapshotFormat`]:
+//!   the compact binary format ([`crate::binprof`]) is the production
+//!   path, the text form stays as the human-readable debug format, and
+//!   the two are losslessly interchangeable — `restore_from` sniffs the
+//!   binprof magic, so callers never track which format was persisted;
+//! * under a resident-context cap, cold context subtrees can be evicted
+//!   ([`StreamAggregator::evict_contexts`]): their weight folds into the
+//!   per-function base profiles (the [`crate::context`] conservation
+//!   rule), so fleet memory stays bounded while totals are conserved;
 //! * consecutive epochs are compared for *drift* (distribution overlap of
 //!   probe weights); a stale epoch flags the profile for recompilation via
 //!   the existing [`crate::pipeline::run_pgo_cycle_drifted`] path.
@@ -44,6 +49,7 @@ use crate::textprof;
 use csspgo_codegen::Binary;
 use csspgo_sim::Sample;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -110,6 +116,83 @@ impl EpochSummary {
             correlate_ms: self.aggregate_ms(),
             ..StageTimes::default()
         }
+    }
+}
+
+/// The snapshot wire formats a [`StreamAggregator`] speaks, unified behind
+/// [`StreamAggregator::snapshot_as`] / [`StreamAggregator::restore_from`].
+///
+/// `Binary` is the production format ([`crate::binprof`], magic-tagged);
+/// `Text` is the human-readable debug format. Both are lossless and
+/// interchangeable: restoring either and re-snapshotting yields canonical
+/// output, and `restore_from` sniffs the binprof magic so callers never
+/// need to remember which format a payload was persisted in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SnapshotFormat {
+    /// Human-readable debug snapshot (`# csspgo-stream-snapshot v1` text).
+    Text,
+    /// Compact binprof snapshot (the production path).
+    Binary,
+}
+
+impl fmt::Display for SnapshotFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SnapshotFormat::Text => "text",
+            SnapshotFormat::Binary => "binary",
+        })
+    }
+}
+
+impl std::str::FromStr for SnapshotFormat {
+    type Err = String;
+
+    /// Parses `"text"` / `"binary"` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("text") {
+            Ok(SnapshotFormat::Text)
+        } else if s.eq_ignore_ascii_case("binary") {
+            Ok(SnapshotFormat::Binary)
+        } else {
+            Err(format!(
+                "unknown snapshot format {s:?} (expected \"text\" or \"binary\")"
+            ))
+        }
+    }
+}
+
+/// A depth-1 context-trie edge — root function `root` calling `callee`
+/// through call-site probe `probe`. This is the granule the fleet's shared
+/// context store tracks (LRU-by-epoch) and evicts
+/// ([`StreamAggregator::evict_contexts`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextEdge {
+    /// Root (un-inlined outermost) function GUID.
+    pub root: u64,
+    /// Call-site probe index inside the root.
+    pub probe: u32,
+    /// Callee GUID the probe reached.
+    pub callee: u64,
+}
+
+/// Outcome of one cold-context eviction pass
+/// ([`StreamAggregator::evict_contexts`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvictStats {
+    /// Depth-1 subtrees detached.
+    pub subtrees: usize,
+    /// Trie nodes the detached subtrees held.
+    pub nodes_folded: usize,
+    /// Sample weight folded into base profiles (conserved, not dropped).
+    pub weight_folded: u64,
+}
+
+impl EvictStats {
+    /// Accumulates another pass's counters.
+    pub fn absorb(&mut self, other: EvictStats) {
+        self.subtrees += other.subtrees;
+        self.nodes_folded += other.nodes_folded;
+        self.weight_folded += other.weight_folded;
     }
 }
 
@@ -185,6 +268,8 @@ pub struct StreamAggregator<'b> {
     last_weights: Option<BTreeMap<(u64, u32), u64>>,
     last_overlap: f64,
     stale: bool,
+    last_epoch_edges: Vec<ContextEdge>,
+    evicted: EvictStats,
 }
 
 impl<'b> StreamAggregator<'b> {
@@ -227,6 +312,8 @@ impl<'b> StreamAggregator<'b> {
             last_weights: None,
             last_overlap: 1.0,
             stale: false,
+            last_epoch_edges: Vec::new(),
+            evicted: EvictStats::default(),
         }
     }
 
@@ -263,6 +350,7 @@ impl<'b> StreamAggregator<'b> {
             ..EpochSummary::default()
         };
 
+        self.last_epoch_edges.clear();
         if !samples.is_empty() {
             let t = Instant::now();
             let rc_epoch = sharded_range_counts(self.binary, &samples, self.ingest_shards);
@@ -286,6 +374,18 @@ impl<'b> StreamAggregator<'b> {
             self.infer_stats.recovered += unwound.infer_stats.recovered;
             self.infer_stats.failed += unwound.infer_stats.failed;
             self.broken_stacks += unwound.broken_stacks;
+
+            // Depth-1 edges this epoch touched — the LRU signal the fleet's
+            // context store keeps per tenant (see `evict_contexts`).
+            for (&root, node) in &unwound.profile.roots {
+                for &(probe, callee) in node.children.keys() {
+                    self.last_epoch_edges.push(ContextEdge {
+                        root,
+                        probe,
+                        callee,
+                    });
+                }
+            }
 
             // Drift: compare this epoch's probe-weight distribution with
             // the previous epoch's.
@@ -354,6 +454,53 @@ impl<'b> StreamAggregator<'b> {
         self.last_overlap
     }
 
+    /// Depth-1 context edges the most recent sealed epoch contributed
+    /// samples to — the per-epoch touch signal a context store's
+    /// LRU bookkeeping consumes. Empty for an empty epoch.
+    pub fn last_epoch_edges(&self) -> &[ContextEdge] {
+        &self.last_epoch_edges
+    }
+
+    /// Context-trie nodes resident *beyond* the per-function base/root
+    /// profiles — the quantity a fleet's resident-context cap bounds.
+    /// Root nodes are one flat profile per sampled function (bounded by
+    /// program size); the context nodes under them grow with distinct
+    /// calling contexts, and they are what [`Self::evict_contexts`]
+    /// reclaims (folding always *shrinks* this count, even though it may
+    /// add base roots to conserve weight).
+    pub fn resident_contexts(&self) -> usize {
+        self.profile.node_count() - self.profile.roots.len()
+    }
+
+    /// Cumulative eviction counters across all `evict_contexts` passes.
+    pub fn evict_stats(&self) -> EvictStats {
+        self.evicted
+    }
+
+    /// Cold-context compaction: detaches each named depth-1 subtree from
+    /// the cumulative profile and folds its weight context-insensitively
+    /// into the functions' base profiles
+    /// ([`ContextProfile::evict_subtree`]), so the trie shrinks while
+    /// [`ContextProfile::total`] is conserved. Edges that no longer exist
+    /// (already evicted, or never materialized) are skipped.
+    ///
+    /// Eviction is deterministic given the same edge list, so a tenant
+    /// served in a fleet and the same tenant served alone stay
+    /// bit-identical as long as their eviction policies see the same
+    /// tenant-local state.
+    pub fn evict_contexts(&mut self, edges: &[ContextEdge]) -> EvictStats {
+        let mut stats = EvictStats::default();
+        for e in edges {
+            if let Some((nodes, weight)) = self.profile.evict_subtree(e.root, e.probe, e.callee) {
+                stats.subtrees += 1;
+                stats.nodes_folded += nodes;
+                stats.weight_folded += weight;
+            }
+        }
+        self.evicted.absorb(stats);
+        stats
+    }
+
     /// Collapses the cumulative profile into a build-ready [`ProbeProfile`]
     /// the same way the batch pipeline does for full CSSPGO: checksums from
     /// the profiled binary, cold contexts trimmed at `trim_threshold`,
@@ -387,15 +534,103 @@ impl<'b> StreamAggregator<'b> {
     // Snapshot / restore
     // -----------------------------------------------------------------
 
+    /// Serializes the cumulative state in the requested wire format.
+    ///
+    /// Both formats carry the same content — fingerprint guard,
+    /// epoch/sample counters, pinned tail-call graph, range/branch counts,
+    /// previous-epoch probe weights, the context profile — and both are
+    /// canonical: restore → re-snapshot is byte-identical.
+    pub fn snapshot_as(&self, format: SnapshotFormat) -> Vec<u8> {
+        match format {
+            SnapshotFormat::Text => self.snapshot_text().into_bytes(),
+            SnapshotFormat::Binary => self.snapshot_binary(),
+        }
+    }
+
+    /// Rebuilds an aggregator from a snapshot in *either* format: the
+    /// payload is sniffed for the [`crate::binprof`] magic and decoded as
+    /// binary when it matches, as UTF-8 text otherwise. The inverse of
+    /// [`Self::snapshot_as`], without the caller having to remember which
+    /// format was persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Decode`] for a malformed binary payload,
+    /// [`PipelineError::Profile`] for an unparsable text context section,
+    /// and [`PipelineError::Stream`] when the payload is neither format or
+    /// was taken against a different binary build.
+    pub fn restore_from(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        bytes: &[u8],
+    ) -> Result<Self, PipelineError> {
+        if bytes.starts_with(&binprof::MAGIC) {
+            return Self::restore_binary(binary, config, ingest_shards, bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|_| {
+            PipelineError::Stream(
+                "snapshot payload is neither binprof (no magic) nor UTF-8 text".into(),
+            )
+        })?;
+        Self::restore_text(binary, config, ingest_shards, text)
+    }
+
+    /// Deprecated spelling of `snapshot_as(SnapshotFormat::Text)` (as a
+    /// `String`); kept as a thin delegate for one release.
+    #[deprecated(since = "0.1.0", note = "use snapshot_as(SnapshotFormat::Text)")]
+    pub fn snapshot(&self) -> String {
+        self.snapshot_text()
+    }
+
+    /// Deprecated spelling of `snapshot_as(SnapshotFormat::Binary)`; kept
+    /// as a thin delegate for one release.
+    #[deprecated(since = "0.1.0", note = "use snapshot_as(SnapshotFormat::Binary)")]
+    pub fn snapshot_bin(&self) -> Vec<u8> {
+        self.snapshot_binary()
+    }
+
+    /// Deprecated text-only restore; kept as a thin delegate for one
+    /// release.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::restore_from`].
+    #[deprecated(since = "0.1.0", note = "use restore_from (format is sniffed)")]
+    pub fn restore(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        text: &str,
+    ) -> Result<Self, PipelineError> {
+        Self::restore_text(binary, config, ingest_shards, text)
+    }
+
+    /// Deprecated binary-only restore; kept as a thin delegate for one
+    /// release.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::restore_from`].
+    #[deprecated(since = "0.1.0", note = "use restore_from (format is sniffed)")]
+    pub fn restore_bin(
+        binary: &'b Binary,
+        config: StreamConfig,
+        ingest_shards: usize,
+        bytes: &[u8],
+    ) -> Result<Self, PipelineError> {
+        Self::restore_binary(binary, config, ingest_shards, bytes)
+    }
+
     /// Serializes the cumulative state to text — the human-readable
     /// **debug** snapshot format (production snapshots use
-    /// [`Self::snapshot_bin`]). The context section is the
+    /// [`SnapshotFormat::Binary`]). The context section is the
     /// [`crate::textprof`] CS format (named via the binary's symbol table
     /// so GUIDs survive the name-hash round-trip); ranges, branches, and
     /// the pinned tail-call graph ride along in sorted line sections, and
     /// a binary fingerprint guards against restoring onto a different
     /// build.
-    pub fn snapshot(&self) -> String {
+    fn snapshot_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# csspgo-stream-snapshot v1");
         let _ = writeln!(out, "# fingerprint: {:#x}", binary_fingerprint(self.binary));
@@ -443,7 +678,7 @@ impl<'b> StreamAggregator<'b> {
         out
     }
 
-    /// Rebuilds an aggregator from a [`Self::snapshot`], ready to resume
+    /// Rebuilds an aggregator from a text snapshot, ready to resume
     /// folding epochs where the snapshot left off.
     ///
     /// # Errors
@@ -451,7 +686,7 @@ impl<'b> StreamAggregator<'b> {
     /// Returns [`PipelineError::Stream`] when the snapshot structure is
     /// malformed or was taken against a different binary, and
     /// [`PipelineError::Profile`] when the context section fails to parse.
-    pub fn restore(
+    fn restore_text(
         binary: &'b Binary,
         config: StreamConfig,
         ingest_shards: usize,
@@ -563,14 +798,14 @@ impl<'b> StreamAggregator<'b> {
     }
 
     /// Serializes the cumulative state to the compact binary snapshot — the
-    /// production snapshot path (the text [`Self::snapshot`] is the debug
+    /// production snapshot path ([`SnapshotFormat::Text`] is the debug
     /// format). Same content as the text snapshot: fingerprint guard,
     /// epoch/sample counters, pinned tail-call graph, range/branch counts,
     /// previous-epoch probe weights, and the context profile (as a nested
     /// [`crate::binprof`] payload — GUIDs are stored natively, so no name
     /// round-trip is needed). The encoding is canonical: restoring and
     /// re-snapshotting yields byte-identical output.
-    pub fn snapshot_bin(&self) -> Vec<u8> {
+    fn snapshot_binary(&self) -> Vec<u8> {
         let mut buf = binprof::header(Kind::StreamSnapshot);
 
         let mut meta = Vec::new();
@@ -644,14 +879,14 @@ impl<'b> StreamAggregator<'b> {
         buf
     }
 
-    /// Rebuilds an aggregator from a [`Self::snapshot_bin`] payload.
+    /// Rebuilds an aggregator from a binary snapshot payload.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::Decode`] when the payload is malformed and
     /// [`PipelineError::Stream`] when it was taken against a different
     /// binary build.
-    pub fn restore_bin(
+    fn restore_binary(
         binary: &'b Binary,
         config: StreamConfig,
         ingest_shards: usize,
@@ -837,6 +1072,42 @@ fn serve(n, mode) {
     }
 
     #[test]
+    fn evict_contexts_conserves_total_weight_and_shrinks_residency() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(2600, 1), (2400, 2)]);
+        let graph = calibration_graph(&b, &samples);
+        let mut agg = StreamAggregator::with_tail_graph(&b, StreamConfig::default(), 2, graph);
+        agg.push_batch(samples).unwrap();
+        agg.seal_epoch();
+
+        let edges: Vec<ContextEdge> = agg.last_epoch_edges().to_vec();
+        assert!(!edges.is_empty(), "expected depth-1 context edges");
+        let total_before = agg.context_profile().total();
+        let contexts_before = agg.resident_contexts();
+        assert!(contexts_before > 0);
+
+        let stats = agg.evict_contexts(&edges);
+        assert_eq!(stats.subtrees, edges.len());
+        assert!(stats.nodes_folded > 0);
+        assert!(stats.weight_folded > 0);
+        // Every folded subtree node was a context node, so residency
+        // drops by exactly the folded count.
+        assert_eq!(
+            agg.resident_contexts(),
+            contexts_before - stats.nodes_folded
+        );
+        // Conservation: evicted weight folds into base profiles, so the
+        // profile total is unchanged.
+        assert_eq!(agg.context_profile().total(), total_before);
+        assert_eq!(agg.evict_stats().weight_folded, stats.weight_folded);
+
+        // Re-evicting the same edges is a no-op.
+        let again = agg.evict_contexts(&edges);
+        assert_eq!(again.subtrees, 0);
+        assert_eq!(again.weight_folded, 0);
+    }
+
+    #[test]
     fn push_batch_enforces_bounded_memory() {
         let b = probed_binary();
         let samples = traffic(&b, &[(1500, 1)]);
@@ -868,9 +1139,10 @@ fn serve(n, mode) {
             StreamAggregator::with_tail_graph(&b, StreamConfig::default(), 2, graph.clone());
         agg.push_batch(samples[..cut].to_vec()).unwrap();
         agg.seal_epoch();
-        let snap = agg.snapshot();
+        let snap = agg.snapshot_as(SnapshotFormat::Text);
 
-        let mut resumed = StreamAggregator::restore(&b, StreamConfig::default(), 2, &snap).unwrap();
+        let mut resumed =
+            StreamAggregator::restore_from(&b, StreamConfig::default(), 2, &snap).unwrap();
         assert_eq!(resumed.epochs_sealed(), 1);
         assert_eq!(resumed.total_samples(), cut as u64);
         resumed.push_batch(samples[cut..].to_vec()).unwrap();
@@ -880,9 +1152,9 @@ fn serve(n, mode) {
         assert_eq!(resumed.range_counts(), &rc_ref);
 
         // A second snapshot of untouched state is byte-identical.
-        let resnap = StreamAggregator::restore(&b, StreamConfig::default(), 2, &snap)
+        let resnap = StreamAggregator::restore_from(&b, StreamConfig::default(), 2, &snap)
             .unwrap()
-            .snapshot();
+            .snapshot_as(SnapshotFormat::Text);
         assert_eq!(snap, resnap);
     }
 
@@ -899,8 +1171,8 @@ fn serve(n, mode) {
         agg.push_batch(samples[..cut].to_vec()).unwrap();
         agg.seal_epoch();
 
-        let text = agg.snapshot();
-        let bin = agg.snapshot_bin();
+        let text = agg.snapshot_as(SnapshotFormat::Text);
+        let bin = agg.snapshot_as(SnapshotFormat::Binary);
         assert!(
             bin.len() < text.len(),
             "binary snapshot ({}) should be smaller than text ({})",
@@ -908,9 +1180,10 @@ fn serve(n, mode) {
             text.len()
         );
 
-        // Binary restore resumes exactly like the text restore.
+        // restore_from sniffs the binprof magic and resumes exactly like
+        // the text restore.
         let mut resumed =
-            StreamAggregator::restore_bin(&b, StreamConfig::default(), 2, &bin).unwrap();
+            StreamAggregator::restore_from(&b, StreamConfig::default(), 2, &bin).unwrap();
         assert_eq!(resumed.epochs_sealed(), 1);
         assert_eq!(resumed.total_samples(), cut as u64);
         resumed.push_batch(samples[cut..].to_vec()).unwrap();
@@ -920,14 +1193,73 @@ fn serve(n, mode) {
 
         // Both formats restore to the same state: text-restored and
         // binary-restored aggregators re-emit identical binary snapshots.
-        let from_text = StreamAggregator::restore(&b, StreamConfig::default(), 2, &text).unwrap();
-        assert_eq!(from_text.snapshot_bin(), bin);
+        let from_text =
+            StreamAggregator::restore_from(&b, StreamConfig::default(), 2, &text).unwrap();
+        assert_eq!(from_text.snapshot_as(SnapshotFormat::Binary), bin);
 
         // Canonical: restore → re-snapshot is byte-identical.
-        let resnap = StreamAggregator::restore_bin(&b, StreamConfig::default(), 2, &bin)
+        let resnap = StreamAggregator::restore_from(&b, StreamConfig::default(), 2, &bin)
             .unwrap()
-            .snapshot_bin();
+            .snapshot_as(SnapshotFormat::Binary);
         assert_eq!(resnap, bin);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_snapshot_methods_delegate_to_codec() {
+        let b = probed_binary();
+        let samples = traffic(&b, &[(1400, 1)]);
+        let mut agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
+        agg.push_batch(samples).unwrap();
+        agg.seal_epoch();
+
+        assert_eq!(
+            agg.snapshot().into_bytes(),
+            agg.snapshot_as(SnapshotFormat::Text)
+        );
+        assert_eq!(agg.snapshot_bin(), agg.snapshot_as(SnapshotFormat::Binary));
+
+        let text = agg.snapshot();
+        let bin = agg.snapshot_bin();
+        let via_old_text = StreamAggregator::restore(&b, StreamConfig::default(), 1, &text)
+            .unwrap()
+            .snapshot_as(SnapshotFormat::Binary);
+        let via_old_bin = StreamAggregator::restore_bin(&b, StreamConfig::default(), 1, &bin)
+            .unwrap()
+            .snapshot_as(SnapshotFormat::Binary);
+        let via_new = StreamAggregator::restore_from(&b, StreamConfig::default(), 1, &bin)
+            .unwrap()
+            .snapshot_as(SnapshotFormat::Binary);
+        assert_eq!(via_old_text, via_new);
+        assert_eq!(via_old_bin, via_new);
+    }
+
+    #[test]
+    fn snapshot_format_parses_and_displays() {
+        assert_eq!("text".parse::<SnapshotFormat>(), Ok(SnapshotFormat::Text));
+        assert_eq!(
+            "BINARY".parse::<SnapshotFormat>(),
+            Ok(SnapshotFormat::Binary)
+        );
+        assert_eq!(SnapshotFormat::Text.to_string(), "text");
+        assert_eq!(SnapshotFormat::Binary.to_string(), "binary");
+        let err = "yaml".parse::<SnapshotFormat>().unwrap_err();
+        assert!(err.contains("yaml"), "{err}");
+    }
+
+    #[test]
+    fn restore_from_rejects_untagged_binary_garbage() {
+        let b = probed_binary();
+        // Neither binprof magic nor UTF-8 text: a distinct Stream error.
+        let err = StreamAggregator::restore_from(&b, StreamConfig::default(), 1, &[0xff, 0xfe])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Stream(_)), "{err}");
+        // Magic-prefixed garbage routes to the binary decoder.
+        let mut bytes = binprof::MAGIC.to_vec();
+        bytes.extend_from_slice(b"nonsense");
+        let err =
+            StreamAggregator::restore_from(&b, StreamConfig::default(), 1, &bytes).unwrap_err();
+        assert!(matches!(err, PipelineError::Decode(_)), "{err}");
     }
 
     #[test]
@@ -937,7 +1269,7 @@ fn serve(n, mode) {
         let mut agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
         agg.push_batch(samples).unwrap();
         agg.seal_epoch();
-        let bin = agg.snapshot_bin();
+        let bin = agg.snapshot_as(SnapshotFormat::Binary);
 
         let mut m2 =
             csspgo_lang::compile("fn serve(n, mode) { return n + mode; }", "other").unwrap();
@@ -945,17 +1277,16 @@ fn serve(n, mode) {
         csspgo_opt::probes::run(&mut m2);
         let other = lower_module(&m2, &CodegenConfig::default());
         let err =
-            StreamAggregator::restore_bin(&other, StreamConfig::default(), 1, &bin).unwrap_err();
+            StreamAggregator::restore_from(&other, StreamConfig::default(), 1, &bin).unwrap_err();
         assert!(matches!(err, PipelineError::Stream(_)), "{err}");
 
-        let err =
-            StreamAggregator::restore_bin(&b, StreamConfig::default(), 1, b"nonsense").unwrap_err();
-        assert!(matches!(err, PipelineError::Decode(_)), "{err}");
-
-        // Truncation anywhere must error, never panic.
+        // Truncation anywhere must error, never panic. (Cuts shorter than
+        // the magic sniff as text and still error; longer ones hit the
+        // binary decoder.)
         for cut in [0, 5, 11, bin.len() / 2, bin.len() - 1] {
             assert!(
-                StreamAggregator::restore_bin(&b, StreamConfig::default(), 1, &bin[..cut]).is_err(),
+                StreamAggregator::restore_from(&b, StreamConfig::default(), 1, &bin[..cut])
+                    .is_err(),
                 "cut at {cut}"
             );
         }
@@ -968,18 +1299,19 @@ fn serve(n, mode) {
         let mut agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
         agg.push_batch(samples).unwrap();
         agg.seal_epoch();
-        let snap = agg.snapshot();
+        let snap = agg.snapshot_as(SnapshotFormat::Text);
 
         let mut m2 =
             csspgo_lang::compile("fn serve(n, mode) { return n + mode; }", "other").unwrap();
         csspgo_opt::discriminators::run(&mut m2);
         csspgo_opt::probes::run(&mut m2);
         let other = lower_module(&m2, &CodegenConfig::default());
-        let err = StreamAggregator::restore(&other, StreamConfig::default(), 1, &snap).unwrap_err();
+        let err =
+            StreamAggregator::restore_from(&other, StreamConfig::default(), 1, &snap).unwrap_err();
         assert!(matches!(err, PipelineError::Stream(_)), "{err}");
 
-        let err =
-            StreamAggregator::restore(&b, StreamConfig::default(), 1, "nonsense").unwrap_err();
+        let err = StreamAggregator::restore_from(&b, StreamConfig::default(), 1, b"nonsense")
+            .unwrap_err();
         assert!(matches!(err, PipelineError::Stream(_)), "{err}");
     }
 

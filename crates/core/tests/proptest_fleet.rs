@@ -1,0 +1,112 @@
+//! Property tests for the fleet's cold-context compaction granule:
+//! [`ContextProfile::evict_subtree`] must conserve total sample weight for
+//! *any* trie and *any* eviction sequence — evicted subtrees stop costing
+//! resident context nodes, but every count they carried survives in the
+//! functions' base profiles.
+
+use csspgo_core::context::{ContextProfile, FrameKey};
+use proptest::prelude::*;
+
+/// One recorded probe hit: a calling context (outer→inner), the owning
+/// function, the probe, and a count. Small GUID/probe domains so paths
+/// collide and the trie gets genuinely shared structure.
+type Hit = (Vec<(u64, u32)>, u64, u32, u64);
+
+fn hit_strategy() -> BoxedStrategy<Hit> {
+    let frame = (1u64..6, 0u32..4);
+    (
+        proptest::collection::vec(frame, 0..4),
+        1u64..6,
+        0u32..4,
+        1u64..100,
+    )
+        .boxed()
+}
+
+fn build_profile(hits: &[Hit]) -> ContextProfile {
+    let mut profile = ContextProfile::new();
+    for (path, owner, probe, count) in hits {
+        let path: Vec<FrameKey> = path
+            .iter()
+            .map(|&(guid, probe)| FrameKey { guid, probe })
+            .collect();
+        profile.add_probe_hit(&path, *owner, *probe, *count);
+        profile.add_entry(&path, *owner, 1);
+    }
+    profile
+}
+
+/// Context nodes beyond the per-function base profiles — the quantity the
+/// fleet's resident-context cap bounds.
+fn resident(profile: &ContextProfile) -> usize {
+    profile.node_count() - profile.roots.len()
+}
+
+/// Every depth-1 edge currently evictable.
+fn edges(profile: &ContextProfile) -> Vec<(u64, u32, u64)> {
+    profile
+        .roots
+        .iter()
+        .flat_map(|(&root, node)| {
+            node.children
+                .keys()
+                .map(move |&(probe, callee)| (root, probe, callee))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any eviction sequence conserves the trie total, and each eviction
+    /// shrinks residency by exactly the detached node count (folding may
+    /// mint base roots, but those are never resident contexts).
+    #[test]
+    fn eviction_conserves_weight_and_shrinks_residency(
+        hits in proptest::collection::vec(hit_strategy(), 1..80),
+        picks in proptest::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let mut profile = build_profile(&hits);
+        let total = profile.total();
+
+        for pick in picks {
+            let evictable = edges(&profile);
+            if evictable.is_empty() {
+                break;
+            }
+            let (root, probe, callee) = evictable[(pick % evictable.len() as u64) as usize];
+            let before = resident(&profile);
+            let (nodes, weight) = profile
+                .evict_subtree(root, probe, callee)
+                .expect("edge enumerated from the live trie");
+            prop_assert!(nodes >= 1);
+            prop_assert_eq!(resident(&profile), before - nodes);
+            prop_assert_eq!(profile.total(), total, "weight {} not conserved", weight);
+            // The edge is gone: a second eviction is a no-op.
+            prop_assert_eq!(profile.evict_subtree(root, probe, callee), None);
+        }
+    }
+
+    /// Draining every context leaves exactly the base profiles — same
+    /// total, zero resident contexts, and the flattened result matches
+    /// what the trie itself reports as per-function weight.
+    #[test]
+    fn full_drain_collapses_to_base_profiles(
+        hits in proptest::collection::vec(hit_strategy(), 1..80),
+    ) {
+        let mut profile = build_profile(&hits);
+        let total = profile.total();
+
+        loop {
+            let evictable = edges(&profile);
+            let Some(&(root, probe, callee)) = evictable.first() else {
+                break;
+            };
+            profile.evict_subtree(root, probe, callee).unwrap();
+        }
+
+        prop_assert_eq!(resident(&profile), 0);
+        prop_assert_eq!(profile.total(), total);
+        prop_assert!(profile.roots.values().all(|n| n.children.is_empty()));
+    }
+}

@@ -7,7 +7,7 @@
 use csspgo_codegen::{lower_module, Binary, CodegenConfig};
 use csspgo_core::context::ContextProfile;
 use csspgo_core::ranges::RangeCounts;
-use csspgo_core::stream::{StreamAggregator, StreamConfig};
+use csspgo_core::stream::{SnapshotFormat, StreamAggregator, StreamConfig};
 use csspgo_core::tailcall::TailCallGraph;
 use csspgo_core::unwind::Unwinder;
 use csspgo_sim::{Machine, Sample, SimConfig};
@@ -223,9 +223,10 @@ proptest! {
         agg.push_batch(samples[..cut].to_vec()).unwrap();
         agg.seal_epoch();
 
-        let snap = agg.snapshot();
+        let snap = agg.snapshot_as(SnapshotFormat::Text);
         let mut resumed =
-            StreamAggregator::restore(&binary, StreamConfig::default(), shards, &snap).unwrap();
+            StreamAggregator::restore_from(&binary, StreamConfig::default(), shards, &snap)
+                .unwrap();
         prop_assert_eq!(resumed.total_samples(), cut as u64);
         resumed.push_batch(samples[cut..].to_vec()).unwrap();
         resumed.seal_epoch();
@@ -245,11 +246,11 @@ proptest! {
 fn restore_survives_snapshot_truncated_at_context_marker() {
     let binary = probed_binary();
     let agg = StreamAggregator::new(&binary, StreamConfig::default(), 1);
-    let snap = agg.snapshot();
+    let snap = String::from_utf8(agg.snapshot_as(SnapshotFormat::Text)).unwrap();
 
     let cut = snap.find("!context").unwrap() + "!context".len();
-    let truncated = &snap[..cut];
-    let restored = StreamAggregator::restore(&binary, StreamConfig::default(), 1, truncated)
+    let truncated = &snap.as_bytes()[..cut];
+    let restored = StreamAggregator::restore_from(&binary, StreamConfig::default(), 1, truncated)
         .expect("truncation at the marker leaves a valid, empty context section");
     assert_eq!(restored.total_samples(), 0);
     assert_eq!(restored.context_profile().roots.len(), 0);
@@ -257,7 +258,12 @@ fn restore_survives_snapshot_truncated_at_context_marker() {
     // Truncating *before* the marker loses the section entirely and must
     // stay a structured error, not a panic.
     let cut = snap.find("!context").unwrap();
-    let err = match StreamAggregator::restore(&binary, StreamConfig::default(), 1, &snap[..cut]) {
+    let err = match StreamAggregator::restore_from(
+        &binary,
+        StreamConfig::default(),
+        1,
+        &snap.as_bytes()[..cut],
+    ) {
         Ok(_) => panic!("missing !context section must be an error"),
         Err(e) => e,
     };

@@ -191,6 +191,52 @@ pub fn client_compiler() -> Workload {
     w
 }
 
+/// Tenant-specific arrival order: a copy of `w` whose train and eval
+/// request streams are re-dealt by a deterministic Fisher–Yates permutation
+/// seeded per tenant. The request *multiset* is unchanged — two tenants
+/// serving the same service see the same traffic in different
+/// interleavings, so their folded context profiles must converge to the
+/// same totals.
+pub fn tenant_traffic_mix(w: &Workload, tenant_seed: u64) -> Workload {
+    let mut out = w.clone();
+    let mut rng = StdRng::seed_from_u64(tenant_seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    shuffle(&mut out.train_calls, &mut rng);
+    shuffle(&mut out.eval_calls, &mut rng);
+    out
+}
+
+/// In-place Fisher–Yates (the vendored `rand` exposes no `shuffle`).
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..(i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Diurnal phase shift: reorders training traffic so the request mix drifts
+/// across epochs (calls sorted by argument `arg`, stable), then pins that
+/// argument in the eval stream to the *low* end of the spectrum. The eval
+/// epoch's probe-weight distribution diverges from the steady-state tail —
+/// exactly the pattern a fleet drift watchdog exists to catch.
+pub fn phase_shifted(w: &Workload, arg: usize) -> Workload {
+    let mut out = w.clone();
+    out.train_calls
+        .sort_by_key(|c| c.get(arg).copied().unwrap_or(0));
+    let lo = out
+        .train_calls
+        .iter()
+        .filter_map(|c| c.get(arg))
+        .copied()
+        .min()
+        .unwrap_or(0);
+    for call in &mut out.eval_calls {
+        if let Some(v) = call.get_mut(arg) {
+            *v = lo;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +302,37 @@ mod tests {
             };
             assert_eq!(run(&plain), run(&opt), "{} miscompiled", w.name);
         }
+    }
+
+    #[test]
+    fn tenant_traffic_mix_permutes_without_changing_the_multiset() {
+        let base = ad_ranker();
+        let mixed = tenant_traffic_mix(&base, 3);
+        assert_ne!(base.train_calls, mixed.train_calls);
+        let sorted = |mut v: Vec<Vec<i64>>| {
+            v.sort();
+            v
+        };
+        assert_eq!(
+            sorted(base.train_calls.clone()),
+            sorted(mixed.train_calls.clone())
+        );
+        assert_eq!(
+            sorted(base.eval_calls.clone()),
+            sorted(mixed.eval_calls.clone())
+        );
+        // Deterministic per seed.
+        assert_eq!(mixed.train_calls, tenant_traffic_mix(&base, 3).train_calls);
+        assert_ne!(mixed.train_calls, tenant_traffic_mix(&base, 4).train_calls);
+    }
+
+    #[test]
+    fn phase_shifted_sorts_train_and_pins_eval() {
+        let shifted = phase_shifted(&ad_ranker(), 1);
+        let keys: Vec<i64> = shifted.train_calls.iter().map(|c| c[1]).collect();
+        assert!(keys.windows(2).all(|p| p[0] <= p[1]), "train not sorted");
+        let lo = *keys.first().unwrap();
+        assert!(shifted.eval_calls.iter().all(|c| c[1] == lo));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Integration tests for the multi-tenant fleet service: serving several
+//! tenants interleaved through one [`FleetService`] must be bit-identical
+//! to serving each tenant solo (tenant isolation), and the
+//! resident-context cap must bound every tenant-version's store while
+//! conserving the weight its evictions fold away.
+
+use csspgo::core::fleet::{FleetBinaries, FleetConfig, FleetService, TenantId, TenantSpec};
+use csspgo::core::pipeline::PipelineConfig;
+use csspgo::workloads::{self, tenant_traffic_mix};
+
+fn fleet_cfg(resident_cap: usize) -> FleetConfig {
+    FleetConfig::builder()
+        .pipeline(
+            PipelineConfig::builder()
+                .sample_period(89)
+                .build()
+                .expect("valid pipeline config"),
+        )
+        .epoch_calls(4)
+        .resident_cap(resident_cap)
+        .build()
+        .expect("valid fleet config")
+}
+
+/// Two tenants running the same services real fleets would: the same
+/// request multisets in tenant-specific arrival orders.
+fn two_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::single_version(
+            TenantId(0),
+            tenant_traffic_mix(&workloads::ad_finder().scaled(0.2), 7),
+        ),
+        TenantSpec::single_version(
+            TenantId(1),
+            tenant_traffic_mix(&workloads::ad_ranker().scaled(0.2), 8),
+        ),
+    ]
+}
+
+/// The isolation contract: a tenant's profile out of the interleaved fleet
+/// is bit-identical to what solo serving produces — under *and* without a
+/// resident cap (eviction is a pure function of the tenant's own stream).
+#[test]
+fn interleaved_tenants_match_solo_serving_bit_for_bit() {
+    for cap in [0, 6] {
+        let cfg = fleet_cfg(cap);
+        let specs = two_tenants();
+        let fleet_bins = FleetBinaries::compile(&specs, &cfg).expect("fleet compiles");
+        let mut fleet = FleetService::new(&fleet_bins, cfg.clone());
+        let run = fleet.run().expect("fleet serves");
+        assert_eq!(run.stats.tenants, 2);
+
+        for spec in &specs {
+            let solo_bins =
+                FleetBinaries::compile(std::slice::from_ref(spec), &cfg).expect("solo compiles");
+            let mut solo = FleetService::new(&solo_bins, cfg.clone());
+            solo.run().expect("solo serves");
+
+            let fleet_agg = fleet.aggregator(spec.id, "v0").expect("tenant registered");
+            let solo_agg = solo.aggregator(spec.id, "v0").expect("tenant registered");
+            assert_eq!(
+                fleet_agg.context_profile(),
+                solo_agg.context_profile(),
+                "tenant {} (cap {cap}) diverged from solo serving",
+                spec.id
+            );
+            assert_eq!(fleet_agg.total_samples(), solo_agg.total_samples());
+            assert_eq!(fleet_agg.epochs_sealed(), solo_agg.epochs_sealed());
+        }
+    }
+}
+
+/// The cap contract: capped serving evicts, stays under the cap on every
+/// tenant-version, and folds exactly the weight away that uncapped serving
+/// keeps resident — totals match bit for bit.
+#[test]
+fn resident_cap_bounds_every_tenant_and_conserves_weight() {
+    let free_cfg = fleet_cfg(0);
+    let specs = two_tenants();
+    let bins = FleetBinaries::compile(&specs, &free_cfg).expect("fleet compiles");
+
+    let mut free = FleetService::new(&bins, free_cfg);
+    free.run().expect("uncapped fleet serves");
+    let max_resident = free
+        .registry()
+        .into_iter()
+        .map(|(id, v)| free.aggregator(id, &v).unwrap().resident_contexts())
+        .max()
+        .unwrap();
+    assert!(max_resident > 2, "need a store worth capping");
+
+    let cap = max_resident - 2;
+    let mut capped = FleetService::new(&bins, fleet_cfg(cap));
+    let run = capped.run().expect("capped fleet serves");
+    assert!(
+        run.stats.evicted.subtrees > 0,
+        "cap {cap} under max residency {max_resident} must evict"
+    );
+
+    for (id, version) in capped.registry() {
+        let capped_agg = capped.aggregator(id, &version).unwrap();
+        let free_agg = free.aggregator(id, &version).unwrap();
+        assert!(
+            capped_agg.resident_contexts() <= cap,
+            "tenant {id} {version}: {} resident over cap {cap}",
+            capped_agg.resident_contexts()
+        );
+        assert_eq!(
+            capped_agg.context_profile().total(),
+            free_agg.context_profile().total(),
+            "tenant {id} {version}: eviction lost weight"
+        );
+    }
+}

@@ -13,7 +13,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
-    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 /// Number of worker threads a parallel operation will use.
@@ -114,6 +116,29 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     }
 }
 
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
 impl<T: Send> ParIter<T> {
     pub fn map<R, F>(self, f: F) -> ParMap<T, F>
     where
@@ -191,6 +216,20 @@ mod tests {
         let v: Vec<u64> = (0..100).collect();
         let out: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
         assert_eq!(out.iter().sum::<u64>(), v.iter().sum::<u64>() + 100);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u64> = (0..100).collect();
+        let seen: Vec<u64> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(v, (1..=100).collect::<Vec<_>>());
+        assert_eq!(seen, v);
     }
 
     #[test]
