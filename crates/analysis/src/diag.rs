@@ -120,6 +120,13 @@ pub const LINTS: &[Lint] = &[
         description: "profile references probe indices the function never allocated",
     },
     Lint {
+        id: "PF006",
+        name: "edge-flow-conservation",
+        default_severity: Severity::Warn,
+        description:
+            "annotated edge counts do not reconcile with block counts (or name non-CFG edges)",
+    },
+    Lint {
         id: "SM001",
         name: "match-ambiguous-anchor",
         default_severity: Severity::Warn,

@@ -5,8 +5,13 @@
 //! Fractions are rounded to four decimals at construction time so the JSON
 //! is stable across floating-point noise (golden tests pin the output).
 
-use crate::diag::Diagnostic;
-use csspgo_core::stalematch::{FuncMatchStatus, MatchOutcome};
+use crate::diag::{Diagnostic, Policy, Report};
+use crate::module_lints::{analyze_flow, FlowTolerance};
+use csspgo_core::annotate::{csspgo_annotate, AnnotateConfig};
+use csspgo_core::inference::InferenceMode;
+use csspgo_core::profile::ProbeProfile;
+use csspgo_core::stalematch::{FuncMatchStatus, MatchOutcome, StaleMatching};
+use csspgo_ir::Module;
 use serde::Serialize;
 
 /// Rounds to four decimals for byte-stable JSON.
@@ -45,6 +50,66 @@ pub struct FuncDiffRecord {
     pub recovered_fraction: f64,
 }
 
+/// How much repair profile inference had to do on a scenario's recovered
+/// counts, and what the flow lints say before and after it ran.
+#[derive(Clone, Debug, Serialize)]
+pub struct InferenceQuality {
+    /// Inference algorithm measured (`mcf`).
+    pub mode: String,
+    /// Functions that went through inference.
+    pub functions: u64,
+    /// Blocks whose count inference changed.
+    pub counts_adjusted: u64,
+    /// Total absolute count change, Σ|final − raw|.
+    pub flow_moved: u64,
+    /// Total min-cost-flow routing cost.
+    pub residual_cost: u64,
+    /// `PF` flow findings on the raw (uninferred) annotation.
+    pub pf_findings_raw: usize,
+    /// `PF` flow findings after inference (0 = clean by construction).
+    pub pf_findings_inferred: usize,
+}
+
+/// Measures [`InferenceQuality`] for one (module, profile) pair: annotates
+/// a clone with inference off and one with MCF (stale recovery on, no
+/// inline replay so the two CFGs stay identical), then runs the `PF` flow
+/// lints over both.
+pub fn inference_quality(module: &Module, profile: &ProbeProfile) -> InferenceQuality {
+    let annotate = |mode: InferenceMode| {
+        let mut m = module.clone();
+        let cfg = AnnotateConfig {
+            inline_budget: 0,
+            stale_matching: StaleMatching::Recover,
+            inference: mode,
+            ..AnnotateConfig::default()
+        };
+        let stats = csspgo_annotate(&mut m, profile, None, &cfg);
+        (m, stats)
+    };
+    let pf_findings = |m: &Module| {
+        let mut report = Report::new();
+        analyze_flow(
+            &Policy::default(),
+            "inference-quality",
+            m,
+            FlowTolerance::default(),
+            &mut report,
+        );
+        report.diagnostics.len()
+    };
+    let (raw_module, _) = annotate(InferenceMode::Off);
+    let (inferred_module, stats) = annotate(InferenceMode::Mcf);
+    InferenceQuality {
+        mode: InferenceMode::Mcf.name().to_string(),
+        functions: stats.inference.functions,
+        counts_adjusted: stats.inference.counts_adjusted,
+        flow_moved: stats.inference.flow_moved,
+        residual_cost: stats.inference.residual_cost,
+        pf_findings_raw: pf_findings(&raw_module),
+        pf_findings_inferred: pf_findings(&inferred_module),
+    }
+}
+
 /// One drift scenario's full differential result.
 #[derive(Clone, Debug, Serialize)]
 pub struct ScenarioReport {
@@ -72,6 +137,9 @@ pub struct ScenarioReport {
     pub functions: Vec<FuncDiffRecord>,
     /// `SM` diagnostics emitted for this scenario.
     pub diagnostics: Vec<Diagnostic>,
+    /// Inference repair effort and before/after flow-lint findings
+    /// (absent when the caller did not measure it).
+    pub inference_quality: Option<InferenceQuality>,
 }
 
 impl ScenarioReport {
@@ -123,7 +191,14 @@ impl ScenarioReport {
             stale_recovered_fraction: round4(outcome.stale_recovered_fraction()),
             functions,
             diagnostics,
+            inference_quality: None,
         }
+    }
+
+    /// Attaches a measured [`InferenceQuality`] section.
+    pub fn with_inference_quality(mut self, q: InferenceQuality) -> Self {
+        self.inference_quality = Some(q);
+        self
     }
 }
 

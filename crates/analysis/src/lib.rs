@@ -15,8 +15,10 @@
 //!   (on fresh IR) discriminator discipline. Wraps
 //!   [`csspgo_ir::probe_verify`].
 //! * **`PF…` profile flow & integrity** — Kirchhoff-style conservation and
-//!   dominance bounds over annotated block counts, context-tree consistency,
-//!   checksum staleness, and probe-range checks over collected profiles.
+//!   dominance bounds over annotated block counts, edge/block-count
+//!   reconciliation over inference-attached edge counts, context-tree
+//!   consistency, checksum staleness, and probe-range checks over collected
+//!   profiles.
 //! * **`SM…` stale-profile matching** — lints over the anchor-based
 //!   stale-profile matcher ([`csspgo_core::stalematch`]): alignment
 //!   ambiguity, matcher invariants (injectivity, weight conservation),
@@ -49,7 +51,9 @@ pub mod module_lints;
 pub mod profile_lints;
 
 pub use diag::{find_lint, render_lint_list, Diagnostic, Lint, Policy, Report, Severity, LINTS};
-pub use diffreport::{DiffReport, FuncDiffRecord, ScenarioReport};
+pub use diffreport::{
+    inference_quality, DiffReport, FuncDiffRecord, InferenceQuality, ScenarioReport,
+};
 pub use module_lints::FlowTolerance;
 pub use profile_lints::ContextTolerance;
 
@@ -61,7 +65,7 @@ use csspgo_ir::Module;
 /// Tuning knobs for the analyses that need tolerance to sampling noise.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AnalyzerConfig {
-    /// Slack for the flow lints (`PF001`/`PF002`).
+    /// Slack for the flow lints (`PF001`/`PF002`/`PF006`).
     pub flow: FlowTolerance,
     /// Slack for the context-tree lint (`PF003`).
     pub context: ContextTolerance,
@@ -103,8 +107,8 @@ impl Analyzer {
         module_lints::analyze_module(&self.policy, unit, module, fresh, &mut self.report);
     }
 
-    /// Flow-conservation and dominance lints (`PF001`/`PF002`) over a
-    /// profile-annotated module.
+    /// Flow-conservation, dominance, and edge-reconciliation lints
+    /// (`PF001`/`PF002`/`PF006`) over a profile-annotated module.
     pub fn analyze_flow(&mut self, unit: &str, module: &Module) {
         module_lints::analyze_flow(
             &self.policy,

@@ -1,5 +1,5 @@
 //! Module-level lints: IR well-formedness (`IV…`), probe invariants
-//! (`PI…`), and annotated-count flow checks (`PF001`/`PF002`).
+//! (`PI…`), and annotated-count flow checks (`PF001`/`PF002`/`PF006`).
 //!
 //! The raw checks live in `csspgo_ir` (`verify`, `probe_verify`) so the opt
 //! pipeline can call them between passes without depending on this crate;
@@ -96,7 +96,8 @@ impl Default for FlowTolerance {
 }
 
 /// Checks annotated block counts for flow-conservation violations (`PF001`)
-/// and dominance impossibilities (`PF002`).
+/// and dominance impossibilities (`PF002`), and — when edge counts are
+/// attached — edge/block reconciliation (`PF006`).
 ///
 /// With block counts only (no edge counts), Kirchhoff's law degrades to
 /// inequalities: a non-exit block cannot execute more often than its
@@ -104,6 +105,11 @@ impl Default for FlowTolerance {
 /// predecessors combined. Dominance gives `count(b) ≤ count(idom(b))` — but
 /// only for blocks outside every natural loop, since loop bodies are
 /// legitimately hotter than their dominating preheaders.
+///
+/// With edge counts (post-inference annotation), the inequalities tighten
+/// to equalities within tolerance, which catches corruptions PF001–PF005
+/// cannot: per-edge miscounts that still sum plausibly against one side of
+/// a block, and edges recorded between blocks the CFG does not connect.
 pub fn analyze_flow(
     policy: &Policy,
     unit: &str,
@@ -210,6 +216,66 @@ fn analyze_function_flow(
                     }
                 }
             }
+        }
+    }
+
+    // PF006: edge counts, when attached, must reconcile with block counts
+    // as near-equalities (two-sided band, unlike the one-sided PF001
+    // inequalities) and may only name real CFG edges.
+    let Some(ec) = &func.edge_counts else { return };
+    let in_band = |total: u64, c: u64| -> bool {
+        let lo = (c as f64) * (1.0 - tol.rel) - tol.abs;
+        let hi = (c as f64) * (1.0 + tol.rel) + tol.abs;
+        (lo..=hi).contains(&(total as f64))
+    };
+    for (bid, block) in func.iter_blocks() {
+        let Some(c) = block.count else { continue };
+        if c < tol.min_count || !dom.is_reachable(bid) {
+            continue;
+        }
+        // Exit blocks hand their flow back to the caller, not to recorded
+        // edges; the entry carries head flow on top of its in-edges. Those
+        // sides are exempt.
+        if !cfg::successors(func, bid).is_empty() {
+            let total = ec.out_total(bid);
+            if !in_band(total, c) {
+                emit(
+                    report,
+                    "PF006",
+                    bid,
+                    format!(
+                        "recorded out-edge total {total} does not reconcile \
+                         with block count {c}"
+                    ),
+                );
+            }
+        }
+        if bid != func.entry {
+            let total = ec.in_total(bid);
+            if !in_band(total, c) {
+                emit(
+                    report,
+                    "PF006",
+                    bid,
+                    format!(
+                        "recorded in-edge total {total} does not reconcile \
+                         with block count {c}"
+                    ),
+                );
+            }
+        }
+    }
+    for (from, to, c) in ec.iter() {
+        if c < tol.min_count {
+            continue;
+        }
+        if !cfg::successors(func, from).contains(&to) {
+            emit(
+                report,
+                "PF006",
+                from,
+                format!("recorded edge {from} -> {to} (count {c}) is not a CFG edge"),
+            );
         }
     }
 }

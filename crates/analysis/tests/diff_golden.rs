@@ -88,11 +88,19 @@ fn diff_report_json_matches_golden() {
         let outcome =
             analyzer.analyze_stale_match(&unit, &module, &profile, &MatchConfig::default());
         let diags = analyzer.report().diagnostics[before..].to_vec();
-        report.scenarios.push(ScenarioReport::from_outcome(
-            name, "golden", &outcome, diags,
-        ));
+        let sr = ScenarioReport::from_outcome(name, "golden", &outcome, diags)
+            .with_inference_quality(csspgo_analysis::inference_quality(&module, &profile));
+        report.scenarios.push(sr);
     }
     // The fixture must exercise all three outcomes the report classifies.
+    for sr in &report.scenarios {
+        let q = sr.inference_quality.as_ref().unwrap();
+        assert_eq!(
+            q.pf_findings_inferred, 0,
+            "{}: MCF-inferred profiles are flow-clean by construction",
+            sr.scenario
+        );
+    }
     assert!(
         report.scenarios[0].checksum_matched == 3,
         "comment drift is transparent"

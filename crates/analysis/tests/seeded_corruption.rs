@@ -10,7 +10,7 @@ use csspgo_core::profile::{ProbeFuncProfile, ProbeProfile};
 use csspgo_ir::ids::{BlockId, FuncId};
 use csspgo_ir::inst::InstKind;
 use csspgo_ir::probe::ProbeSite;
-use csspgo_ir::Module;
+use csspgo_ir::{EdgeCounts, Module};
 
 const SRC: &str = r#"
 fn helper(x) {
@@ -276,6 +276,89 @@ fn consistent_block_counts_are_lint_free() {
         a.report().diagnostics.is_empty(),
         "{}",
         a.report().render_human()
+    );
+}
+
+/// `helper`'s branch head, its returning arm, its fall-through arm, and
+/// the tail block the fall-through arm branches to.
+fn helper_shape(m: &Module, fid: FuncId) -> (BlockId, BlockId, BlockId, BlockId) {
+    let func = m.func(fid);
+    let succs = csspgo_ir::cfg::successors(func, func.entry);
+    assert_eq!(succs.len(), 2, "helper's entry is a two-way branch");
+    let (a1, a2) = if csspgo_ir::cfg::successors(func, succs[0]).is_empty() {
+        (succs[0], succs[1])
+    } else {
+        (succs[1], succs[0])
+    };
+    let tail = csspgo_ir::cfg::successors(func, a2)[0];
+    (func.entry, a1, a2, tail)
+}
+
+/// Annotates `helper` with flow-consistent block counts (entry 1000, arms
+/// and tail 500 each) plus the consistent `a2 -> tail` edge, appends the
+/// edge counts `edges` builds from `(entry, a1, a2)`, and runs the flow
+/// lints.
+fn analyze_helper_edges(
+    edges: impl FnOnce(BlockId, BlockId, BlockId) -> Vec<(BlockId, BlockId, u64)>,
+) -> csspgo_analysis::Report {
+    let mut m = fresh_module();
+    let fid = m.find_function("helper").unwrap();
+    let (entry, a1, a2, tail) = helper_shape(&m, fid);
+    let func = m.func_mut(fid);
+    func.block_mut(entry).count = Some(1000);
+    func.block_mut(a1).count = Some(500);
+    func.block_mut(a2).count = Some(500);
+    func.block_mut(tail).count = Some(500);
+    func.entry_count = Some(1000);
+    let mut es = edges(entry, a1, a2);
+    es.push((a2, tail, 500));
+    func.edge_counts = Some(EdgeCounts::new(es));
+    let mut a = deny_all_analyzer();
+    a.analyze_flow("seeded", &m);
+    a.into_report()
+}
+
+#[test]
+fn consistent_edge_counts_are_lint_free() {
+    let report = analyze_helper_edges(|entry, a1, a2| vec![(entry, a1, 500), (entry, a2, 500)]);
+    assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+}
+
+#[test]
+fn corrupted_edge_counts_fire_pf006_where_block_lints_stay_silent() {
+    // Block counts stay perfectly plausible — entry 1000 flowing into arms
+    // of 500 each satisfies every PF001/PF002 inequality — but the attached
+    // edge counts claim both arms took the full 1000. Only the edge/block
+    // reconciliation can see that.
+    let report = analyze_helper_edges(|entry, a1, a2| vec![(entry, a1, 1000), (entry, a2, 1000)]);
+    assert!(
+        !report.by_lint("PF006").is_empty(),
+        "{}",
+        report.render_human()
+    );
+    for id in ["PF001", "PF002", "PF003", "PF004", "PF005"] {
+        assert!(
+            report.by_lint(id).is_empty(),
+            "{id} must stay silent on this corruption:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn non_cfg_recorded_edge_fires_pf006() {
+    // Edge totals reconcile within tolerance, but one recorded edge connects
+    // two blocks the CFG does not: both arms are returns, so `a2 -> a1`
+    // cannot exist. PF001–PF005 see only block counts and stay silent.
+    let report = analyze_helper_edges(|entry, a1, a2| {
+        vec![(entry, a1, 500), (entry, a2, 500), (a2, a1, 40)]
+    });
+    let findings = report.by_lint("PF006");
+    assert_eq!(findings.len(), 1, "{}", report.render_human());
+    assert!(
+        findings[0].message.contains("not a CFG edge"),
+        "{}",
+        findings[0].message
     );
 }
 

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use csspgo_codegen::{lower_module, Binary, CodegenConfig};
 use csspgo_core::context::ContextProfile;
 use csspgo_core::correlate::{dwarf_profile, probe_profile};
-use csspgo_core::inference::repair_counts;
+use csspgo_core::inference::{infer_counts, InferenceMode};
 use csspgo_core::pipeline::PipelineConfig;
 use csspgo_core::preinline::{context_sizes, run_preinliner, PreInlineConfig};
 use csspgo_core::ranges::RangeCounts;
@@ -111,8 +111,11 @@ fn bench_inference(c: &mut Criterion) {
     for (i, (bid, _)) in func.iter_blocks().enumerate() {
         raw.insert(bid, (i as u64 * 37 + 5) % 1000);
     }
-    c.bench_function("inference/repair_counts", |b| {
-        b.iter(|| repair_counts(func, &raw, 500))
+    c.bench_function("inference/mcf", |b| {
+        b.iter(|| infer_counts(func, &raw, 500, InferenceMode::Mcf).counts)
+    });
+    c.bench_function("inference/heuristic", |b| {
+        b.iter(|| infer_counts(func, &raw, 500, InferenceMode::Heuristic).counts)
     });
 }
 

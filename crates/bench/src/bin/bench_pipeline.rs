@@ -1,16 +1,25 @@
 //! Perf trajectory of the PGO cycle itself: per-stage wall times
 //! (compile, simulate, correlate, pre-inline, serialize, deserialize,
-//! recompile, evaluate) for every server workload, written to
+//! inference, recompile, evaluate) for every server workload, written to
 //! `BENCH_pipeline.json` so perf work across PRs has a measurable baseline.
 //!
 //! If a previous `BENCH_pipeline.json` exists at the output path, a
 //! per-stage speedup table against it is printed before the file is
-//! replaced — old-schema files (no serialize/deserialize columns) compare
-//! on the stages they do carry.
+//! replaced — old-schema files (no serialize/deserialize/inference
+//! columns) compare on the stages they do carry.
 //!
 //! `--gate <ratio>` turns the run into a regression gate: it fails (exit 1)
 //! if any workload's `CSSPGO (full)` correlation takes more than `ratio`×
 //! its `AutoFDO` correlation — the hot path this harness exists to watch.
+//!
+//! `--drift` adds the fig6-style drifted-profile comparison: each
+//! workload's profile is collected on the clean build while the optimized
+//! build compiles a CFG-changed source, stale recovery salvages the
+//! counts, and the cycle runs once with min-cost-flow inference and once
+//! with the fixpoint heuristic. The rows (labeled `drift-*`) carry
+//! `eval_cycles` and `cycles_retained_pct` — how much of the clean-profile
+//! win over `-O2` each inference retained — plus the repair-effort
+//! counters.
 //!
 //! Output path defaults to `BENCH_pipeline.json` in the working directory;
 //! override with the `BENCH_PIPELINE_OUT` environment variable.
@@ -19,7 +28,11 @@ use csspgo_bench::{
     experiment_config, par_map, read_pipeline_bench, traffic_scale, write_pipeline_bench,
     PipelineBenchRecord, PrevBenchRecord, BENCH_STAGES,
 };
-use csspgo_core::pipeline::{run_pgo_cycle, PgoVariant};
+use csspgo_core::inference::InferenceMode;
+use csspgo_core::pipeline::{run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
+use csspgo_core::stalematch::StaleMatching;
+use csspgo_core::Workload;
+use csspgo_workloads::drift;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -74,6 +87,85 @@ fn print_speedups(prev: &[PrevBenchRecord], records: &[PipelineBenchRecord]) {
     }
 }
 
+/// Runs the drifted-profile inference comparison for every workload:
+/// `-O2` and clean `CSSPGO (full)` anchor the retained-win scale, then the
+/// CFG-drifted cycle runs under each inference mode with stale recovery.
+fn run_drift_comparison(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<PipelineBenchRecord> {
+    let per_workload = par_map(workloads.to_vec(), |w| {
+        let drifted_src = drift::change_cfg(&w.source);
+        let o2 = run_pgo_cycle(&w, PgoVariant::O2, cfg)
+            .unwrap_or_else(|e| panic!("{} / O2: {e}", w.name));
+        let clean = run_pgo_cycle(&w, PgoVariant::CsspgoFull, cfg)
+            .unwrap_or_else(|e| panic!("{} / clean: {e}", w.name));
+        // Retained % is only meaningful when the clean profile actually
+        // beats -O2 (it may not at small traffic scales); the drifted rows
+        // then measure how much of that win survives, signed — a drifted
+        // profile that makes the binary slower than -O2 goes negative.
+        let clean_win = o2.eval.cycles as f64 - clean.eval.cycles as f64;
+        let retained_pct = |cycles: u64| {
+            (clean_win > 0.0).then(|| (o2.eval.cycles as f64 - cycles as f64) / clean_win * 100.0)
+        };
+
+        let mut clean_row =
+            PipelineBenchRecord::labeled(&w.name, "drift-clean", &clean.stage_times)
+                .with_eval_cycles(clean.eval.cycles);
+        if let Some(p) = retained_pct(clean.eval.cycles) {
+            clean_row = clean_row.with_retained(p);
+        }
+        let mut rows = vec![
+            PipelineBenchRecord::labeled(&w.name, "drift-O2", &o2.stage_times)
+                .with_eval_cycles(o2.eval.cycles),
+            clean_row,
+        ];
+        for (label, mode) in [
+            ("drift-mcf", InferenceMode::Mcf),
+            ("drift-heuristic", InferenceMode::Heuristic),
+        ] {
+            let mut dcfg = cfg.clone();
+            dcfg.annotate.stale_matching = StaleMatching::Recover;
+            dcfg.annotate.inference = mode;
+            let o = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &dcfg, &drifted_src)
+                .unwrap_or_else(|e| panic!("{} / {label}: {e}", w.name));
+            let inf = o.annotate_stats.inference;
+            let mut row = PipelineBenchRecord::labeled(&w.name, label, &o.stage_times)
+                .with_stale(
+                    o.annotate_stats.stale_dropped,
+                    o.annotate_stats.stale_recovered,
+                )
+                .with_inference(inf.counts_adjusted, inf.flow_moved, inf.residual_cost)
+                .with_eval_cycles(o.eval.cycles);
+            if let Some(p) = retained_pct(o.eval.cycles) {
+                row = row.with_retained(p);
+            }
+            rows.push(row);
+        }
+        rows
+    });
+    per_workload.into_iter().flatten().collect()
+}
+
+/// Prints the drifted-profile comparison table from the `drift-*` rows.
+fn print_drift_table(records: &[PipelineBenchRecord]) {
+    println!("\n# Drifted-profile inference comparison (change_cfg drift, stale recovery on)");
+    println!("| workload | row | eval cycles | retained % | counts adjusted | flow moved | residual cost |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in records {
+        let fmt_u = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+        let retained = r
+            .cycles_retained_pct
+            .map_or_else(|| "-".to_string(), |p| format!("{p:.1}"));
+        println!(
+            "| {} | {} | {} | {retained} | {} | {} | {} |",
+            r.workload,
+            r.variant,
+            fmt_u(r.eval_cycles),
+            fmt_u(r.counts_adjusted),
+            fmt_u(r.flow_moved),
+            fmt_u(r.residual_cost),
+        );
+    }
+}
+
 /// Applies the correlate-time gate; returns the offending lines.
 fn gate_failures(records: &[PipelineBenchRecord], ratio: f64) -> Vec<String> {
     let full = PgoVariant::CsspgoFull.to_string();
@@ -111,6 +203,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let with_drift = args.iter().any(|a| a == "--drift");
     let cfg = experiment_config();
     let scale = traffic_scale();
     let variants = [
@@ -128,7 +221,7 @@ fn main() -> ExitCode {
         .iter()
         .flat_map(|w| variants.iter().map(move |&v| (w.clone(), v)))
         .collect();
-    let records: Vec<PipelineBenchRecord> = par_map(pairs, |(w, v)| {
+    let mut records: Vec<PipelineBenchRecord> = par_map(pairs, |(w, v)| {
         let o = run_pgo_cycle(&w, v, &cfg).unwrap_or_else(|e| panic!("{} / {v}: {e}", w.name));
         PipelineBenchRecord::new(&w.name, v, &o.stage_times)
     });
@@ -136,12 +229,12 @@ fn main() -> ExitCode {
     println!("# Pipeline stage wall times (ms), scale={scale}");
     println!(
         "| workload | variant | compile | simulate | correlate | pre-inline \
-         | serialize | deserialize | recompile | evaluate | total |"
+         | serialize | deserialize | inference | recompile | evaluate | total |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &records {
         println!(
-            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {:.2} | {:.1} | {:.1} | {:.1} |",
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {:.2} | {:.2} | {:.1} | {:.1} | {:.1} |",
             r.workload,
             r.variant,
             r.compile_ms,
@@ -150,10 +243,17 @@ fn main() -> ExitCode {
             r.preinline_ms,
             r.serialize_ms,
             r.deserialize_ms,
+            r.inference_ms,
             r.recompile_ms,
             r.evaluate_ms,
             r.total_ms
         );
+    }
+
+    if with_drift {
+        let drift_rows = run_drift_comparison(&workloads, &cfg);
+        print_drift_table(&drift_rows);
+        records.extend(drift_rows);
     }
 
     let path =

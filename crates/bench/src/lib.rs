@@ -156,6 +156,9 @@ pub struct PipelineBenchRecord {
     pub serialize_ms: f64,
     /// Binary profile load time on the consuming side of the hand-off.
     pub deserialize_ms: f64,
+    /// Profile-inference time (min-cost-flow count repair) inside the
+    /// recompile stage, carved out for visibility.
+    pub inference_ms: f64,
     pub recompile_ms: f64,
     pub evaluate_ms: f64,
     pub total_ms: f64,
@@ -166,6 +169,18 @@ pub struct PipelineBenchRecord {
     /// Functions whose stale counts the matcher salvaged
     /// (`stale_matching: recover`).
     pub stale_recovered: usize,
+    /// Blocks inference adjusted away from their raw measured counts
+    /// (rows that measured inference only; additive in `csspgo-bench-v2`).
+    pub counts_adjusted: Option<u64>,
+    /// Total absolute count change inference applied.
+    pub flow_moved: Option<u64>,
+    /// Min-cost-flow routing cost of the repair.
+    pub residual_cost: Option<u64>,
+    /// Evaluation cycles of the recompiled binary (drift-comparison rows).
+    pub eval_cycles: Option<u64>,
+    /// Share of the clean-profile PGO cycle win this row retained, in
+    /// percent (drift-comparison rows).
+    pub cycles_retained_pct: Option<f64>,
 }
 
 impl PipelineBenchRecord {
@@ -188,11 +203,17 @@ impl PipelineBenchRecord {
             preinline_ms: t.preinline_ms,
             serialize_ms: t.serialize_ms,
             deserialize_ms: t.deserialize_ms,
+            inference_ms: t.inference_ms,
             recompile_ms: t.recompile_ms,
             evaluate_ms: t.evaluate_ms,
             total_ms: t.total_ms(),
             stale_dropped: 0,
             stale_recovered: 0,
+            counts_adjusted: None,
+            flow_moved: None,
+            residual_cost: None,
+            eval_cycles: None,
+            cycles_retained_pct: None,
         }
     }
 
@@ -201,6 +222,26 @@ impl PipelineBenchRecord {
     pub fn with_stale(mut self, dropped: usize, recovered: usize) -> Self {
         self.stale_dropped = dropped;
         self.stale_recovered = recovered;
+        self
+    }
+
+    /// Attaches inference repair-effort counters (drift-comparison rows).
+    pub fn with_inference(mut self, adjusted: u64, moved: u64, cost: u64) -> Self {
+        self.counts_adjusted = Some(adjusted);
+        self.flow_moved = Some(moved);
+        self.residual_cost = Some(cost);
+        self
+    }
+
+    /// Attaches the recompiled binary's evaluation cycles.
+    pub fn with_eval_cycles(mut self, cycles: u64) -> Self {
+        self.eval_cycles = Some(cycles);
+        self
+    }
+
+    /// Attaches the retained share of the clean-profile win, in percent.
+    pub fn with_retained(mut self, pct: f64) -> Self {
+        self.cycles_retained_pct = Some(pct);
         self
     }
 }
@@ -217,13 +258,14 @@ pub fn write_pipeline_bench(path: &str, records: &[PipelineBenchRecord]) -> std:
 
 /// The per-stage columns shared by [`PipelineBenchRecord`] and
 /// [`PrevBenchRecord`], in presentation order.
-pub const BENCH_STAGES: [&str; 8] = [
+pub const BENCH_STAGES: [&str; 9] = [
     "compile_ms",
     "simulate_ms",
     "correlate_ms",
     "preinline_ms",
     "serialize_ms",
     "deserialize_ms",
+    "inference_ms",
     "recompile_ms",
     "evaluate_ms",
 ];
@@ -238,6 +280,7 @@ impl PipelineBenchRecord {
             "preinline_ms" => Some(self.preinline_ms),
             "serialize_ms" => Some(self.serialize_ms),
             "deserialize_ms" => Some(self.deserialize_ms),
+            "inference_ms" => Some(self.inference_ms),
             "recompile_ms" => Some(self.recompile_ms),
             "evaluate_ms" => Some(self.evaluate_ms),
             "total_ms" => Some(self.total_ms),
@@ -261,6 +304,7 @@ pub struct PrevBenchRecord {
     pub preinline_ms: Option<f64>,
     pub serialize_ms: Option<f64>,
     pub deserialize_ms: Option<f64>,
+    pub inference_ms: Option<f64>,
     pub recompile_ms: Option<f64>,
     pub evaluate_ms: Option<f64>,
     pub total_ms: Option<f64>,
@@ -276,6 +320,7 @@ impl PrevBenchRecord {
             "preinline_ms" => self.preinline_ms,
             "serialize_ms" => self.serialize_ms,
             "deserialize_ms" => self.deserialize_ms,
+            "inference_ms" => self.inference_ms,
             "recompile_ms" => self.recompile_ms,
             "evaluate_ms" => self.evaluate_ms,
             "total_ms" => self.total_ms,
@@ -504,21 +549,31 @@ fn work(n) {
             preinline_ms: 0.5,
             serialize_ms: 0.25,
             deserialize_ms: 0.125,
+            inference_ms: 0.0625,
             recompile_ms: 4.0,
             evaluate_ms: 1.5,
         };
-        let rec = PipelineBenchRecord::new("hhvm", PgoVariant::CsspgoFull, &t).with_stale(2, 5);
+        let rec = PipelineBenchRecord::new("hhvm", PgoVariant::CsspgoFull, &t)
+            .with_stale(2, 5)
+            .with_inference(7, 120, 999)
+            .with_eval_cycles(5000)
+            .with_retained(83.5);
         assert_eq!(rec.total_ms, t.total_ms());
         assert_eq!(rec.schema, BENCH_SCHEMA);
         assert_eq!((rec.stale_dropped, rec.stale_recovered), (2, 5));
+        assert_eq!(rec.stage("inference_ms"), Some(0.0625));
+        assert_eq!(rec.counts_adjusted, Some(7));
+        assert_eq!(rec.cycles_retained_pct, Some(83.5));
         for stage in BENCH_STAGES {
             assert!(rec.stage(stage).is_some(), "missing stage {stage}");
         }
         let json = serde_json::to_string(&vec![rec]).unwrap();
         assert!(json.contains("\"correlate_ms\""), "{json}");
         assert!(json.contains("\"serialize_ms\""), "{json}");
+        assert!(json.contains("\"inference_ms\""), "{json}");
         assert!(json.contains("\"schema\""), "{json}");
         assert!(json.contains("\"stale_recovered\":5"), "{json}");
+        assert!(json.contains("\"eval_cycles\":5000"), "{json}");
         assert!(json.contains("hhvm"), "{json}");
     }
 
@@ -596,6 +651,7 @@ fn work(n) {
         assert_eq!(r.schema, None);
         assert_eq!(r.stage("correlate_ms"), Some(3.0));
         assert_eq!(r.stage("serialize_ms"), None);
+        assert_eq!(r.stage("inference_ms"), None);
 
         // A fresh record survives the same lenient parse round-trip.
         let t = StageTimes {

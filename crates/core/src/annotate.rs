@@ -15,9 +15,11 @@
 //! * [`instr_annotate`] — exact counter values (ground truth).
 //!
 //! All sampling paths finish with profile inference
-//! ([`crate::inference::repair_counts`]).
+//! ([`crate::inference::infer_counts`], min-cost-flow by default), which
+//! also attaches flow-consistent [`csspgo_ir::EdgeCounts`] when the MCF
+//! solver runs.
 
-use crate::inference::repair_counts;
+use crate::inference::{infer_counts, InferenceMode, InferenceStats};
 use crate::profile::{FlatFuncProfile, FlatProfile, LocKey, ProbeFuncProfile, ProbeProfile};
 use crate::stalematch::{match_stale_profile, FuncMatchStatus, MatchConfig, StaleMatching};
 use csspgo_ir::annot::InlinePlan;
@@ -41,6 +43,9 @@ pub struct AnnotateConfig {
     /// ([`StaleMatching::Off`], [`StaleMatching::Report`]) or salvaged
     /// through the anchor-based matcher ([`StaleMatching::Recover`]).
     pub stale_matching: StaleMatching,
+    /// Which inference algorithm repairs the correlated counts (runs after
+    /// stale recovery, so salvaged partial profiles become fully usable).
+    pub inference: InferenceMode,
 }
 
 impl Default for AnnotateConfig {
@@ -50,6 +55,7 @@ impl Default for AnnotateConfig {
             replay_max_callee_size: 200,
             inline_budget: 64,
             stale_matching: StaleMatching::Off,
+            inference: InferenceMode::default(),
         }
     }
 }
@@ -68,6 +74,8 @@ pub struct AnnotateStats {
     pub stale_recovered: usize,
     /// Inlines replayed from the profile or plan.
     pub replayed_inlines: usize,
+    /// Aggregate profile-inference work across all annotated functions.
+    pub inference: InferenceStats,
 }
 
 impl AnnotateStats {
@@ -194,7 +202,8 @@ pub fn autofdo_annotate(
         let entry = fp
             .entry
             .max(raw.get(&module.func(fid).entry).copied().unwrap_or(0));
-        apply(module, fid, &raw, entry);
+        let inf = apply(module, fid, &raw, entry, cfg.inference);
+        stats.inference.merge(&inf);
         stats.annotated += 1;
     }
     stats
@@ -370,7 +379,8 @@ pub fn csspgo_annotate(
         let entry = fp
             .entry
             .max(raw.get(&module.func(fid).entry).copied().unwrap_or(0));
-        apply(module, fid, &raw, entry);
+        let inf = apply(module, fid, &raw, entry, cfg.inference);
+        stats.inference.merge(&inf);
         stats.annotated += 1;
     }
     stats
@@ -432,15 +442,25 @@ pub fn instr_annotate(
     stats
 }
 
-/// Writes repaired counts onto the function.
-fn apply(module: &mut Module, fid: FuncId, raw: &HashMap<BlockId, u64>, entry: u64) {
-    let repaired = repair_counts(module.func(fid), raw, entry);
+/// Runs the configured inference on the raw counts and writes the repaired
+/// block (and, under MCF, edge) counts onto the function. Returns the
+/// per-function inference stats for aggregation.
+fn apply(
+    module: &mut Module,
+    fid: FuncId,
+    raw: &HashMap<BlockId, u64>,
+    entry: u64,
+    mode: InferenceMode,
+) -> InferenceStats {
+    let result = infer_counts(module.func(fid), raw, entry, mode);
     let ids: Vec<BlockId> = module.func(fid).iter_blocks().map(|(b, _)| b).collect();
     let f = module.func_mut(fid);
     for bid in ids {
-        f.block_mut(bid).count = Some(repaired.get(&bid).copied().unwrap_or(0));
+        f.block_mut(bid).count = Some(result.counts.get(&bid).copied().unwrap_or(0));
     }
     f.entry_count = Some(entry);
+    f.edge_counts = result.edges.map(csspgo_ir::EdgeCounts::new);
+    result.stats
 }
 
 /// Snapshot of per-function block counts keyed by GUID (for the overlap
@@ -558,6 +578,43 @@ mod tests {
         let c = |b: BlockId| m.functions[0].block(b).count.unwrap();
         assert_eq!(c(b_of(1)), 100);
         assert!(c(b_of(2)) > c(b_of(3)), "bias preserved through inference");
+    }
+
+    #[test]
+    fn annotation_attaches_edge_counts_under_mcf_only() {
+        let src = "fn f(a) { if (a > 0) { return 1; } return 2; }";
+        let build = || {
+            let mut m = csspgo_lang::compile(src, "t").unwrap();
+            csspgo_opt::probes::run(&mut m);
+            m
+        };
+        let mut m = build();
+        let guid = m.functions[0].guid;
+        let mut profile = ProbeProfile::default();
+        let fp = profile.funcs.entry(guid).or_default();
+        fp.checksum = m.functions[0].probe_checksum.unwrap();
+        fp.record_sum(1, 100);
+        fp.record_sum(2, 80);
+        fp.record_sum(3, 20);
+        fp.entry = 100;
+        fp.recompute_totals();
+
+        let stats = csspgo_annotate(&mut m, &profile, None, &AnnotateConfig::default());
+        let edges = m.functions[0].edge_counts.as_ref().expect("mcf edges");
+        assert!(!edges.is_empty());
+        assert_eq!(edges.out_total(m.functions[0].entry), 100);
+        assert_eq!(stats.inference.functions, 1);
+
+        let mut m2 = build();
+        let cfg = AnnotateConfig {
+            inference: InferenceMode::Heuristic,
+            ..AnnotateConfig::default()
+        };
+        csspgo_annotate(&mut m2, &profile, None, &cfg);
+        assert!(
+            m2.functions[0].edge_counts.is_none(),
+            "heuristic produces block counts only"
+        );
     }
 
     #[test]

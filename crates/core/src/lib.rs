@@ -20,8 +20,9 @@
 //!   header/sections/varints), the production serialization behind
 //!   snapshots and pipeline hand-off; textprof stays the debug format;
 //! * [`tailcall`] — the missing-frame inferrer for tail-call-broken stacks;
-//! * [`inference`] — profile inference (flow-conservation repair, the
-//!   Profi stand-in used by *all* sampling variants, per the paper's setup);
+//! * [`inference`] — profile inference (min-cost-flow flow-conservation
+//!   repair — real Profi — used by *all* sampling variants, per the paper's
+//!   setup, with the old local fixpoint heuristic as a selectable fallback);
 //! * [`preinline`] — **Algorithms 2 and 3**: the context-sensitive
 //!   pre-inliner with binary-extracted size estimates;
 //! * [`annotate`] — applying profiles onto fresh IR, replaying inline

@@ -227,6 +227,14 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Sets the profile-inference algorithm (`off | heuristic | mcf`) —
+    /// shorthand for overriding just that field of the annotate knobs.
+    #[must_use]
+    pub fn inference(mut self, mode: crate::inference::InferenceMode) -> Self {
+        self.cfg.annotate.inference = mode;
+        self
+    }
+
     /// Sets the pre-inliner knobs.
     #[must_use]
     pub fn preinline(mut self, preinline: PreInlineConfig) -> Self {
@@ -322,7 +330,13 @@ pub struct StageTimes {
     pub serialize_ms: f64,
     /// Decoding the binprof payload back into the compiler-side profile.
     pub deserialize_ms: f64,
-    /// Optimized rebuild (annotate + opt + lowering).
+    /// Profile inference during annotation ([`crate::inference`]); carved
+    /// out of the rebuild so MCF-vs-heuristic cost is directly visible.
+    /// (Old bench records without this stage stay readable through the
+    /// lenient all-`Option` parse in `csspgo-bench`.)
+    pub inference_ms: f64,
+    /// Optimized rebuild (annotate + opt + lowering), *excluding* the
+    /// inference time reported separately above.
     pub recompile_ms: f64,
     /// Evaluation run on the final binary.
     pub evaluate_ms: f64,
@@ -337,6 +351,7 @@ impl StageTimes {
             + self.preinline_ms
             + self.serialize_ms
             + self.deserialize_ms
+            + self.inference_ms
             + self.recompile_ms
             + self.evaluate_ms
     }
@@ -823,7 +838,10 @@ pub fn run_pgo_cycle_with(
     }
     let final_binary = lower_module(&build_module, &config.codegen);
     outcome.sections = final_binary.sections;
-    outcome.stage_times.recompile_ms = build_frontend_ms + ms_since(stage_start);
+    let inference_ms = outcome.annotate_stats.inference.elapsed_us as f64 / 1e3;
+    outcome.stage_times.inference_ms = inference_ms;
+    outcome.stage_times.recompile_ms =
+        (build_frontend_ms + ms_since(stage_start) - inference_ms).max(0.0);
 
     // ---------- evaluation run ----------
     let stage_start = Instant::now();
@@ -1076,6 +1094,31 @@ fn score(n) {
 
         // `Default` stays valid by construction.
         PipelineConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn builder_inference_shorthand_and_stage_carveout() {
+        use crate::inference::InferenceMode;
+        let cfg = PipelineConfig::builder()
+            .sample_period(61)
+            .inference(InferenceMode::Heuristic)
+            .build()
+            .expect("valid combo");
+        assert_eq!(cfg.annotate.inference, InferenceMode::Heuristic);
+        assert_eq!(
+            PipelineConfig::default().annotate.inference,
+            InferenceMode::Mcf,
+            "mcf is the default, per the paper's always-on Profi"
+        );
+
+        let w = tiny_workload();
+        let o = run_pgo_cycle(&w, PgoVariant::CsspgoFull, &quick_config()).unwrap();
+        assert!(o.annotate_stats.inference.functions > 0);
+        assert!(o.stage_times.inference_ms >= 0.0);
+        assert!(
+            o.stage_times.total_ms() >= o.stage_times.inference_ms,
+            "inference is part of the total"
+        );
     }
 
     #[test]

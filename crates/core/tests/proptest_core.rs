@@ -3,7 +3,7 @@
 //! round-trips.
 
 use csspgo_core::context::{ContextProfile, FrameKey};
-use csspgo_core::inference::repair_counts;
+use csspgo_core::inference::{infer_counts, InferenceMode};
 use csspgo_core::overlap::function_overlap;
 use csspgo_core::profile::{FlatFuncProfile, FlatProfile, LocKey};
 use csspgo_core::textprof;
@@ -64,7 +64,7 @@ proptest! {
             raw.insert(BlockId::from_index(i), r as u64);
         }
         let entry_count = 1000u64;
-        let rep = repair_counts(f, &raw, entry_count);
+        let rep = infer_counts(f, &raw, entry_count, InferenceMode::Mcf).counts;
         // The entry receives at least the entry flow.
         prop_assert!(rep[&f.entry] >= entry_count, "entry {} < {entry_count}", rep[&f.entry]);
         // No repaired count is absurdly larger than total possible flow
@@ -73,7 +73,7 @@ proptest! {
             prop_assert!(c <= entry_count.saturating_mul(1 << 20), "{b} exploded: {c}");
         }
         // Deterministic.
-        let rep2 = repair_counts(f, &raw, entry_count);
+        let rep2 = infer_counts(f, &raw, entry_count, InferenceMode::Mcf).counts;
         prop_assert_eq!(rep, rep2);
     }
 
@@ -85,7 +85,7 @@ proptest! {
         for (i, &r) in raws.iter().enumerate() {
             raw.insert(BlockId::from_index(i), r as u64);
         }
-        let rep = repair_counts(f, &raw, 500);
+        let rep = infer_counts(f, &raw, 500, InferenceMode::Mcf).counts;
         let preds = cfg::predecessors(f);
         let dom = csspgo_ir::dom::Dominators::compute(f);
         for (b, _) in f.iter_blocks() {

@@ -46,6 +46,78 @@ impl BasicBlock {
     }
 }
 
+/// Annotated CFG edge counts, produced by flow inference
+/// (`csspgo_core::inference` in its min-cost-flow mode) alongside the block
+/// counts. Stored sparsely as a sorted `(from, to, count)` list so the
+/// structure serializes cleanly and lookups stay deterministic.
+///
+/// Edge counts describe the CFG *at annotation time*; transformation passes
+/// maintain block counts but not edge counts, so the optimizer pipeline
+/// clears this annotation on entry rather than letting it go stale.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeCounts {
+    edges: Vec<(BlockId, BlockId, u64)>,
+}
+
+impl EdgeCounts {
+    /// Builds the annotation from `(from, to, count)` triples. Duplicate
+    /// `(from, to)` pairs are summed; the result is sorted for
+    /// deterministic iteration and binary-search lookup.
+    pub fn new(mut edges: Vec<(BlockId, BlockId, u64)>) -> Self {
+        edges.sort_by_key(|&(f, t, _)| (f, t));
+        edges.dedup_by(|next, kept| {
+            if kept.0 == next.0 && kept.1 == next.1 {
+                kept.2 += next.2;
+                true
+            } else {
+                false
+            }
+        });
+        EdgeCounts { edges }
+    }
+
+    /// The count recorded for edge `from → to`, if any.
+    pub fn get(&self, from: BlockId, to: BlockId) -> Option<u64> {
+        self.edges
+            .binary_search_by_key(&(from, to), |&(f, t, _)| (f, t))
+            .ok()
+            .map(|i| self.edges[i].2)
+    }
+
+    /// All recorded edges in `(from, to)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, BlockId, u64)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Combined count of recorded edges leaving `from`.
+    pub fn out_total(&self, from: BlockId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|&&(f, _, _)| f == from)
+            .map(|&(_, _, c)| c)
+            .sum()
+    }
+
+    /// Combined count of recorded edges entering `to`.
+    pub fn in_total(&self, to: BlockId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|&&(_, t, _)| t == to)
+            .map(|&(_, _, c)| c)
+            .sum()
+    }
+
+    /// Number of recorded edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
 /// The block layout decided by the layout pass: hot blocks in order, then
 /// (optionally, with function splitting) cold blocks placed in a separate
 /// cold region of the binary.
@@ -91,6 +163,11 @@ pub struct Function {
     pub layout: Option<BlockLayout>,
     /// Annotated entry count, if a profile has been applied.
     pub entry_count: Option<u64>,
+    /// Annotated CFG edge counts, if flow inference produced them. Cleared
+    /// by the optimizer pipeline (passes maintain block counts only).
+    /// Absent in serialized modules from before edge inference existed
+    /// (the vendored serde treats a missing `Option` field as `None`).
+    pub edge_counts: Option<EdgeCounts>,
     next_vreg: u32,
 }
 
@@ -111,6 +188,7 @@ impl Function {
             next_probe_index: 1,
             layout: None,
             entry_count: None,
+            edge_counts: None,
             next_vreg: num_params as u32,
         }
     }
@@ -276,6 +354,23 @@ mod tests {
             cold: vec![b1],
         });
         assert_eq!(f.linear_order(), vec![BlockId(0), b2, b1]);
+    }
+
+    #[test]
+    fn edge_counts_sort_sum_and_lookup() {
+        let e = EdgeCounts::new(vec![
+            (BlockId(1), BlockId(2), 5),
+            (BlockId(0), BlockId(1), 7),
+            (BlockId(1), BlockId(2), 3),
+            (BlockId(0), BlockId(2), 2),
+        ]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.get(BlockId(1), BlockId(2)), Some(8));
+        assert_eq!(e.get(BlockId(2), BlockId(0)), None);
+        assert_eq!(e.out_total(BlockId(0)), 9);
+        assert_eq!(e.in_total(BlockId(2)), 10);
+        let order: Vec<_> = e.iter().map(|(f, t, _)| (f.0, t.0)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 2), (1, 2)]);
     }
 
     #[test]

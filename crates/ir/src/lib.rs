@@ -51,7 +51,7 @@ pub mod verify;
 
 pub use annot::{InlinePlan, ProfileAnnotation};
 pub use debuginfo::{DebugLoc, InlineSite};
-pub use function::{BasicBlock, Function};
+pub use function::{BasicBlock, EdgeCounts, Function};
 pub use ids::{BlockId, FuncId, GlobalId, VReg};
 pub use inst::{BinOp, CmpPred, Inst, InstKind, Operand};
 pub use module::{Global, Module};

@@ -140,6 +140,12 @@ pub fn run_pipeline(module: &mut Module, config: &OptConfig) {
         }
     };
     checkpoint(module, "input");
+    // Passes maintain block counts ("profile maintenance") but not the
+    // edge-count annotation inference attaches — drop it rather than let a
+    // transformed CFG carry stale edges.
+    for f in &mut module.functions {
+        f.edge_counts = None;
+    }
     simplify::run(module);
     checkpoint(module, "simplify");
     if config.enable_tail_dup {

@@ -9,7 +9,9 @@
 //!   function renames) against it. Each scenario runs the anchor-based
 //!   matcher ([`csspgo::core::stalematch`]), emits the `SM` lints, and is
 //!   summarized in a match-quality report: matched/fuzzy/dropped probes,
-//!   recovered-weight fractions, rename adoptions.
+//!   recovered-weight fractions, rename adoptions, and an
+//!   inference-quality section (repair effort plus `PF` flow findings
+//!   before/after min-cost-flow inference).
 //! * **File mode** (`--profile` + `--source`): match a saved profile — a
 //!   probe-profile JSON or a `csspgo-stream-snapshot` text — against a
 //!   freshly compiled source file.
@@ -24,7 +26,7 @@
 //! default policy that is the matcher-invariant lints (`SM002`/`SM003`),
 //! which must never fire.
 
-use csspgo::analysis::{Analyzer, DiffReport, Policy, ScenarioReport};
+use csspgo::analysis::{inference_quality, Analyzer, DiffReport, Policy, ScenarioReport};
 use csspgo::codegen::{lower_module, CodegenConfig};
 use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
 use csspgo::core::profile::ProbeProfile;
@@ -160,9 +162,10 @@ fn run(args: &[String]) -> Result<bool, String> {
             let before = analyzer.report().diagnostics.len();
             let outcome = analyzer.analyze_stale_match(&sf, &module, &profile, &match_cfg);
             let diags = analyzer.report().diagnostics[before..].to_vec();
-            report
-                .scenarios
-                .push(ScenarioReport::from_outcome("file", &sf, &outcome, diags));
+            report.scenarios.push(
+                ScenarioReport::from_outcome("file", &sf, &outcome, diags)
+                    .with_inference_quality(inference_quality(&module, &profile)),
+            );
         }
         (None, None) => {
             let only = opt_value(args, "--workload")?;
@@ -226,12 +229,10 @@ fn diff_workload(
         let before = analyzer.report().diagnostics.len();
         let outcome = analyzer.analyze_stale_match(&unit, &module, &profile, match_cfg);
         let diags = analyzer.report().diagnostics[before..].to_vec();
-        report.scenarios.push(ScenarioReport::from_outcome(
-            name,
-            &workload.name,
-            &outcome,
-            diags,
-        ));
+        report.scenarios.push(
+            ScenarioReport::from_outcome(name, &workload.name, &outcome, diags)
+                .with_inference_quality(inference_quality(&module, &profile)),
+        );
     }
     Ok(())
 }
@@ -312,11 +313,16 @@ fn load_profile(path: &str) -> Result<ProbeProfile, String> {
 
 /// One line per scenario: the quality headline.
 fn print_summary(report: &DiffReport) {
-    println!("| scenario | workload | funcs | matched | recovered | renamed | dropped | stale weight recovered |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("| scenario | workload | funcs | matched | recovered | renamed | dropped | stale weight recovered | PF raw→inferred |");
+    println!("|---|---|---|---|---|---|---|---|---|");
     for s in &report.scenarios {
+        let pf = s
+            .inference_quality
+            .as_ref()
+            .map(|q| format!("{}→{}", q.pf_findings_raw, q.pf_findings_inferred))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.1}% |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1}% | {pf} |",
             s.scenario,
             s.workload,
             s.funcs_total,

@@ -15,10 +15,15 @@
 //! 4. the **stale matcher** run over the collected profile (`SM` lints: on
 //!    an undrifted build every function must pass through bit-identical,
 //!    with no anchor drift and no matcher-invariant violations),
-//! 5. the profile-**annotated** module (flow conservation, dominance).
+//! 5. the profile-**annotated** module (flow conservation, dominance, and
+//!    edge/block reconciliation over the inference-attached edge counts),
+//! 6. with `--post-inference`, **drifted** rebuilds of every workload
+//!    annotated through stale recovery plus min-cost-flow inference — the
+//!    "clean by construction" gate: inferred profiles, including ones
+//!    salvaged from drifted sources, must carry zero `PF` findings.
 //!
 //! ```text
-//! csspgo_lint --deny all --json report.json
+//! csspgo_lint --deny all --post-inference --json report.json
 //! csspgo_lint --workload ad_ranker --allow PF001
 //! csspgo_lint --list
 //! ```
@@ -32,7 +37,7 @@ use csspgo::core::annotate::{csspgo_annotate, AnnotateConfig};
 use csspgo::core::binprof;
 use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
 use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
-use csspgo::core::stalematch::MatchConfig;
+use csspgo::core::stalematch::{MatchConfig, StaleMatching};
 use csspgo::core::tailcall::TailCallGraph;
 use csspgo::core::textprof::{parse_probe_json, write_probe_json};
 use csspgo::core::Workload;
@@ -63,12 +68,15 @@ fn print_usage() {
 USAGE:
   csspgo_lint [--deny <lint,...|all>] [--allow <lint,...|all>]
               [--workload <name>] [--scale <f>] [--json <file>] [--list]
+              [--post-inference]
 
 Lints the full PGO cycle (fresh module, optimized module, collected
 profiles, annotated module) of every shipped workload. Lints are named by
 stable id (PI001) or name (probe-duplicate-id); `--deny all` escalates
-every lint to an error. Exits 1 if any denied lint fires, 2 on usage
-errors."#
+every lint to an error. `--post-inference` additionally lints drifted
+rebuilds annotated through stale recovery + min-cost-flow inference
+(inferred profiles must be flow-clean by construction). Exits 1 if any
+denied lint fires, 2 on usage errors."#
     );
 }
 
@@ -97,6 +105,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         None => 0.05,
     };
     let json_out = opt_value(args, "--json")?;
+    let post_inference = args.iter().any(|a| a == "--post-inference");
 
     let mut workloads = csspgo::workloads::server_workloads();
     workloads.push(csspgo::workloads::client_compiler());
@@ -110,7 +119,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut analyzer = Analyzer::new(policy);
     for workload in &workloads {
         let scaled = workload.scaled(scale);
-        lint_workload(&scaled, &mut analyzer).map_err(|e| format!("{}: {e}", workload.name))?;
+        lint_workload(&scaled, post_inference, &mut analyzer)
+            .map_err(|e| format!("{}: {e}", workload.name))?;
     }
     let report = analyzer.into_report();
 
@@ -123,7 +133,11 @@ fn run(args: &[String]) -> Result<bool, String> {
 }
 
 /// Reruns the CSSPGO cycle for one workload, linting each stage.
-fn lint_workload(workload: &Workload, analyzer: &mut Analyzer) -> Result<(), String> {
+fn lint_workload(
+    workload: &Workload,
+    post_inference: bool,
+    analyzer: &mut Analyzer,
+) -> Result<(), String> {
     let config = PipelineConfig::default();
 
     // Stage 1: the fresh probed module.
@@ -227,6 +241,47 @@ fn lint_workload(workload: &Workload, analyzer: &mut Analyzer) -> Result<(), Str
     };
     csspgo_annotate(&mut module, &probe_prof, None, &no_replay);
     analyzer.analyze_flow(&format!("{}/annotated", workload.name), &module);
+
+    // Stage 6 (--post-inference): annotate drifted rebuilds through stale
+    // recovery + inference. Salvaged counts are partial and internally
+    // inconsistent before inference; afterwards they must be flow-clean —
+    // this is the "clean by construction" acceptance gate.
+    if post_inference {
+        let scenarios: [(&str, String); 4] = [
+            (
+                "insert_body_comments",
+                csspgo::workloads::drift::insert_body_comments(&workload.source),
+            ),
+            (
+                "change_cfg",
+                csspgo::workloads::drift::change_cfg(&workload.source),
+            ),
+            (
+                "insert_statement",
+                csspgo::workloads::drift::insert_statement(&workload.source, 1),
+            ),
+            (
+                "delete_statement",
+                csspgo::workloads::drift::delete_statement(&workload.source, 1),
+            ),
+        ];
+        for (name, src) in scenarios {
+            let mut drifted =
+                csspgo::lang::compile(&src, &workload.name).map_err(|e| e.to_string())?;
+            csspgo::opt::discriminators::run(&mut drifted);
+            csspgo::opt::probes::run(&mut drifted);
+            let recover = AnnotateConfig {
+                inline_budget: 0,
+                stale_matching: StaleMatching::Recover,
+                ..config.annotate
+            };
+            csspgo_annotate(&mut drifted, &probe_prof, None, &recover);
+            analyzer.analyze_flow(
+                &format!("{}/post-inference/{name}", workload.name),
+                &drifted,
+            );
+        }
+    }
     Ok(())
 }
 

@@ -1,0 +1,187 @@
+//! Integration tests for min-cost-flow profile inference (the "profi"
+//! pass, §III.C): inferred profiles are flow-clean by construction, the
+//! MCF mode preserves more of the profile's value than the fixpoint
+//! heuristic under drift, and stale recovery feeds inference end to end.
+
+use csspgo::analysis::{Analyzer, Policy};
+use csspgo::core::annotate::{csspgo_annotate, AnnotateConfig};
+use csspgo::core::inference::InferenceMode;
+use csspgo::core::pipeline::{run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
+use csspgo::core::stalematch::StaleMatching;
+use csspgo::workloads::drift;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::builder()
+        .sample_period(101)
+        .build()
+        .expect("valid test config")
+}
+
+fn deny_all() -> Policy {
+    let mut policy = Policy::default();
+    policy.deny.push("all".to_string());
+    policy
+}
+
+/// The "clean by construction" gate: a profile annotated through MCF
+/// inference — including counts salvaged from drifted sources by stale
+/// recovery — must carry zero `PF` findings under `--deny all`.
+#[test]
+fn mcf_inferred_profiles_are_flow_clean_by_construction() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let profile = collect_probe_profile(&w);
+    let mut analyzer = Analyzer::new(deny_all());
+
+    let scenarios = [
+        ("clean", w.source.clone()),
+        ("change_cfg", drift::change_cfg(&w.source)),
+        ("insert_statement", drift::insert_statement(&w.source, 1)),
+        ("delete_statement", drift::delete_statement(&w.source, 1)),
+    ];
+    for (name, src) in scenarios {
+        let mut module = csspgo::lang::compile(&src, &w.name).unwrap();
+        csspgo::opt::discriminators::run(&mut module);
+        csspgo::opt::probes::run(&mut module);
+        let config = AnnotateConfig {
+            inline_budget: 0,
+            stale_matching: StaleMatching::Recover,
+            inference: InferenceMode::Mcf,
+            ..cfg().annotate
+        };
+        csspgo_annotate(&mut module, &profile, None, &config);
+        analyzer.analyze_flow(&format!("inference/{name}"), &module);
+    }
+    let report = analyzer.into_report();
+    assert!(
+        !report.has_denied(),
+        "inferred profiles must be flow-clean, found:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "no PF findings of any severity expected post-inference"
+    );
+}
+
+/// Without inference, the same salvaged drift counts are *not* clean —
+/// the gate above is earned by the MCF pass, not vacuous.
+#[test]
+fn recovered_counts_are_dirty_without_inference() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let profile = collect_probe_profile(&w);
+    let mut module = csspgo::lang::compile(&drift::change_cfg(&w.source), &w.name).unwrap();
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    let config = AnnotateConfig {
+        inline_budget: 0,
+        stale_matching: StaleMatching::Recover,
+        inference: InferenceMode::Off,
+        ..cfg().annotate
+    };
+    csspgo_annotate(&mut module, &profile, None, &config);
+    let mut analyzer = Analyzer::new(deny_all());
+    analyzer.analyze_flow("inference/raw-recovered", &module);
+    let report = analyzer.into_report();
+    assert!(
+        !report.diagnostics.is_empty(),
+        "salvaged change_cfg counts should violate flow conservation pre-inference"
+    );
+}
+
+/// The fig6-style comparison the CI bench gate also runs: on a drifted
+/// profile salvaged by stale recovery, MCF inference must retain at least
+/// as much of the profile's value (fewer eval cycles) as the local
+/// fixpoint heuristic.
+#[test]
+fn mcf_retains_at_least_as_much_as_heuristic_under_drift() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.25);
+    let drifted = drift::change_cfg(&w.source);
+    let mut outcomes = Vec::new();
+    for mode in [InferenceMode::Mcf, InferenceMode::Heuristic] {
+        let mut config = cfg();
+        config.annotate.stale_matching = StaleMatching::Recover;
+        config.annotate.inference = mode;
+        outcomes
+            .push(run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &config, &drifted).unwrap());
+    }
+    let (mcf, heuristic) = (&outcomes[0], &outcomes[1]);
+    assert!(
+        mcf.eval.cycles <= heuristic.eval.cycles,
+        "MCF inference must not lose to the heuristic: {} vs {} cycles",
+        mcf.eval.cycles,
+        heuristic.eval.cycles
+    );
+    // Inference steers optimization; it must never change semantics.
+    assert_eq!(mcf.eval_result_hash, heuristic.eval_result_hash);
+}
+
+/// Stale recovery → inference, end to end through the pipeline: the
+/// drifted cycle must actually salvage counts AND run inference over
+/// them, with the stats threaded into the outcome.
+#[test]
+fn stale_recovery_feeds_inference_end_to_end() {
+    let w = csspgo::workloads::ad_retriever().scaled(0.1);
+    let drifted = drift::change_cfg(&w.source);
+    let mut config = cfg();
+    config.annotate.stale_matching = StaleMatching::Recover;
+    config.annotate.inference = InferenceMode::Mcf;
+    let o = run_pgo_cycle_drifted(&w, PgoVariant::CsspgoFull, &config, &drifted).unwrap();
+    assert!(
+        o.annotate_stats.stale_recovered > 0,
+        "change_cfg drift must trigger recovery"
+    );
+    let inf = &o.annotate_stats.inference;
+    assert!(inf.functions > 0, "inference must run over hot functions");
+    assert!(
+        inf.counts_adjusted > 0,
+        "salvaged counts are inconsistent; MCF must adjust some"
+    );
+    assert!(inf.flow_moved > 0, "adjustments must move flow");
+}
+
+/// Collects a probe profile on the clean build of `w` — the same pipeline
+/// `csspgo_diff` and `csspgo_lint` stage 3 run.
+fn collect_probe_profile(w: &csspgo::core::Workload) -> csspgo::core::profile::ProbeProfile {
+    use csspgo::core::pipeline::{BatchSource, ProfileSource};
+    use csspgo::core::shard::{sharded_context_profile, sharded_range_counts};
+    use csspgo::core::tailcall::TailCallGraph;
+
+    let config = cfg();
+    let mut module = csspgo::lang::compile(&w.source, &w.name).unwrap();
+    csspgo::opt::discriminators::run(&mut module);
+    csspgo::opt::probes::run(&mut module);
+    csspgo::opt::run_pipeline(&mut module, &config.opt);
+    let binary = csspgo::codegen::lower_module(&module, &config.codegen);
+    let sim_cfg = csspgo::sim::SimConfig {
+        lbr_size: config.lbr_size,
+        pebs: config.pebs,
+        sample_period: config.sample_period,
+        seed: config.seed,
+        max_steps: config.max_steps,
+        ..csspgo::sim::SimConfig::default()
+    };
+    let mut machine = csspgo::sim::Machine::new(&binary, sim_cfg);
+    for (name, values) in &w.setup {
+        machine.set_global(name, values);
+    }
+    let samples = BatchSource.collect(&mut machine, w).unwrap();
+    let rc = sharded_range_counts(&binary, &samples, config.ingest_shards);
+    let tail_graph = TailCallGraph::build(&binary, &rc);
+    let unwound =
+        sharded_context_profile(&binary, Some(&tail_graph), &samples, config.ingest_shards);
+    let mut ctx_profile = unwound.profile;
+    let checksums = binary
+        .funcs
+        .iter()
+        .filter_map(|f| f.probe_checksum.map(|c| (f.guid, c)))
+        .collect();
+    ctx_profile.set_checksums(&checksums);
+    let mut probe_prof = ctx_profile.to_probe_profile();
+    for (fidx, c) in rc.entry_counts(&binary) {
+        let guid = binary.funcs[fidx as usize].guid;
+        if let Some(fp) = probe_prof.funcs.get_mut(&guid) {
+            fp.entry = fp.entry.max(c);
+        }
+    }
+    probe_prof
+}
