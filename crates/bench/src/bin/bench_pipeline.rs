@@ -25,8 +25,8 @@
 //! override with the `BENCH_PIPELINE_OUT` environment variable.
 
 use csspgo_bench::{
-    experiment_config, par_map, read_pipeline_bench, traffic_scale, write_pipeline_bench,
-    PipelineBenchRecord, PrevBenchRecord, BENCH_STAGES,
+    experiment_config, par_map, read_pipeline_bench, speedup_cell, traffic_scale,
+    write_pipeline_bench, PipelineBenchRecord, PrevBenchRecord, BENCH_STAGES,
 };
 use csspgo_core::inference::InferenceMode;
 use csspgo_core::pipeline::{run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
@@ -52,14 +52,15 @@ fn gate_ratio(args: &[String]) -> Result<Option<f64>, String> {
 }
 
 /// Prints the per-stage speedup table of this run against a previous one:
-/// `previous_ms / current_ms` per stage, so >1.0 means the stage got
-/// faster. Stages absent from the old file print `-`.
+/// `previous_ms / current_ms` per stage plus the signed time delta
+/// (ratios above 1.0 mean the stage got faster; regressions show a
+/// negative percentage). Stages absent from the old file print `-`.
 fn print_speedups(prev: &[PrevBenchRecord], records: &[PipelineBenchRecord]) {
     let by_key: HashMap<(&str, &str), &PrevBenchRecord> = prev
         .iter()
         .map(|r| ((r.workload.as_str(), r.variant.as_str()), r))
         .collect();
-    println!("\n# Speedup vs previous run (old ms / new ms; >1.0 = faster)");
+    println!("\n# Speedup vs previous run (old ms / new ms; >1.0 = faster, signed % delta)");
     let header: Vec<&str> = BENCH_STAGES
         .iter()
         .map(|s| s.trim_end_matches("_ms"))
@@ -74,11 +75,7 @@ fn print_speedups(prev: &[PrevBenchRecord], records: &[PipelineBenchRecord]) {
         matched += 1;
         let mut cells = Vec::new();
         for stage in BENCH_STAGES.iter().chain(["total_ms"].iter()) {
-            let cell = match (p.stage(stage), r.stage(stage)) {
-                (Some(old), Some(new)) if new > 0.0 => format!("{:.2}x", old / new),
-                _ => "-".to_string(),
-            };
-            cells.push(cell);
+            cells.push(speedup_cell(p.stage(stage), r.stage(stage)));
         }
         println!("| {} | {} | {} |", r.workload, r.variant, cells.join(" | "));
     }

@@ -78,14 +78,8 @@ fn two_versions(id: TenantId, workload: csspgo_core::Workload) -> TenantSpec {
         id,
         workload,
         versions: vec![
-            VersionSpec {
-                label: "v0".to_string(),
-                source: stable,
-            },
-            VersionSpec {
-                label: "v1".to_string(),
-                source: canary,
-            },
+            VersionSpec::new("v0", stable),
+            VersionSpec::new("v1", canary),
         ],
         refresh_source: None,
     }

@@ -134,6 +134,20 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// One cell of the per-stage speedup table: `old/new` as a ratio plus the
+/// *signed* time delta (`(old − new) / old`, positive = faster). Unlike a
+/// bare ratio, a regression is explicit — `0.50x (-100.0%)` — instead of
+/// being readable as "small but fine". Missing or non-positive stage
+/// times print `-` (nothing meaningful to compare).
+pub fn speedup_cell(old: Option<f64>, new: Option<f64>) -> String {
+    match (old, new) {
+        (Some(old), Some(new)) if old > 0.0 && new > 0.0 => {
+            format!("{:.2}x ({:+.1}%)", old / new, (old - new) / old * 100.0)
+        }
+        _ => "-".to_string(),
+    }
+}
+
 /// Schema tag stamped on every emitted bench record. Bumped when the
 /// record shape changes; consumers comparing against an older file key
 /// their leniency off this string (`v1` files carried no tag at all).
@@ -499,6 +513,21 @@ mod tests {
         assert_eq!(improvement_pct(0, 50), 0.0);
         assert_eq!(size_delta_pct(0, 50), 0.0);
         assert!(improvement_pct(0, 0).is_finite());
+    }
+
+    #[test]
+    fn speedup_cells_are_signed() {
+        assert_eq!(speedup_cell(Some(2.0), Some(1.0)), "2.00x (+50.0%)");
+        assert_eq!(
+            speedup_cell(Some(1.0), Some(2.0)),
+            "0.50x (-100.0%)",
+            "a regression must print with an explicit sign, not clamp"
+        );
+        assert_eq!(speedup_cell(Some(1.0), Some(1.0)), "1.00x (+0.0%)");
+        assert_eq!(speedup_cell(None, Some(1.0)), "-");
+        assert_eq!(speedup_cell(Some(1.0), None), "-");
+        assert_eq!(speedup_cell(Some(0.0), Some(1.0)), "-");
+        assert_eq!(speedup_cell(Some(1.0), Some(0.0)), "-");
     }
 
     #[test]

@@ -61,6 +61,39 @@ impl fmt::Display for TenantId {
     }
 }
 
+/// How a version participates in its tenant's *train* traffic stream.
+///
+/// Canary evaluation registers the stable and candidate binaries as two
+/// versions of one tenant that *split* the live stream instead of each
+/// replaying all of it — the per-version profiles then describe disjoint
+/// request slices of the same distribution, which is what makes them
+/// comparable before promotion. Eval traffic (the drift probe) is always
+/// served in full by every version so probe verdicts stay comparable too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficShare {
+    /// The version serves every training request (the default; solo
+    /// serving and fleet serving stay bit-identical under it).
+    Full,
+    /// A/B slice: the version serves the requests whose stream position
+    /// is ≡ `index` (mod `of`).
+    Split {
+        /// This version's residue class, `< of`.
+        index: usize,
+        /// Number of ways the stream is split.
+        of: usize,
+    },
+}
+
+impl TrafficShare {
+    /// The train-call indices this share serves out of a stream of `len`.
+    fn train_indices(self, len: usize) -> Vec<usize> {
+        match self {
+            TrafficShare::Full => (0..len).collect(),
+            TrafficShare::Split { index, of } => (0..len).filter(|i| i % of == index).collect(),
+        }
+    }
+}
+
 /// One binary version of a tenant's service: a release label plus the
 /// source it was built from.
 #[derive(Clone, Debug)]
@@ -69,6 +102,26 @@ pub struct VersionSpec {
     pub label: String,
     /// MiniLang source of this release.
     pub source: String,
+    /// Slice of the tenant's train traffic this version serves.
+    pub share: TrafficShare,
+}
+
+impl VersionSpec {
+    /// A version serving the full traffic stream.
+    pub fn new(label: impl Into<String>, source: impl Into<String>) -> Self {
+        VersionSpec {
+            label: label.into(),
+            source: source.into(),
+            share: TrafficShare::Full,
+        }
+    }
+
+    /// Sets this version's traffic share.
+    #[must_use]
+    pub fn with_share(mut self, share: TrafficShare) -> Self {
+        self.share = share;
+        self
+    }
 }
 
 /// Everything the fleet needs to serve one tenant.
@@ -95,10 +148,7 @@ impl TenantSpec {
         TenantSpec {
             id,
             workload,
-            versions: vec![VersionSpec {
-                label: "v0".to_string(),
-                source,
-            }],
+            versions: vec![VersionSpec::new("v0", source)],
             refresh_source: None,
         }
     }
@@ -319,6 +369,7 @@ impl From<PipelineError> for FleetError {
 struct CompiledVersion {
     label: String,
     source: String,
+    share: TrafficShare,
     binary: Binary,
     compile_ms: f64,
 }
@@ -357,6 +408,16 @@ impl FleetBinaries {
             if spec.versions.is_empty() {
                 return Err(FleetError::NoVersions(spec.id));
             }
+            for v in &spec.versions {
+                if let TrafficShare::Split { index, of } = v.share {
+                    if of == 0 || index >= of {
+                        return Err(FleetError::InvalidConfig(format!(
+                            "tenant {} version {}: split share {index}/{of} is not a residue class",
+                            spec.id, v.label
+                        )));
+                    }
+                }
+            }
         }
 
         // Flatten to (tenant, version) build units so rayon spreads the
@@ -382,6 +443,7 @@ impl FleetBinaries {
                     CompiledVersion {
                         label: v.label.clone(),
                         source: v.source.clone(),
+                        share: v.share,
                         binary,
                         compile_ms: t.elapsed().as_secs_f64() * 1e3,
                     },
@@ -413,6 +475,19 @@ impl FleetBinaries {
     /// Total binary versions across all tenants.
     pub fn version_count(&self) -> usize {
         self.tenants.iter().map(|t| t.versions.len()).sum()
+    }
+
+    /// The compiled profiling binary of one tenant-version — the
+    /// checksum/GUID source of truth a release train needs when it builds
+    /// an optimized candidate from that version's live profile.
+    pub fn binary(&self, id: TenantId, version: &str) -> Option<&Binary> {
+        self.tenants
+            .iter()
+            .find(|t| t.spec.id == id)?
+            .versions
+            .iter()
+            .find(|v| v.label == version)
+            .map(|v| &v.binary)
     }
 }
 
@@ -532,7 +607,9 @@ struct VersionRt<'b> {
     compile_ms: f64,
     machine: Machine<'b>,
     agg: Option<StreamAggregator<'b>>,
-    /// Next train-call index to serve.
+    /// The train-call indices this version serves (its traffic share).
+    train_idx: Vec<usize>,
+    /// Next position in `train_idx` to serve.
     cursor: usize,
     /// Steady-state epochs served (names the `epoch-N` rows).
     steady_epochs: usize,
@@ -593,6 +670,7 @@ impl<'b> FleetService<'b> {
                             compile_ms: v.compile_ms,
                             machine,
                             agg: None,
+                            train_idx: v.share.train_indices(t.spec.workload.train_calls.len()),
                             cursor: 0,
                             steady_epochs: 0,
                             lru: BTreeMap::new(),
@@ -662,13 +740,11 @@ impl<'b> FleetService<'b> {
         Ok(events)
     }
 
-    /// Whether every tenant-version has drained its train traffic.
+    /// Whether every tenant-version has drained its traffic share.
     pub fn is_done(&self) -> bool {
-        self.tenants.iter().all(|t| {
-            t.versions
-                .iter()
-                .all(|v| v.cursor >= t.workload.train_calls.len())
-        })
+        self.tenants
+            .iter()
+            .all(|t| t.versions.iter().all(|v| v.cursor >= v.train_idx.len()))
     }
 
     /// Serves the evaluation traffic as a final epoch on every
@@ -831,19 +907,15 @@ impl TenantRt<'_> {
     fn calibrate(&mut self, cfg: &FleetConfig) -> Result<Vec<FleetEvent>, FleetError> {
         let mut events = Vec::new();
         for v in &mut self.versions {
-            let calls = self
-                .workload
-                .train_calls
-                .iter()
-                .take(cfg.epoch_calls.min(self.workload.train_calls.len()));
+            let take = cfg.epoch_calls.min(v.train_idx.len());
             let t = Instant::now();
-            for args in calls {
+            for &i in &v.train_idx[..take] {
                 v.machine
-                    .call(&self.workload.entry, args)
+                    .call(&self.workload.entry, &self.workload.train_calls[i])
                     .map_err(|e| FleetError::Pipeline(PipelineError::Sim(e)))?;
             }
             let traffic_ms = t.elapsed().as_secs_f64() * 1e3;
-            v.cursor = cfg.epoch_calls.min(self.workload.train_calls.len());
+            v.cursor = take;
 
             let samples = v.machine.take_samples();
             let mut rc = RangeCounts::default();
@@ -881,17 +953,17 @@ impl TenantRt<'_> {
     fn run_round(&mut self, cfg: &FleetConfig) -> Result<Vec<FleetEvent>, FleetError> {
         let mut events = Vec::new();
         for v in &mut self.versions {
-            if v.cursor >= self.workload.train_calls.len() {
+            if v.cursor >= v.train_idx.len() {
                 continue;
             }
-            let end = (v.cursor + cfg.epoch_calls).min(self.workload.train_calls.len());
-            let calls = &self.workload.train_calls[v.cursor..end];
+            let end = (v.cursor + cfg.epoch_calls).min(v.train_idx.len());
+            let indices = &v.train_idx[v.cursor..end];
             v.cursor = end;
 
             let t = Instant::now();
-            for args in calls {
+            for &i in indices {
                 v.machine
-                    .call(&self.workload.entry, args)
+                    .call(&self.workload.entry, &self.workload.train_calls[i])
                     .map_err(|e| FleetError::Pipeline(PipelineError::Sim(e)))?;
             }
             let traffic_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -1180,6 +1252,56 @@ fn serve(n, mode) {
         // Conservation: the capped profile total matches the uncapped one.
         let capped_total = service.context_profile(TenantId(7), "v0").unwrap().total();
         assert_eq!(capped_total, full_total);
+    }
+
+    #[test]
+    fn split_shares_partition_the_stream() {
+        // The residue classes of a k-way split cover every train index
+        // exactly once.
+        for of in 1..=4usize {
+            let mut seen = vec![0usize; 13];
+            for index in 0..of {
+                for i in (TrafficShare::Split { index, of }).train_indices(13) {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{of}-way split: {seen:?}");
+        }
+        assert_eq!(TrafficShare::Full.train_indices(5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn canary_split_serves_and_is_rejected_when_malformed() {
+        let cfg = FleetConfig::builder().epoch_calls(2).build().unwrap();
+        let w = tiny_workload("canary");
+        let spec = TenantSpec {
+            id: TenantId(4),
+            workload: w.clone(),
+            versions: vec![
+                VersionSpec::new("stable", w.source.clone())
+                    .with_share(TrafficShare::Split { index: 0, of: 2 }),
+                VersionSpec::new("canary", w.source.clone())
+                    .with_share(TrafficShare::Split { index: 1, of: 2 }),
+            ],
+            refresh_source: None,
+        };
+        let binaries = FleetBinaries::compile(std::slice::from_ref(&spec), &cfg).unwrap();
+        assert!(binaries.binary(TenantId(4), "stable").is_some());
+        assert!(binaries.binary(TenantId(4), "missing").is_none());
+        let mut service = FleetService::new(&binaries, cfg.clone());
+        let run = service.run().unwrap();
+        // 8 train calls split 4/4 at 2/epoch: calibration + 1 steady round
+        // + drift probe per version.
+        assert_eq!(run.stats.epochs_sealed, 6);
+        assert!(service.aggregator(TenantId(4), "stable").is_some());
+        assert!(service.aggregator(TenantId(4), "canary").is_some());
+
+        let mut bad = spec;
+        bad.versions[1].share = TrafficShare::Split { index: 2, of: 2 };
+        let err = FleetBinaries::compile(&[bad], &cfg)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, FleetError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

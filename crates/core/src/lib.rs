@@ -57,6 +57,7 @@ pub mod pipeline;
 pub mod preinline;
 pub mod profile;
 pub mod ranges;
+pub mod release_train;
 pub mod shard;
 pub mod stalematch;
 pub mod stream;
@@ -67,11 +68,15 @@ pub mod workload;
 
 pub use fleet::{
     EpochEvent, FleetBinaries, FleetConfig, FleetConfigBuilder, FleetError, FleetEvent, FleetRun,
-    FleetService, FleetStats, RefreshEvent, TenantId, TenantSpec, VersionSpec,
+    FleetService, FleetStats, RefreshEvent, TenantId, TenantSpec, TrafficShare, VersionSpec,
 };
 pub use pipeline::{
     run_pgo_cycle, run_pgo_cycle_with, BatchSource, EpochSource, PgoOutcome, PgoVariant,
     PipelineConfig, PipelineConfigBuilder, PipelineError, ProfileSource, StageTimes,
+};
+pub use release_train::{
+    run_release_train, CanaryReport, ReleaseReport, ReleaseSpec, TrainBenchDoc, TrainConfig,
+    TrainReport, TRAIN_SCHEMA,
 };
 pub use stream::{
     ContextEdge, EpochSummary, EvictStats, SnapshotFormat, StreamAggregator, StreamConfig,

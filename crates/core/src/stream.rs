@@ -215,7 +215,9 @@ fn binary_fingerprint(binary: &Binary) -> u64 {
 
 /// Flattens a context profile into context-insensitive probe weights
 /// `(guid, probe) → count` — the distribution the drift detector compares.
-fn probe_weights(profile: &ContextProfile) -> BTreeMap<(u64, u32), u64> {
+/// Public so canary evaluation can measure per-version profile agreement
+/// with the same [`weight_overlap`] metric the watchdog uses.
+pub fn probe_weights(profile: &ContextProfile) -> BTreeMap<(u64, u32), u64> {
     fn walk(node: &crate::context::ContextNode, out: &mut BTreeMap<(u64, u32), u64>) {
         for (&probe, &count) in &node.probes {
             *out.entry((node.guid, probe)).or_insert(0) += count;
@@ -507,6 +509,16 @@ impl<'b> StreamAggregator<'b> {
     /// context entry counts back-filled from plain LBR entry counts where
     /// sparse.
     pub fn to_probe_profile(&self, trim_threshold: u64) -> ProbeProfile {
+        let mut probe_prof = self.context_snapshot(trim_threshold).to_probe_profile();
+        self.backfill_entries(&mut probe_prof);
+        probe_prof
+    }
+
+    /// A checksummed, cold-trimmed clone of the cumulative context
+    /// profile — the pre-inliner's input shape, matching what the batch
+    /// pipeline derives right before `run_preinliner`. The release-train
+    /// harness uses this to grow an inline plan out of a *live* profile.
+    pub fn context_snapshot(&self, trim_threshold: u64) -> ContextProfile {
         let mut ctx = self.profile.clone();
         let checksums = self
             .binary
@@ -516,7 +528,15 @@ impl<'b> StreamAggregator<'b> {
             .collect();
         ctx.set_checksums(&checksums);
         ctx.trim_cold(trim_threshold);
-        let mut probe_prof = ctx.to_probe_profile();
+        ctx
+    }
+
+    /// Back-fills sparse function entry counts from the plain LBR entry
+    /// counters — the repair [`Self::to_probe_profile`] applies, exposed
+    /// so a caller deriving its own [`ProbeProfile`] (e.g. after
+    /// pre-inlining mutated a [`Self::context_snapshot`]) gets identical
+    /// entries.
+    pub fn backfill_entries(&self, probe_prof: &mut ProbeProfile) {
         for (fidx, c) in self.rc.entry_counts(self.binary) {
             let f = &self.binary.funcs[fidx as usize];
             probe_prof
@@ -527,7 +547,6 @@ impl<'b> StreamAggregator<'b> {
                 fp.entry = fp.entry.max(c);
             }
         }
-        probe_prof
     }
 
     // -----------------------------------------------------------------

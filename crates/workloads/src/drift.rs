@@ -100,6 +100,335 @@ pub fn rename_functions(source: &str, keep: &[&str]) -> String {
     out
 }
 
+/// Parses a multi-line MiniLang function header (`fn name(params) {` at
+/// column 0) into `(name, params)`. Single-line functions — header and
+/// body on one line — are not headers in this sense and return `None`,
+/// matching the convention of every other mutator in this module.
+fn parse_header(line: &str) -> Option<(&str, &str)> {
+    let rest = line.strip_prefix("fn ")?;
+    if !line.trim_end().ends_with('{') {
+        return None;
+    }
+    let open = rest.find('(')?;
+    let close = rest.find(')')?;
+    if close < open {
+        return None;
+    }
+    let name = rest[..open].trim();
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, rest[open + 1..close].trim()))
+}
+
+/// Replaces every whole-word occurrence of `from` with `to` — the same
+/// word-boundary rule `rename_functions` uses (an adjacent alphanumeric
+/// or `_` suppresses the match).
+fn replace_whole_word(text: &str, from: &str, to: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 64);
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find(from) {
+        let start = i + pos;
+        let end = start + from.len();
+        let before_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok =
+            end == text.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            out.push_str(&text[i..start]);
+            out.push_str(to);
+        } else {
+            out.push_str(&text[i..end]);
+        }
+        i = end;
+    }
+    out.push_str(&text[i..]);
+    out
+}
+
+/// Splits the `nth` eligible function (0-based, wrapping) into a thin
+/// forwarder plus a `<name>_impl` twin holding the original body — the
+/// classic extract-function refactor. Behaviour-preserving: every call
+/// site still calls `<name>`, which tail-calls the twin.
+///
+/// For the profile this is a *structural* release change: the original
+/// GUID keeps only the forwarder's trivial CFG (checksum mismatch), while
+/// all its historical weight belongs to a GUID that did not exist in the
+/// previous release.
+///
+/// Eligible functions are multi-line, not already `_impl` twins, and have
+/// no `<name>_impl` defined yet. No-op if nothing is eligible.
+pub fn split_function(source: &str, nth: usize) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let headers: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let (name, _) = parse_header(l)?;
+            let defines_twin = lines
+                .iter()
+                .any(|x| x.starts_with(&format!("fn {name}_impl(")));
+            (!name.ends_with("_impl") && !defines_twin).then_some(i)
+        })
+        .collect();
+    if headers.is_empty() {
+        return source.to_string();
+    }
+    let h = headers[nth % headers.len()];
+    let (name, params) = parse_header(lines[h]).expect("header re-parse");
+    let mut out = String::with_capacity(source.len() + 96);
+    for (i, l) in lines.iter().enumerate() {
+        if i == h {
+            out.push_str(&format!("fn {name}({params}) {{\n"));
+            out.push_str(&format!("    return {name}_impl({params});\n"));
+            out.push_str("}\n");
+            out.push_str(&format!("fn {name}_impl({params}) {{\n"));
+        } else {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Merges the `nth` forwarder function (0-based, wrapping) back into its
+/// callee: the inverse refactor of [`split_function`]. A forwarder is a
+/// three-line function whose whole body is `return callee(<params>);`
+/// with the argument list textually equal to its own parameter list and
+/// `callee` defined in the same source. The forwarder is deleted and the
+/// callee takes over its name (whole-word rename of definition and every
+/// call site), so behaviour is preserved. No-op if no forwarder exists.
+///
+/// Applied right after a [`split_function`] release it restores the
+/// original source exactly — the round-trip the release-train harness
+/// leans on for "refactor churn" steps.
+pub fn merge_functions(source: &str, nth: usize) -> String {
+    let norm = |s: &str| s.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+    let lines: Vec<&str> = source.lines().collect();
+    let mut forwarders: Vec<(usize, String, String)> = Vec::new();
+    for i in 0..lines.len() {
+        let Some((name, params)) = parse_header(lines[i]) else {
+            continue;
+        };
+        if i + 2 >= lines.len() || lines[i + 2] != "}" {
+            continue;
+        }
+        let body = lines[i + 1].trim();
+        let Some(call) = body
+            .strip_prefix("return ")
+            .and_then(|r| r.strip_suffix(");"))
+        else {
+            continue;
+        };
+        let Some(open) = call.find('(') else {
+            continue;
+        };
+        let callee = call[..open].trim();
+        if callee == name || norm(&call[open + 1..]) != norm(params) {
+            continue;
+        }
+        let callee_defined = lines
+            .iter()
+            .any(|l| parse_header(l).is_some_and(|(n, _)| n == callee));
+        if callee_defined {
+            forwarders.push((i, name.to_string(), callee.to_string()));
+        }
+    }
+    if forwarders.is_empty() {
+        return source.to_string();
+    }
+    let (h, name, callee) = forwarders[nth % forwarders.len()].clone();
+    let mut out = String::with_capacity(source.len());
+    for (i, l) in lines.iter().enumerate() {
+        if (h..h + 3).contains(&i) {
+            continue;
+        }
+        out.push_str(l);
+        out.push('\n');
+    }
+    replace_whole_word(&out, &callee, &name)
+}
+
+/// Simulates a dependency bump: a new generation of `dep_shim_g<N>_*`
+/// library functions is appended and every substantial function gains a
+/// dead guard calling into the new shims — the whole-tree checksum churn
+/// a header-only library upgrade causes when its inlined bodies change.
+/// `seed` varies the shim constants so successive bumps differ.
+///
+/// Trivial (single-statement) bodies are left untouched — a forwarder
+/// from [`split_function`] survives a bump intact, like real glue code
+/// that never touches the dependency. Behaviour-preserving: the guards
+/// are dead and the shims unreachable.
+pub fn bump_dependency(source: &str, seed: u64) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let generation = 1 + lines
+        .iter()
+        .filter_map(|l| {
+            let (name, _) = parse_header(l)?;
+            let digits = name.strip_prefix("dep_shim_g")?;
+            digits.split('_').next()?.parse::<u64>().ok()
+        })
+        .max()
+        .unwrap_or(0);
+    let k = seed.wrapping_mul(0x9E37_79B9).wrapping_add(17) % 997;
+    let guard = format!("    if (0 > 1) {{ return dep_shim_g{generation}_1({k}); }}\n");
+    // Body length per multi-line function: lines between header and the
+    // column-0 closing brace.
+    let mut out = String::with_capacity(source.len() + 512);
+    let mut i = 0;
+    while i < lines.len() {
+        out.push_str(lines[i]);
+        out.push('\n');
+        if parse_header(lines[i]).is_some() {
+            let close = (i + 1..lines.len())
+                .find(|&j| lines[j] == "}")
+                .unwrap_or(lines.len());
+            if close - i > 2 {
+                out.push_str(&guard);
+            }
+        }
+        i += 1;
+    }
+    out.push_str(&format!(
+        "fn dep_shim_g{generation}_0(x) {{\n    let acc = x + {k};\n    if (acc > 1000) {{\n        return acc % 977;\n    }}\n    return acc * 3 + 7;\n}}\n"
+    ));
+    out.push_str(&format!(
+        "fn dep_shim_g{generation}_1(x) {{\n    let t = dep_shim_g{generation}_0(x + {});\n    return t + 1;\n}}\n",
+        k % 31
+    ));
+    out
+}
+
+/// The guard a compiled-in-but-disabled feature flag leaves in a body.
+pub const FEATURE_FLAG_GUARD: &str = "    if (0 > 0) { return 0 - 31337; }";
+
+/// Flips a feature flag in the `nth` function (0-based, wrapping): if the
+/// flag guard is already present right after the header it is removed
+/// (flag compiled out), otherwise it is inserted (flag compiled in,
+/// disabled). Either direction changes that function's CFG checksum while
+/// preserving behaviour — the guard never fires.
+pub fn flip_feature_flag(source: &str, nth: usize) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let headers: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| parse_header(l).map(|_| i))
+        .collect();
+    if headers.is_empty() {
+        return source.to_string();
+    }
+    let h = headers[nth % headers.len()];
+    let mut out = String::with_capacity(source.len() + 64);
+    for (i, l) in lines.iter().enumerate() {
+        if i == h + 1 && *l == FEATURE_FLAG_GUARD {
+            continue; // flag compiled out
+        }
+        out.push_str(l);
+        out.push('\n');
+        if i == h && lines.get(h + 1).copied() != Some(FEATURE_FLAG_GUARD) {
+            out.push_str(FEATURE_FLAG_GUARD);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One source mutation, parameterized — the unit a release train composes.
+/// Every variant except the test-only [`delete_statement`] is
+/// behaviour-preserving, so a train of these is safe to canary against
+/// result hashes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutator {
+    /// [`insert_comments`]
+    InsertComments,
+    /// [`insert_body_comments`]
+    InsertBodyComments,
+    /// [`change_cfg`]
+    ChangeCfg,
+    /// [`rename_functions`] over every name not in the caller's keep set.
+    RenameFunctions,
+    /// [`insert_statement`] into the nth function.
+    InsertStatement(usize),
+    /// [`split_function`] on the nth eligible function.
+    SplitFunction(usize),
+    /// [`merge_functions`] on the nth forwarder.
+    MergeFunctions(usize),
+    /// [`bump_dependency`] with the given seed.
+    BumpDependency(u64),
+    /// [`flip_feature_flag`] on the nth function.
+    FlipFeatureFlag(usize),
+}
+
+impl Mutator {
+    /// Stable name, used in release labels and bench records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutator::InsertComments => "insert_comments",
+            Mutator::InsertBodyComments => "insert_body_comments",
+            Mutator::ChangeCfg => "change_cfg",
+            Mutator::RenameFunctions => "rename_functions",
+            Mutator::InsertStatement(_) => "insert_statement",
+            Mutator::SplitFunction(_) => "split_function",
+            Mutator::MergeFunctions(_) => "merge_functions",
+            Mutator::BumpDependency(_) => "bump_dependency",
+            Mutator::FlipFeatureFlag(_) => "flip_feature_flag",
+        }
+    }
+
+    /// Applies the mutation. `keep` is honoured by `RenameFunctions` (the
+    /// entry point must keep its name) and ignored by the rest.
+    pub fn apply(&self, source: &str, keep: &[&str]) -> String {
+        match self {
+            Mutator::InsertComments => insert_comments(source),
+            Mutator::InsertBodyComments => insert_body_comments(source),
+            Mutator::ChangeCfg => change_cfg(source),
+            Mutator::RenameFunctions => rename_functions(source, keep),
+            Mutator::InsertStatement(nth) => insert_statement(source, *nth),
+            Mutator::SplitFunction(nth) => split_function(source, *nth),
+            Mutator::MergeFunctions(nth) => merge_functions(source, *nth),
+            Mutator::BumpDependency(seed) => bump_dependency(source, *seed),
+            Mutator::FlipFeatureFlag(nth) => flip_feature_flag(source, *nth),
+        }
+    }
+}
+
+/// The canonical mutator for release `i` of a train: an 8-release cycle
+/// of refactor churn (split, later merged back), a feature-flag flip, a
+/// dependency bump, comment drift, a whole-tree rename, a local
+/// statement edit, and a CFG-wide change. Parameters advance with the
+/// cycle count so repeated cycles hit different functions.
+pub fn release_mutator(i: usize) -> Mutator {
+    let cycle = i / 8;
+    match i % 8 {
+        0 => Mutator::SplitFunction(cycle + 1),
+        1 => Mutator::FlipFeatureFlag(cycle + 3),
+        2 => Mutator::BumpDependency(i as u64),
+        3 => Mutator::MergeFunctions(cycle),
+        4 => Mutator::InsertBodyComments,
+        5 => Mutator::RenameFunctions,
+        6 => Mutator::InsertStatement(cycle + 2),
+        7 => Mutator::ChangeCfg,
+        _ => unreachable!(),
+    }
+}
+
+/// Builds an `n`-release source lineage from `source`: release `i` is the
+/// cumulative result of applying [`release_mutator`]`(0..=i)` in order.
+/// Returns `(mutator name, source)` per release. `keep` is the set of
+/// function names the rename step must preserve — at minimum the
+/// workload's entry point.
+pub fn release_chain(source: &str, n: usize, keep: &[&str]) -> Vec<(String, String)> {
+    let mut out = Vec::with_capacity(n);
+    let mut src = source.to_string();
+    for i in 0..n {
+        let m = release_mutator(i);
+        src = m.apply(&src, keep);
+        out.push((m.name().to_string(), src.clone()));
+    }
+    out
+}
+
 /// Inserts a harmless-but-CFG-visible statement (`let`-free dead loop
 /// guard) after the `nth` function header (0-based, wrapping), leaving the
 /// other functions untouched — a *partial* drift where only some checksums
@@ -236,6 +565,107 @@ mod tests {
             delete_statement("fn c() { return 0; }\n", 0),
             "fn c() { return 0; }\n"
         );
+    }
+
+    #[test]
+    fn split_creates_forwarder_and_twin() {
+        let two =
+            "fn a(x, y) {\n    let t = x + y;\n    return t * 2;\n}\nfn b(x) {\n    return x;\n}\n";
+        let split = split_function(two, 0);
+        assert!(
+            split.contains("fn a(x, y) {\n    return a_impl(x, y);\n}"),
+            "{split}"
+        );
+        assert!(split.contains("fn a_impl(x, y) {"), "{split}");
+        csspgo_lang::compile(&split, "t").unwrap();
+        // The untouched function keeps its checksum; `a` becomes a trivial
+        // forwarder (checksum drifts) and a new GUID appears.
+        let base = checksums(two);
+        let after = checksums(&split);
+        assert_eq!(after.len(), base.len() + 1);
+        assert!(after.contains(&base[1]), "b untouched");
+        // Splitting again skips `a` (its twin exists) and picks `b`.
+        let again = split_function(&split, 0);
+        assert!(again.contains("fn b_impl(x)"), "{again}");
+    }
+
+    #[test]
+    fn merge_inverts_split_exactly() {
+        let two = "fn a(x, y) {\n    let t = x + y;\n    return t * 2;\n}\nfn b(x) {\n    return a(x, x);\n}\n";
+        assert_eq!(merge_functions(&split_function(two, 0), 0), two);
+        // No forwarder → no-op.
+        assert_eq!(merge_functions(two, 0), two);
+    }
+
+    #[test]
+    fn bump_dependency_adds_shims_and_drifts_big_bodies() {
+        let two = "fn a(x) {\n    let t = x + 1;\n    return t * 2;\n}\nfn fwd(x) {\n    return a(x);\n}\n";
+        let bumped = bump_dependency(two, 7);
+        assert!(bumped.contains("fn dep_shim_g1_0(x)"), "{bumped}");
+        assert!(bumped.contains("fn dep_shim_g1_1(x)"), "{bumped}");
+        csspgo_lang::compile(&bumped, "t").unwrap();
+        let base = checksums(two);
+        let after = checksums(&bumped);
+        assert_ne!(base[0], after[0], "substantial body must drift");
+        assert_eq!(base[1], after[1], "trivial forwarder untouched");
+        // A second bump starts generation 2.
+        assert!(bump_dependency(&bumped, 8).contains("fn dep_shim_g2_0(x)"));
+    }
+
+    #[test]
+    fn flip_feature_flag_toggles_one_checksum() {
+        let two = "fn a(x) {\n    return x;\n}\nfn b(x) {\n    return x + 1;\n}\n";
+        let base = checksums(two);
+        let on = flip_feature_flag(two, 1);
+        assert!(on.contains(FEATURE_FLAG_GUARD), "{on}");
+        let flipped = checksums(&on);
+        assert_eq!(base[0], flipped[0]);
+        assert_ne!(base[1], flipped[1]);
+        // Flipping the same function again removes the guard: involution.
+        assert_eq!(flip_feature_flag(&on, 1), two);
+    }
+
+    #[test]
+    fn release_chain_is_cumulative_and_compiles() {
+        let w = crate::ad_finder();
+        let chain = release_chain(&w.source, 10, &[&w.entry]);
+        assert_eq!(chain.len(), 10);
+        assert_eq!(chain[0].0, "split_function");
+        assert_eq!(chain[3].0, "merge_functions");
+        let mut prev = w.source.clone();
+        for (i, (name, src)) in chain.iter().enumerate() {
+            csspgo_lang::compile(src, name).unwrap();
+            let m = release_mutator(i);
+            assert_eq!(m.name(), name);
+            assert_eq!(&m.apply(&prev, &[&w.entry]), src, "cumulative at {name}");
+            prev = src.clone();
+        }
+        // The entry function survives every release by name.
+        assert!(chain
+            .last()
+            .unwrap()
+            .1
+            .contains(&format!("fn {}(", w.entry)));
+    }
+
+    #[test]
+    fn release_chain_preserves_behaviour() {
+        use csspgo_codegen::{lower_module, CodegenConfig};
+        use csspgo_sim::{Machine, SimConfig};
+        let w = crate::ad_finder();
+        let run = |src: &str| {
+            let m = csspgo_lang::compile(src, "t").unwrap();
+            let b = lower_module(&m, &CodegenConfig::default());
+            let mut machine = Machine::new(&b, SimConfig::default());
+            for (name, vals) in &w.setup {
+                machine.set_global(name, vals);
+            }
+            machine.call(&w.entry, &w.eval_calls[0]).unwrap()
+        };
+        let expect = run(&w.source);
+        for (name, src) in release_chain(&w.source, 8, &[&w.entry]) {
+            assert_eq!(expect, run(&src), "release {name} changed behaviour");
+        }
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //!   recovered-weight fractions, rename adoptions, and an
 //!   inference-quality section (repair effort plus `PF` flow findings
 //!   before/after min-cost-flow inference).
+//! * **Train mode** (`--train N`): chain N cumulative releases through
+//!   [`drift::release_chain`] (split/merge refactors, feature flags,
+//!   dependency bumps, renames, comment and CFG churn) and match each
+//!   release against the *release-0* profile — the match-quality decay
+//!   curve a never-refreshed profile suffers across a release train
+//!   (the static-analysis companion to the `release_train` bench).
 //! * **File mode** (`--profile` + `--source`): match a saved profile — a
 //!   probe-profile JSON or a `csspgo-stream-snapshot` text — against a
 //!   freshly compiled source file.
@@ -19,6 +25,7 @@
 //! ```text
 //! csspgo_diff --json diff-report.json
 //! csspgo_diff --workload ad_ranker --scenario change_cfg
+//! csspgo_diff --train 5 --workload ad_finder
 //! csspgo_diff --profile probe.json --source new_version.src
 //! ```
 //!
@@ -63,10 +70,14 @@ fn print_usage() {
 USAGE:
   csspgo_diff [--workload <name>] [--scenario <name,...>] [--scale <f>]
               [--deny <lint,...|all>] [--allow <lint,...|all>] [--json <file>]
+  csspgo_diff --train <n> [--workload <name>] [--scale <f>] [--json <file>]
   csspgo_diff --profile <probe.json|snapshot.txt> --source <file> [--json <file>]
 
 Scenarios: insert_comments, insert_body_comments, change_cfg, rename.
 Default runs every scenario over every shipped workload at --scale 0.05.
+--train chains <n> cumulative releases (drift::release_chain) and matches
+each against the release-0 profile: the decay curve of a never-refreshed
+profile across a release train.
 Exits 1 if any denied lint fires (default policy: the SM002/SM003 matcher
 invariants), 2 on usage errors."#
     );
@@ -183,6 +194,14 @@ fn run(args: &[String]) -> Result<bool, String> {
                 }
             }
 
+            let train: Option<usize> = match opt_value(args, "--train")? {
+                Some(n) => Some(n.parse().map_err(|_| format!("bad --train `{n}`"))?),
+                None => None,
+            };
+            if train.is_some() && !wanted.is_empty() {
+                return Err("--train and --scenario are mutually exclusive".into());
+            }
+
             let mut workloads = csspgo::workloads::server_workloads();
             if let Some(name) = &only {
                 workloads.retain(|w| &w.name == name);
@@ -192,8 +211,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             for workload in &workloads {
                 let scaled = workload.scaled(scale);
-                diff_workload(&scaled, &wanted, &match_cfg, &mut analyzer, &mut report)
-                    .map_err(|e| format!("{}: {e}", workload.name))?;
+                match train {
+                    Some(n) => train_workload(&scaled, n, &match_cfg, &mut analyzer, &mut report)
+                        .map_err(|e| format!("{}: {e}", workload.name))?,
+                    None => diff_workload(&scaled, &wanted, &match_cfg, &mut analyzer, &mut report)
+                        .map_err(|e| format!("{}: {e}", workload.name))?,
+                }
             }
         }
         _ => return Err("--profile and --source must be given together".into()),
@@ -231,6 +254,37 @@ fn diff_workload(
         let diags = analyzer.report().diagnostics[before..].to_vec();
         report.scenarios.push(
             ScenarioReport::from_outcome(name, &workload.name, &outcome, diags)
+                .with_inference_quality(inference_quality(&module, &profile)),
+        );
+    }
+    Ok(())
+}
+
+/// Collects the release-0 probe profile, then matches every cumulative
+/// release of an `n`-release train against it — each row is one more
+/// release of accumulated churn the matcher must absorb without a
+/// refresh.
+fn train_workload(
+    workload: &Workload,
+    n: usize,
+    match_cfg: &MatchConfig,
+    analyzer: &mut Analyzer,
+    report: &mut DiffReport,
+) -> Result<(), String> {
+    let profile = collect_probe_profile(workload)?;
+    let keep = [workload.entry.as_str()];
+    for (i, (mutator, source)) in drift::release_chain(&workload.source, n, &keep)
+        .into_iter()
+        .enumerate()
+    {
+        let scenario = format!("train-r{}-{mutator}", i + 1);
+        let module = probed_module(&source, &workload.name)?;
+        let unit = format!("{}/{scenario}", workload.name);
+        let before = analyzer.report().diagnostics.len();
+        let outcome = analyzer.analyze_stale_match(&unit, &module, &profile, match_cfg);
+        let diags = analyzer.report().diagnostics[before..].to_vec();
+        report.scenarios.push(
+            ScenarioReport::from_outcome(&scenario, &workload.name, &outcome, diags)
                 .with_inference_quality(inference_quality(&module, &profile)),
         );
     }
