@@ -35,7 +35,8 @@ impl fmt::Display for Severity {
 #[derive(Clone, Copy, Debug)]
 pub struct Lint {
     /// Stable id, never reused: `IV…` IR verifier, `PI…` probe invariants,
-    /// `PF…` profile flow/integrity.
+    /// `PF…` profile flow/integrity, `SM…` stale matching, `PP…` placement
+    /// prover, `WP…` weight provenance.
     pub id: &'static str,
     /// Kebab-case name, usable interchangeably with the id on the CLI.
     pub name: &'static str,
@@ -43,81 +44,162 @@ pub struct Lint {
     pub default_severity: Severity,
     /// One-line description (shown in `csspgo_lint --list`).
     pub description: &'static str,
+    /// One-paragraph doc (shown by `csspgo_lint --explain <ID>`): what the
+    /// check proves, when it fires, and what to do about it.
+    pub explanation: &'static str,
 }
 
-/// Every lint the analyzer can emit. Sorted by id; ids are append-only.
+/// Lint families in presentation order, with one-line descriptions (the
+/// README table and `--list` grouping follow this order).
+pub const LINT_FAMILIES: &[(&str, &str)] = &[
+    ("IV", "IR verifier: structural well-formedness"),
+    ("PI", "pseudo-probe invariants after any pass"),
+    ("PF", "profile flow & integrity over annotated counts"),
+    ("SM", "stale-profile matching soundness"),
+    ("PP", "counter-placement recoverability prover"),
+    ("WP", "annotated-weight provenance quality"),
+];
+
+/// The position of a lint id's family in [`LINT_FAMILIES`] (unknown
+/// prefixes sort last).
+fn family_rank(id: &str) -> usize {
+    LINT_FAMILIES
+        .iter()
+        .position(|(prefix, _)| id.starts_with(prefix))
+        .unwrap_or(LINT_FAMILIES.len())
+}
+
+/// Every lint the analyzer can emit. Grouped by family; ids are
+/// append-only and never reused.
 pub const LINTS: &[Lint] = &[
     Lint {
         id: "IV001",
         name: "ir-verify",
         default_severity: Severity::Deny,
         description: "IR well-formedness (CFG, terminators, registers, layout)",
+        explanation: "The structural IR verifier found a malformed function: a block \
+            without a terminator, a branch to a dead or out-of-range block, a use of an \
+            unallocated virtual register, or a layout that misses or duplicates live \
+            blocks. Every pass is expected to leave the module verifier-clean; a finding \
+            here means a transformation bug, and all downstream analyses are unreliable \
+            until it is fixed.",
     },
     Lint {
         id: "PI001",
         name: "probe-duplicate-id",
         default_severity: Severity::Deny,
         description: "duplicated probe id without a duplication factor",
+        explanation: "Two pseudo-probes in the same inline context share an index but \
+            neither carries a duplication factor. Cloning passes (unroll, tail-dup) must \
+            mark copies with a factor so correlation can split observed weight between \
+            them; an unmarked duplicate double-counts every sample that lands on it.",
     },
     Lint {
         id: "PI002",
         name: "probe-dup-factor",
         default_severity: Severity::Deny,
         description: "duplicated probe copies whose factor weights exceed 1",
+        explanation: "The duplication-factor weights of one probe's clones sum to more \
+            than 1. The invariant is Σ(1/factor) ≤ 1 across all copies of a probe in one \
+            inline context — anything larger inflates the reconstructed count for the \
+            original source block. Usually a cloning pass forgot to scale the factors of \
+            pre-existing copies when cloning again.",
     },
     Lint {
         id: "PI003",
         name: "probe-index-range",
         default_severity: Severity::Deny,
         description: "probe index 0, past the owner's watermark, or unknown owner",
+        explanation: "A pseudo-probe names an index outside its owner function's \
+            allocated range (indices are 1-based and dense up to the per-function \
+            watermark) or an owner function that does not exist. Correlation keys on \
+            (owner, index), so an out-of-range probe either drops weight or attributes \
+            it to a block that never existed.",
     },
     Lint {
         id: "PI004",
         name: "probe-inline-stack",
         default_severity: Severity::Deny,
         description: "probe inline stack malformed against the callgraph",
+        explanation: "A probe's inline stack does not describe a plausible inlining: a \
+            stack frame names a call site that is not a call-site probe of its caller, \
+            or the stack's owner chain is inconsistent. Context-sensitive correlation \
+            walks these stacks to rebuild calling contexts, so a malformed stack \
+            misattributes every sample beneath it.",
     },
     Lint {
         id: "PI005",
         name: "discriminator-conflict",
         default_severity: Severity::Warn,
         description: "one source line with several discriminators in one block (fresh IR)",
+        explanation: "On freshly-compiled IR, instructions from one source line inside a \
+            single basic block should share a discriminator; multiple discriminators in \
+            one block mean the discriminator assignment pass split a line for no \
+            control-flow reason. Harmless for execution but it wastes discriminator \
+            space and weakens AutoFDO-style correlation.",
     },
     Lint {
         id: "PI006",
         name: "discriminator-monotone",
         default_severity: Severity::Warn,
         description: "per-line discriminators not monotone across blocks (fresh IR)",
+        explanation: "On freshly-compiled IR, the discriminators assigned to one source \
+            line should increase with block id so a (line, discriminator) pair \
+            identifies a unique block. Non-monotone assignment is a discriminator-pass \
+            bug: correlation still works but becomes order-dependent.",
     },
     Lint {
         id: "PF001",
         name: "flow-conservation",
         default_severity: Severity::Warn,
         description: "annotated block counts violate Kirchhoff inflow/outflow bounds",
+        explanation: "An annotated block's count is outside the bounds implied by its \
+            neighbors: it executes more often than everything that can branch into it \
+            combined, or less often than a successor that only it feeds. Sampling noise \
+            causes small violations (the tolerance absorbs those); large ones mean the \
+            profile was corrupted, stale-matched badly, or inference was skipped.",
     },
     Lint {
         id: "PF002",
         name: "flow-dominance",
         default_severity: Severity::Warn,
         description: "acyclic block hotter than its immediate dominator",
+        explanation: "Outside any loop, a block cannot execute more often than its \
+            immediate dominator — every path to it passes through the dominator. A \
+            violation beyond the noise tolerance points at misattributed samples or a \
+            bad stale-profile transfer.",
     },
     Lint {
         id: "PF003",
         name: "context-parent-bound",
         default_severity: Severity::Warn,
         description: "child-context entry count exceeds the parent call-site probe count",
+        explanation: "In the context trie, a child context claims more entries than its \
+            parent's call-site probe observed calls. The context tree is hierarchical by \
+            construction, so a child exceeding its parent (beyond tolerance) means \
+            samples were attributed to the wrong context or the trie was merged \
+            incorrectly.",
     },
     Lint {
         id: "PF004",
         name: "profile-checksum-stale",
         default_severity: Severity::Warn,
         description: "profile checksum does not match the module's CFG checksum",
+        explanation: "A function's profile carries the CFG checksum of the build it was \
+            collected on, and it differs from the current module's — the source drifted \
+            since collection. Counts for that function are untrustworthy as-is; either \
+            recollect, or run the stale matcher (stale_matching: recover) to salvage \
+            what still aligns.",
     },
     Lint {
         id: "PF005",
         name: "profile-probe-range",
         default_severity: Severity::Warn,
         description: "profile references probe indices the function never allocated",
+        explanation: "The profile contains counts for probe indices beyond what the \
+            function ever allocated. Those entries cannot be applied and usually \
+            indicate the profile belongs to a different (newer) build of the function \
+            than the checksum suggests, or the profile file was corrupted.",
     },
     Lint {
         id: "PF006",
@@ -125,36 +207,149 @@ pub const LINTS: &[Lint] = &[
         default_severity: Severity::Warn,
         description:
             "annotated edge counts do not reconcile with block counts (or name non-CFG edges)",
+        explanation: "Inference attached per-edge counts that disagree with the block \
+            counts they must sum to (a block's count should equal the totals of its \
+            recorded in- and out-edges within tolerance), or an edge annotation names a \
+            pair of blocks with no CFG edge between them. Catches inconsistent solver \
+            output that the block-level PF lints cannot see.",
     },
     Lint {
         id: "SM001",
         name: "match-ambiguous-anchor",
         default_severity: Severity::Warn,
         description: "repeated call-anchor label: stale matching is positional there",
+        explanation: "The stale matcher aligns old and new probes on call anchors \
+            (callee names); a function contains the same callee name several times, so \
+            alignment between repeats falls back to position and may transfer weight to \
+            the wrong copy when code between them changed. Confidence in salvaged counts \
+            for this function is reduced.",
     },
     Lint {
         id: "SM002",
         name: "match-two-to-one",
         default_severity: Severity::Deny,
         description: "two source probes mapped onto one target probe (matcher invariant)",
+        explanation: "The matcher's transfer map sent two distinct source probes to the \
+            same target probe. The transfer is injective by construction, so this firing \
+            means a matcher bug: weight would be silently double-applied to the target \
+            block. Counts from this match must not be trusted.",
     },
     Lint {
         id: "SM003",
         name: "match-weight-inflation",
         default_severity: Severity::Deny,
         description: "recovered weight exceeds what the source profile held (matcher invariant)",
+        explanation: "The weight the matcher transferred into the fresh profile exceeds \
+            the total weight present in the stale source profile. Matching can only \
+            move or drop weight, never create it; inflation means a matcher bug and the \
+            salvaged profile overstates hotness.",
     },
     Lint {
         id: "SM004",
         name: "match-anchor-drift",
         default_severity: Severity::Warn,
         description: "checksum matches but call-anchor targets changed (silent retarget)",
+        explanation: "A function's CFG checksum still matches the profile, but the \
+            callee names at its call anchors changed — e.g. a call was redirected to a \
+            different function without altering control flow. The profile applies \
+            cleanly yet its call-context assumptions are stale; inlining decisions \
+            derived from it may chase the old callee.",
     },
     Lint {
         id: "SM005",
         name: "match-rename-low-confidence",
         default_severity: Severity::Warn,
         description: "function rename adopted below the high-confidence similarity threshold",
+        explanation: "Rename detection adopted a stale function's profile for a \
+            new/renamed function on anchor-set similarity below the high-confidence \
+            threshold. The transfer may still be right, but it rests on circumstantial \
+            evidence; verify the rename is real before trusting hot-path decisions in \
+            that function.",
+    },
+    Lint {
+        id: "PP001",
+        name: "placement-unrecoverable-edge",
+        default_severity: Severity::Deny,
+        description: "counter placement cannot recover this flow edge's count",
+        explanation: "Kirchhoff elimination over the planned counter set got stuck with \
+            this augmented-flow-graph edge still unknown: the unmeasured edges contain \
+            an undirected cycle through it, so no amount of algebra determines its \
+            count. The placement would silently produce an under-determined profile. A \
+            correct spanning-tree placement measures exactly the co-tree, which never \
+            has this problem — so this firing means a hand-built or corrupted plan.",
+    },
+    Lint {
+        id: "PP002",
+        name: "placement-redundant-counter",
+        default_severity: Severity::Warn,
+        description: "counter measures an edge already derivable from the others",
+        explanation: "This counted edge connects two components of the unmeasured-edge \
+            forest, meaning flow conservation already determines its count from the \
+            other counters — the counter adds run-time cost without adding information. \
+            The minimal (Ball–Larus) placement counts exactly the co-tree of a spanning \
+            tree; a redundant counter means the plan is over-instrumented.",
+    },
+    Lint {
+        id: "PP003",
+        name: "placement-critical-edge-unsplit",
+        default_severity: Severity::Deny,
+        description: "counter hosted in a block that does not uniquely witness its edge",
+        explanation: "A counter site claims an existing block as its host, but that \
+            block's execution count does not equal the edge's traversal count: the edge \
+            is critical (its source has several successors and its target several \
+            predecessors), or the chosen block witnesses other flow too. The \
+            instrumentation pass must split the edge with a fresh counter-only block; \
+            reading the counter as an edge count without the split mixes in unrelated \
+            executions.",
+    },
+    Lint {
+        id: "PP004",
+        name: "placement-entry-not-derivable",
+        default_severity: Severity::Deny,
+        description: "function invocation count not derivable from the placement",
+        explanation: "The virtual exit→entry edge — the function's invocation count — \
+            is neither validly measured (the entry has real predecessors, so a counter \
+            in the entry block over-counts) nor derivable by elimination from the \
+            measured edges. Entry counts drive the inliner and the context trie, so a \
+            placement that loses them is unusable even if every interior edge is \
+            recoverable.",
+    },
+    Lint {
+        id: "WP001",
+        name: "provenance-hot-inferred",
+        default_severity: Severity::Warn,
+        description: "hot function whose weight is majority solver-inferred",
+        explanation: "A function carrying a significant share of the module's total \
+            weight got most of that weight from flow inference rather than from raw \
+            samples, stale matching, or counter reconstruction — the solver invented or \
+            materially adjusted the majority of its counts. Inference smooths \
+            inconsistencies well, but a hot function dominated by invented weight means \
+            the optimizer is trusting the solver, not measurements; prefer recollecting \
+            a profile for it.",
+    },
+    Lint {
+        id: "WP002",
+        name: "provenance-loop-mixing",
+        default_severity: Severity::Warn,
+        description: "one loop annotated from several measurement sources",
+        explanation: "Blocks of a single loop carry weight from different measurement \
+            sources (raw samples vs stale-matched vs counter-reconstructed). Relative \
+            frequencies inside a loop drive unrolling and layout, and weights from \
+            different sources are not calibrated against each other — their ratios \
+            inside one loop are meaningless. Usually means a partial stale recovery \
+            landed inside a loop; re-running inference homogenizes it.",
+    },
+    Lint {
+        id: "WP003",
+        name: "provenance-salvage-share",
+        default_severity: Severity::Warn,
+        description: "stale-matched weight exceeds the configured share of module weight",
+        explanation: "More than the configured share (default 50%) of the module's \
+            annotated weight was transferred by the stale-profile matcher instead of \
+            being measured on the current build. Salvage is designed to bridge a \
+            release or two; when it carries most of the profile, drift compounds \
+            silently and profile quality decays — schedule a fresh collection rather \
+            than salvaging again.",
     },
 ];
 
@@ -166,11 +361,15 @@ pub fn find_lint(key: &str) -> Option<&'static Lint> {
 }
 
 /// The full lint registry rendered as an aligned table (ids, names,
-/// default severities, one-line docs) — `csspgo_lint --list`.
+/// default severities, one-line docs) — `csspgo_lint --list`. Output is
+/// stable: sorted by family ([`LINT_FAMILIES`] order) then id, regardless
+/// of registration order.
 pub fn render_lint_list() -> String {
     let name_w = LINTS.iter().map(|l| l.name.len()).max().unwrap_or(0);
+    let mut sorted: Vec<&Lint> = LINTS.iter().collect();
+    sorted.sort_by_key(|l| (family_rank(l.id), l.id));
     let mut out = String::new();
-    for l in LINTS {
+    for l in sorted {
         out.push_str(&format!(
             "{}  {:name_w$}  {:7}  {}\n",
             l.id,
@@ -180,6 +379,31 @@ pub fn render_lint_list() -> String {
         ));
     }
     out
+}
+
+/// Renders the one-paragraph documentation for a lint id or name —
+/// `csspgo_lint --explain <ID>`. `None` when the key names no lint.
+pub fn explain(key: &str) -> Option<String> {
+    let l = find_lint(key)?;
+    let mut out = format!(
+        "{} ({})\ndefault severity: {}\n\n{}\n\n",
+        l.id, l.name, l.default_severity, l.description
+    );
+    // Re-wrap the explanation to readable lines.
+    let mut col = 0usize;
+    for word in l.explanation.split_whitespace() {
+        if col > 0 && col + 1 + word.len() > 78 {
+            out.push('\n');
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(word);
+        col += word.len();
+    }
+    out.push('\n');
+    Some(out)
 }
 
 /// Severity overrides, applied at diagnostic-emission time.
@@ -385,6 +609,43 @@ mod tests {
             );
         }
         assert_eq!(list.lines().count(), LINTS.len());
+    }
+
+    #[test]
+    fn lint_list_is_family_sorted() {
+        let list = render_lint_list();
+        let ranks: Vec<(usize, String)> = list
+            .lines()
+            .map(|line| {
+                let id = line.split_whitespace().next().unwrap().to_string();
+                (family_rank(&id), id)
+            })
+            .collect();
+        let mut sorted = ranks.clone();
+        sorted.sort();
+        assert_eq!(ranks, sorted, "--list output not family-sorted");
+        // Every family in LINT_FAMILIES has at least one lint.
+        for (prefix, _) in LINT_FAMILIES {
+            assert!(
+                LINTS.iter().any(|l| l.id.starts_with(prefix)),
+                "family {prefix} has no lints"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_renders_every_lint() {
+        for l in LINTS {
+            let text = explain(l.id).unwrap_or_else(|| panic!("{} has no explanation", l.id));
+            assert!(text.contains(l.id) && text.contains(l.name), "{text}");
+            assert!(
+                !l.explanation.is_empty() && text.len() > 100,
+                "{} explanation too thin",
+                l.id
+            );
+            assert_eq!(explain(l.name).as_deref(), Some(text.as_str()));
+        }
+        assert!(explain("no-such-lint").is_none());
     }
 
     #[test]

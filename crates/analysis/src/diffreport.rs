@@ -7,6 +7,7 @@
 
 use crate::diag::{Diagnostic, Policy, Report};
 use crate::module_lints::{analyze_flow, FlowTolerance};
+use crate::provenance::module_weights;
 use csspgo_core::annotate::{csspgo_annotate, AnnotateConfig};
 use csspgo_core::inference::InferenceMode;
 use csspgo_core::profile::ProbeProfile;
@@ -110,6 +111,55 @@ pub fn inference_quality(module: &Module, profile: &ProbeProfile) -> InferenceQu
     }
 }
 
+/// Where a scenario's recovered weight came from: per-provenance-tag
+/// totals and shares over the annotated module.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProvenanceBreakdown {
+    /// Weight under raw-sample counts.
+    pub sampled: u64,
+    /// Weight transferred by the stale matcher.
+    pub stale_matched: u64,
+    /// Weight invented or materially adjusted by inference.
+    pub inferred: u64,
+    /// Weight recovered from sparse counters.
+    pub reconstructed: u64,
+    /// `sampled / total`, rounded.
+    pub sampled_share: f64,
+    /// `stale_matched / total`, rounded.
+    pub stale_matched_share: f64,
+    /// `inferred / total`, rounded.
+    pub inferred_share: f64,
+    /// `reconstructed / total`, rounded.
+    pub reconstructed_share: f64,
+}
+
+/// Measures a [`ProvenanceBreakdown`] for one (module, profile) pair:
+/// annotates a clone with stale recovery and MCF inference on (the
+/// `csspgo_diff` measurement configuration, matching
+/// [`inference_quality`]) and sums the annotated weight by tag.
+pub fn provenance_breakdown(module: &Module, profile: &ProbeProfile) -> ProvenanceBreakdown {
+    let mut m = module.clone();
+    let cfg = AnnotateConfig {
+        inline_budget: 0,
+        stale_matching: StaleMatching::Recover,
+        inference: InferenceMode::Mcf,
+        ..AnnotateConfig::default()
+    };
+    csspgo_annotate(&mut m, profile, None, &cfg);
+    let w = module_weights(&m);
+    let total = w.total().max(1) as f64;
+    ProvenanceBreakdown {
+        sampled: w.sampled,
+        stale_matched: w.stale_matched,
+        inferred: w.inferred,
+        reconstructed: w.reconstructed,
+        sampled_share: round4(w.sampled as f64 / total),
+        stale_matched_share: round4(w.stale_matched as f64 / total),
+        inferred_share: round4(w.inferred as f64 / total),
+        reconstructed_share: round4(w.reconstructed as f64 / total),
+    }
+}
+
 /// One drift scenario's full differential result.
 #[derive(Clone, Debug, Serialize)]
 pub struct ScenarioReport {
@@ -140,6 +190,9 @@ pub struct ScenarioReport {
     /// Inference repair effort and before/after flow-lint findings
     /// (absent when the caller did not measure it).
     pub inference_quality: Option<InferenceQuality>,
+    /// Per-tag provenance of the recovered weight (absent when the caller
+    /// did not measure it).
+    pub provenance: Option<ProvenanceBreakdown>,
 }
 
 impl ScenarioReport {
@@ -192,12 +245,19 @@ impl ScenarioReport {
             functions,
             diagnostics,
             inference_quality: None,
+            provenance: None,
         }
     }
 
     /// Attaches a measured [`InferenceQuality`] section.
     pub fn with_inference_quality(mut self, q: InferenceQuality) -> Self {
         self.inference_quality = Some(q);
+        self
+    }
+
+    /// Attaches a measured [`ProvenanceBreakdown`] section.
+    pub fn with_provenance(mut self, p: ProvenanceBreakdown) -> Self {
+        self.provenance = Some(p);
         self
     }
 }

@@ -25,6 +25,18 @@
 //!   checksum-invisible call retargets, low-confidence renames. The
 //!   [`diffreport`] module turns match outcomes into the `csspgo_diff`
 //!   JSON report.
+//! * **`PP…` placement prover** — the static recoverability prover for
+//!   sparse counter placements ([`dataflow`]): certifies *before any
+//!   execution* that a Ball–Larus spanning-tree placement determines every
+//!   block/edge count by Kirchhoff elimination, and flags unrecoverable
+//!   edges, redundant counters, unsplit critical edges, and underivable
+//!   entry counts.
+//! * **`WP…` weight provenance** — pedigree lints over annotated counts
+//!   ([`provenance`]): every block count carries a
+//!   [`csspgo_ir::Provenance`] tag (sampled / stale-matched / inferred /
+//!   reconstructed), and these lints flag hot functions dominated by
+//!   invented weight, measurement-source mixing inside loops, and
+//!   excessive stale-salvage shares.
 //!
 //! The raw `IV`/`PI` checks deliberately live in `csspgo_ir` so the opt
 //! pipeline's inter-pass checkpoints ([`csspgo_opt::verify_after_pass`])
@@ -44,18 +56,26 @@
 //! assert!(!analyzer.report().has_denied());
 //! ```
 
+pub mod dataflow;
 pub mod diag;
 pub mod diffreport;
 pub mod matching;
 pub mod module_lints;
 pub mod profile_lints;
+pub mod provenance;
 
-pub use diag::{find_lint, render_lint_list, Diagnostic, Lint, Policy, Report, Severity, LINTS};
+pub use dataflow::{classify_cfg_edges, prove_plan, CfgEdgeKind, FlowProof};
+pub use diag::{
+    explain, find_lint, render_lint_list, Diagnostic, Lint, Policy, Report, Severity, LINTS,
+    LINT_FAMILIES,
+};
 pub use diffreport::{
-    inference_quality, DiffReport, FuncDiffRecord, InferenceQuality, ScenarioReport,
+    inference_quality, provenance_breakdown, DiffReport, FuncDiffRecord, InferenceQuality,
+    ProvenanceBreakdown, ScenarioReport,
 };
 pub use module_lints::FlowTolerance;
 pub use profile_lints::ContextTolerance;
+pub use provenance::{ProvenanceWeights, WpTolerance};
 
 use csspgo_core::context::ContextProfile;
 use csspgo_core::profile::ProbeProfile;
@@ -69,6 +89,8 @@ pub struct AnalyzerConfig {
     pub flow: FlowTolerance,
     /// Slack for the context-tree lint (`PF003`).
     pub context: ContextTolerance,
+    /// Thresholds for the provenance lints (`WP001`–`WP003`).
+    pub wp: WpTolerance,
 }
 
 /// The analysis driver: applies every lint family to modules and profiles,
@@ -136,6 +158,34 @@ impl Analyzer {
         cfg: &MatchConfig,
     ) -> MatchOutcome {
         matching::analyze_stale_match(&self.policy, unit, module, profile, cfg, &mut self.report)
+    }
+
+    /// Counter-placement recoverability lints (`PP001`–`PP004`): plans the
+    /// spanning-tree placement for every function of `module` and runs the
+    /// static Kirchhoff prover over it. Returns the number of functions
+    /// proven (exit-free full-fallback functions are trivially recoverable
+    /// and skipped).
+    pub fn analyze_placement(&mut self, unit: &str, module: &Module) -> usize {
+        dataflow::analyze_placement(&self.policy, unit, module, &mut self.report)
+    }
+
+    /// Weight-provenance lints (`WP001`–`WP003`) over an annotated module;
+    /// returns the module's per-tag weight totals.
+    pub fn analyze_provenance(&mut self, unit: &str, module: &Module) -> ProvenanceWeights {
+        self.analyze_provenance_with(unit, module, self.config.wp)
+    }
+
+    /// [`Analyzer::analyze_provenance`] with per-call tolerances, for
+    /// stages whose expected provenance mix differs from production (e.g.
+    /// a deliberate drift replay, where salvaged weight dominating the
+    /// module is the point of the exercise, not a defect).
+    pub fn analyze_provenance_with(
+        &mut self,
+        unit: &str,
+        module: &Module,
+        tol: WpTolerance,
+    ) -> ProvenanceWeights {
+        provenance::analyze_provenance(&self.policy, unit, module, tol, &mut self.report)
     }
 
     /// Context-tree consistency lint (`PF003`) over a context trie.

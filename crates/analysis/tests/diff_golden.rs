@@ -89,7 +89,8 @@ fn diff_report_json_matches_golden() {
             analyzer.analyze_stale_match(&unit, &module, &profile, &MatchConfig::default());
         let diags = analyzer.report().diagnostics[before..].to_vec();
         let sr = ScenarioReport::from_outcome(name, "golden", &outcome, diags)
-            .with_inference_quality(csspgo_analysis::inference_quality(&module, &profile));
+            .with_inference_quality(csspgo_analysis::inference_quality(&module, &profile))
+            .with_provenance(csspgo_analysis::provenance_breakdown(&module, &profile));
         report.scenarios.push(sr);
     }
     // The fixture must exercise all three outcomes the report classifies.
@@ -100,7 +101,24 @@ fn diff_report_json_matches_golden() {
             "{}: MCF-inferred profiles are flow-clean by construction",
             sr.scenario
         );
+        let p = sr.provenance.as_ref().unwrap();
+        assert!(
+            p.sampled + p.stale_matched + p.inferred + p.reconstructed > 0,
+            "{}: provenance tags must survive annotation end-to-end",
+            sr.scenario
+        );
     }
+    // CFG drift forces the matcher (and then inference) to carry weight,
+    // and the tags must say so.
+    let cfg_prov = report.scenarios[1].provenance.as_ref().unwrap();
+    assert!(
+        cfg_prov.stale_matched > 0,
+        "change_cfg weight must be tagged stale-matched"
+    );
+    assert!(
+        cfg_prov.inferred > 0,
+        "change_cfg must carry solver-inferred weight"
+    );
     assert!(
         report.scenarios[0].checksum_matched == 3,
         "comment drift is transparent"

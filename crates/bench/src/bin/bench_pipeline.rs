@@ -12,6 +12,12 @@
 //! if any workload's `CSSPGO (full)` correlation takes more than `ratio`×
 //! its `AutoFDO` correlation — the hot path this harness exists to watch.
 //!
+//! Every run also measures the instrumented variant under both counter
+//! placements (`instr-full` / `instr-sptree` rows, carrying
+//! `counter_sites` and `profile_cycles`): the overhead delta the
+//! Ball–Larus spanning-tree placement buys over naive every-block
+//! counting, at identical ground-truth profiles.
+//!
 //! `--drift` adds the fig6-style drifted-profile comparison: each
 //! workload's profile is collected on the clean build while the optimized
 //! build compiles a CFG-changed source, stale recovery salvages the
@@ -32,6 +38,7 @@ use csspgo_core::inference::InferenceMode;
 use csspgo_core::pipeline::{run_pgo_cycle, run_pgo_cycle_drifted, PgoVariant, PipelineConfig};
 use csspgo_core::stalematch::StaleMatching;
 use csspgo_core::Workload;
+use csspgo_opt::instrument::Placement;
 use csspgo_workloads::drift;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -134,6 +141,14 @@ fn run_drift_comparison(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Pip
             if let Some(p) = retained_pct(o.eval.cycles) {
                 row = row.with_retained(p);
             }
+            let prov = o.annotate_stats.provenance;
+            if prov.total() > 0 {
+                let total = prov.total() as f64;
+                row = row.with_provenance_pcts(
+                    prov.stale_matched as f64 / total * 100.0,
+                    prov.inferred as f64 / total * 100.0,
+                );
+            }
             rows.push(row);
         }
         rows
@@ -144,22 +159,91 @@ fn run_drift_comparison(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Pip
 /// Prints the drifted-profile comparison table from the `drift-*` rows.
 fn print_drift_table(records: &[PipelineBenchRecord]) {
     println!("\n# Drifted-profile inference comparison (change_cfg drift, stale recovery on)");
-    println!("| workload | row | eval cycles | retained % | counts adjusted | flow moved | residual cost |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("| workload | row | eval cycles | retained % | counts adjusted | flow moved | residual cost | salvaged % | inferred % |");
+    println!("|---|---|---|---|---|---|---|---|---|");
     for r in records {
         let fmt_u = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
-        let retained = r
-            .cycles_retained_pct
-            .map_or_else(|| "-".to_string(), |p| format!("{p:.1}"));
+        let fmt_p = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |p| format!("{p:.1}"));
         println!(
-            "| {} | {} | {} | {retained} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.workload,
             r.variant,
             fmt_u(r.eval_cycles),
+            fmt_p(r.cycles_retained_pct),
             fmt_u(r.counts_adjusted),
             fmt_u(r.flow_moved),
             fmt_u(r.residual_cost),
+            fmt_p(r.salvaged_weight_pct),
+            fmt_p(r.inferred_weight_pct),
         );
+    }
+}
+
+/// Runs the instrumented variant under both counter placements for every
+/// workload: the overhead delta minimal (spanning-tree) placement buys
+/// over naive every-block counting, at identical ground-truth profiles.
+fn run_instrumentation_comparison(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+) -> Vec<PipelineBenchRecord> {
+    let per_workload = par_map(workloads.to_vec(), |w| {
+        let mut rows = Vec::new();
+        for (label, placement) in [
+            ("instr-full", Placement::Full),
+            ("instr-sptree", Placement::SpanningTree),
+        ] {
+            let mut icfg = cfg.clone();
+            icfg.instrument.placement = placement;
+            let o = run_pgo_cycle(&w, PgoVariant::Instr, &icfg)
+                .unwrap_or_else(|e| panic!("{} / {label}: {e}", w.name));
+            rows.push(
+                PipelineBenchRecord::labeled(&w.name, label, &o.stage_times)
+                    .with_instrumentation(o.counter_sites as u64, o.profiling.cycles)
+                    .with_eval_cycles(o.eval.cycles),
+            );
+        }
+        rows
+    });
+    per_workload.into_iter().flatten().collect()
+}
+
+/// Prints the instrumentation-overhead table from the `instr-*` rows.
+fn print_instrumentation_table(records: &[PipelineBenchRecord]) {
+    println!("\n# Instrumentation overhead (full vs spanning-tree counter placement)");
+    println!("| workload | row | counter sites | profiling cycles | eval cycles |");
+    println!("|---|---|---|---|---|");
+    for r in records {
+        let fmt_u = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.workload,
+            r.variant,
+            fmt_u(r.counter_sites),
+            fmt_u(r.profile_cycles),
+            fmt_u(r.eval_cycles),
+        );
+    }
+    let by_key: HashMap<(&str, &str), u64> = records
+        .iter()
+        .filter_map(|r| {
+            r.counter_sites
+                .map(|c| ((r.workload.as_str(), r.variant.as_str()), c))
+        })
+        .collect();
+    let mut names: Vec<&str> = records.iter().map(|r| r.workload.as_str()).collect();
+    names.dedup();
+    for name in names {
+        if let (Some(&full), Some(&sp)) = (
+            by_key.get(&(name, "instr-full")),
+            by_key.get(&(name, "instr-sptree")),
+        ) {
+            if full > 0 {
+                println!(
+                    "{name}: {sp} of {full} counters kept ({:.1}% fewer)",
+                    (full - sp.min(full)) as f64 / full as f64 * 100.0
+                );
+            }
+        }
     }
 }
 
@@ -246,6 +330,10 @@ fn main() -> ExitCode {
             r.total_ms
         );
     }
+
+    let instr_rows = run_instrumentation_comparison(&workloads, &cfg);
+    print_instrumentation_table(&instr_rows);
+    records.extend(instr_rows);
 
     if with_drift {
         let drift_rows = run_drift_comparison(&workloads, &cfg);

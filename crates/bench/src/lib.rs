@@ -195,6 +195,18 @@ pub struct PipelineBenchRecord {
     /// Share of the clean-profile PGO cycle win this row retained, in
     /// percent (drift-comparison rows).
     pub cycles_retained_pct: Option<f64>,
+    /// Counter sites placed in the profiling build (instrumented rows;
+    /// additive in `csspgo-bench-v2` — older files simply lack it).
+    pub counter_sites: Option<u64>,
+    /// Cycles of the profiling run on the instrumented binary — the
+    /// runtime overhead the counter placement is trying to shrink.
+    pub profile_cycles: Option<u64>,
+    /// Share of the annotated module's weight that is stale-matcher
+    /// salvage, in percent (drift-comparison rows).
+    pub salvaged_weight_pct: Option<f64>,
+    /// Share of the annotated module's weight that is solver-inferred, in
+    /// percent (drift-comparison rows).
+    pub inferred_weight_pct: Option<f64>,
 }
 
 impl PipelineBenchRecord {
@@ -228,6 +240,10 @@ impl PipelineBenchRecord {
             residual_cost: None,
             eval_cycles: None,
             cycles_retained_pct: None,
+            counter_sites: None,
+            profile_cycles: None,
+            salvaged_weight_pct: None,
+            inferred_weight_pct: None,
         }
     }
 
@@ -256,6 +272,22 @@ impl PipelineBenchRecord {
     /// Attaches the retained share of the clean-profile win, in percent.
     pub fn with_retained(mut self, pct: f64) -> Self {
         self.cycles_retained_pct = Some(pct);
+        self
+    }
+
+    /// Attaches instrumentation-overhead measurements: counter sites in
+    /// the profiling build and the instrumented profiling run's cycles.
+    pub fn with_instrumentation(mut self, sites: u64, profile_cycles: u64) -> Self {
+        self.counter_sites = Some(sites);
+        self.profile_cycles = Some(profile_cycles);
+        self
+    }
+
+    /// Attaches the annotated module's provenance mix (salvaged and
+    /// inferred weight shares, in percent).
+    pub fn with_provenance_pcts(mut self, salvaged: f64, inferred: f64) -> Self {
+        self.salvaged_weight_pct = Some(salvaged);
+        self.inferred_weight_pct = Some(inferred);
         self
     }
 }

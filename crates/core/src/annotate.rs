@@ -26,9 +26,9 @@ use csspgo_ir::annot::InlinePlan;
 use csspgo_ir::debuginfo::DebugLoc;
 use csspgo_ir::inst::InstKind;
 use csspgo_ir::probe::{cfg_checksum, ProbeKind, ProbeSite};
-use csspgo_ir::{BlockId, FuncId, Module};
+use csspgo_ir::{BlockId, FuncId, Module, Provenance, ProvenanceMap};
 use csspgo_opt::inliner::{inline_call, real_size};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Annotation tuning.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +76,8 @@ pub struct AnnotateStats {
     pub replayed_inlines: usize,
     /// Aggregate profile-inference work across all annotated functions.
     pub inference: InferenceStats,
+    /// Annotated weight summed by provenance tag across all functions.
+    pub provenance: ProvenanceTotals,
 }
 
 impl AnnotateStats {
@@ -83,6 +85,52 @@ impl AnnotateStats {
     /// old `stale` counter).
     pub fn stale_total(&self) -> usize {
         self.stale_dropped + self.stale_recovered
+    }
+}
+
+/// Annotated weight (block counts) summed by [`Provenance`] tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProvenanceTotals {
+    /// Weight from raw samples or exact counters on a matching build.
+    pub sampled: u64,
+    /// Weight transferred by the stale matcher.
+    pub stale_matched: u64,
+    /// Weight invented or materially adjusted by inference.
+    pub inferred: u64,
+    /// Weight recovered from sparse counters by Kirchhoff elimination.
+    pub reconstructed: u64,
+}
+
+impl ProvenanceTotals {
+    /// Adds `weight` under `tag`.
+    pub fn add(&mut self, tag: Provenance, weight: u64) {
+        match tag {
+            Provenance::Sampled => self.sampled += weight,
+            Provenance::StaleMatched => self.stale_matched += weight,
+            Provenance::Inferred => self.inferred += weight,
+            Provenance::Reconstructed => self.reconstructed += weight,
+        }
+    }
+
+    /// Total annotated weight.
+    pub fn total(&self) -> u64 {
+        self.sampled + self.stale_matched + self.inferred + self.reconstructed
+    }
+}
+
+/// Whether inference changed a raw count enough that the result should be
+/// tagged [`Provenance::Inferred`] rather than inherit the measurement's
+/// tag: the block had no raw count at all (and got weight), or the final
+/// count moved beyond both an absolute and a 25% relative slack. Small
+/// smoothing of sampled counts keeps the measurement tag — the solver is
+/// calibrating, not inventing.
+fn materially_adjusted(raw: Option<u64>, finalc: u64) -> bool {
+    match raw {
+        None => finalc > 0,
+        Some(r) => {
+            let d = finalc.abs_diff(r);
+            d > 16 && d * 4 > r
+        }
     }
 }
 
@@ -202,8 +250,15 @@ pub fn autofdo_annotate(
         let entry = fp
             .entry
             .max(raw.get(&module.func(fid).entry).copied().unwrap_or(0));
-        let inf = apply(module, fid, &raw, entry, cfg.inference);
-        stats.inference.merge(&inf);
+        apply(
+            module,
+            fid,
+            &raw,
+            entry,
+            cfg.inference,
+            Provenance::Sampled,
+            &mut stats,
+        );
         stats.annotated += 1;
     }
     stats
@@ -246,12 +301,16 @@ pub fn csspgo_annotate(
     // functions pass through the matcher bit-identical, so this is a
     // no-op on undrifted profiles.
     let salvaged;
+    // Fresh-module GUIDs whose counts came through the matcher rather than
+    // a clean checksum match — their annotated weight is `StaleMatched`.
+    let mut salvaged_guids: HashSet<u64> = HashSet::new();
     let profile = if cfg.stale_matching == StaleMatching::Recover {
         let outcome = match_stale_profile(module, profile, &MatchConfig::default());
         for f in &outcome.funcs {
             match f.status {
                 FuncMatchStatus::Recovered | FuncMatchStatus::Renamed { .. } => {
                     stats.stale_recovered += 1;
+                    salvaged_guids.insert(f.guid);
                 }
                 FuncMatchStatus::Dropped if module.find_function_by_guid(f.guid).is_some() => {
                     stats.stale_dropped += 1;
@@ -379,8 +438,12 @@ pub fn csspgo_annotate(
         let entry = fp
             .entry
             .max(raw.get(&module.func(fid).entry).copied().unwrap_or(0));
-        let inf = apply(module, fid, &raw, entry, cfg.inference);
-        stats.inference.merge(&inf);
+        let base = if salvaged_guids.contains(&guid) {
+            Provenance::StaleMatched
+        } else {
+            Provenance::Sampled
+        };
+        apply(module, fid, &raw, entry, cfg.inference, base, &mut stats);
         stats.annotated += 1;
     }
     stats
@@ -414,19 +477,52 @@ fn call_probe_of(
 // ---------------------------------------------------------------------
 
 /// Annotates exact counter values measured on an identically-shaped fresh
-/// IR (instrumentation-based PGO).
+/// IR (instrumentation-based PGO). Every written count is exact, so it is
+/// tagged [`Provenance::Sampled`].
 pub fn instr_annotate(
     module: &mut Module,
     counts: &HashMap<(FuncId, BlockId), u64>,
 ) -> AnnotateStats {
+    instr_annotate_tagged(module, counts, Provenance::Sampled, &HashMap::new())
+}
+
+/// Annotates block counts recovered from a sparse spanning-tree counter
+/// placement by Kirchhoff elimination ([`csspgo_ir::flow::reconstruct`]):
+/// functions in `edges` carry solved counts (tagged
+/// [`Provenance::Reconstructed`], with the recovered edge counts attached
+/// so downstream flow lints can reconcile them); functions without an
+/// entry carried exact full-fallback counters and stay
+/// [`Provenance::Sampled`].
+pub fn instr_annotate_reconstructed(
+    module: &mut Module,
+    counts: &HashMap<(FuncId, BlockId), u64>,
+    edges: &HashMap<FuncId, Vec<(BlockId, BlockId, u64)>>,
+) -> AnnotateStats {
+    instr_annotate_tagged(module, counts, Provenance::Reconstructed, edges)
+}
+
+fn instr_annotate_tagged(
+    module: &mut Module,
+    counts: &HashMap<(FuncId, BlockId), u64>,
+    reconstructed_tag: Provenance,
+    edges: &HashMap<FuncId, Vec<(BlockId, BlockId, u64)>>,
+) -> AnnotateStats {
     let mut stats = AnnotateStats::default();
     for fid in 0..module.functions.len() {
         let fid = FuncId::from_index(fid);
+        let tag = if edges.contains_key(&fid) {
+            reconstructed_tag
+        } else {
+            Provenance::Sampled
+        };
         let ids: Vec<BlockId> = module.func(fid).iter_blocks().map(|(b, _)| b).collect();
         let mut any = false;
+        let mut tags = Vec::new();
         for bid in &ids {
             if let Some(&c) = counts.get(&(fid, *bid)) {
                 module.func_mut(fid).block_mut(*bid).count = Some(c);
+                stats.provenance.add(tag, c);
+                tags.push((*bid, tag));
                 any = true;
             }
         }
@@ -435,7 +531,12 @@ pub fn instr_annotate(
                 .get(&(fid, module.func(fid).entry))
                 .copied()
                 .unwrap_or(0);
-            module.func_mut(fid).entry_count = Some(entry);
+            let f = module.func_mut(fid);
+            f.entry_count = Some(entry);
+            f.count_provenance = Some(ProvenanceMap::new(tags));
+            if let Some(es) = edges.get(&fid) {
+                f.edge_counts = Some(csspgo_ir::EdgeCounts::new(es.clone()));
+            }
             stats.annotated += 1;
         }
     }
@@ -443,24 +544,39 @@ pub fn instr_annotate(
 }
 
 /// Runs the configured inference on the raw counts and writes the repaired
-/// block (and, under MCF, edge) counts onto the function. Returns the
-/// per-function inference stats for aggregation.
+/// block (and, under MCF, edge) counts onto the function, tagging each
+/// block's provenance: `base` (how the raw count was measured) when
+/// inference kept it close, [`Provenance::Inferred`] when inference
+/// invented or materially adjusted it. Merges inference and provenance
+/// accounting into `stats`.
 fn apply(
     module: &mut Module,
     fid: FuncId,
     raw: &HashMap<BlockId, u64>,
     entry: u64,
     mode: InferenceMode,
-) -> InferenceStats {
+    base: Provenance,
+    stats: &mut AnnotateStats,
+) {
     let result = infer_counts(module.func(fid), raw, entry, mode);
     let ids: Vec<BlockId> = module.func(fid).iter_blocks().map(|(b, _)| b).collect();
     let f = module.func_mut(fid);
+    let mut tags = Vec::with_capacity(ids.len());
     for bid in ids {
-        f.block_mut(bid).count = Some(result.counts.get(&bid).copied().unwrap_or(0));
+        let count = result.counts.get(&bid).copied().unwrap_or(0);
+        f.block_mut(bid).count = Some(count);
+        let tag = if materially_adjusted(raw.get(&bid).copied(), count) {
+            Provenance::Inferred
+        } else {
+            base
+        };
+        stats.provenance.add(tag, count);
+        tags.push((bid, tag));
     }
     f.entry_count = Some(entry);
     f.edge_counts = result.edges.map(csspgo_ir::EdgeCounts::new);
-    result.stats
+    f.count_provenance = Some(ProvenanceMap::new(tags));
+    stats.inference.merge(&result.stats);
 }
 
 /// Snapshot of per-function block counts keyed by GUID (for the overlap

@@ -170,19 +170,6 @@ pub fn infer_counts(
     result
 }
 
-/// Repairs `raw` block counts for `func` into flow-consistent counts scaled
-/// to `entry_count` at the entry block.
-#[deprecated(note = "use `infer_counts` with the `InferenceMode` selected by \
-            `AnnotateConfig`/`PipelineConfig` instead; this delegate always \
-            runs the default mode (mcf) and drops edge counts and stats")]
-pub fn repair_counts(
-    func: &Function,
-    raw: &HashMap<BlockId, u64>,
-    entry_count: u64,
-) -> HashMap<BlockId, u64> {
-    infer_counts(func, raw, entry_count, InferenceMode::default()).counts
-}
-
 /// (#adjusted blocks, Σ|final − raw|) over the inferred block set.
 fn diff_stats(raw: &HashMap<BlockId, u64>, counts: &HashMap<BlockId, u64>) -> (u64, u64) {
     let mut adjusted = 0u64;
@@ -502,17 +489,6 @@ mod tests {
             let sum: f64 = succs.iter().map(|s| probs[&(b, *s)]).sum();
             assert_eq!(sum, 1.0, "block {b:?} probabilities sum to exactly 1.0");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn repair_counts_delegates_to_default_mode() {
-        let m = compile("fn f(a) { let r = 0; if (a > 0) { r = 1; } else { r = 2; } return r; }");
-        let f = &m.functions[0];
-        let raw = HashMap::from([(BlockId(0), 100u64), (BlockId(1), 90), (BlockId(2), 10)]);
-        let via_delegate = repair_counts(f, &raw, 100);
-        let direct = infer_counts(f, &raw, 100, InferenceMode::default()).counts;
-        assert_eq!(via_delegate, direct);
     }
 
     #[test]

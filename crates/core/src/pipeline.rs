@@ -7,8 +7,8 @@
 //! context-sensitivity — the two things CSSPGO changes.
 
 use crate::annotate::{
-    autofdo_annotate, collect_block_counts, csspgo_annotate, instr_annotate, AnnotateConfig,
-    AnnotateStats,
+    autofdo_annotate, collect_block_counts, csspgo_annotate, instr_annotate_reconstructed,
+    AnnotateConfig, AnnotateStats,
 };
 use crate::correlate::{dwarf_profile, probe_profile};
 use crate::overlap::BlockCounts;
@@ -94,6 +94,8 @@ pub struct PipelineConfig {
     pub preinline: PreInlineConfig,
     /// Streaming-aggregation knobs (epoch ingestion; see [`crate::stream`]).
     pub stream: StreamConfig,
+    /// Counter-placement knobs for the instrumented variant.
+    pub instrument: csspgo_opt::instrument::InstrumentConfig,
     /// Cold-context trimming threshold (full CSSPGO).
     pub trim_threshold: u64,
     /// PMU sampling period in cycles.
@@ -119,6 +121,7 @@ impl Default for PipelineConfig {
             annotate: AnnotateConfig::default(),
             preinline: PreInlineConfig::default(),
             stream: StreamConfig::default(),
+            instrument: csspgo_opt::instrument::InstrumentConfig::default(),
             trim_threshold: 16,
             sample_period: 199,
             lbr_size: 16,
@@ -246,6 +249,15 @@ impl PipelineConfigBuilder {
     #[must_use]
     pub fn stream(mut self, stream: StreamConfig) -> Self {
         self.cfg.stream = stream;
+        self
+    }
+
+    /// Sets the counter-placement policy for the instrumented variant
+    /// (`full | spanning_tree`) — shorthand for overriding just that field
+    /// of the instrumentation knobs.
+    #[must_use]
+    pub fn placement(mut self, placement: csspgo_opt::instrument::Placement) -> Self {
+        self.cfg.instrument.placement = placement;
         self
     }
 
@@ -452,6 +464,9 @@ pub struct PgoOutcome {
     pub context_nodes_after_trim: usize,
     /// Pre-inliner plan size (full CSSPGO).
     pub plan_len: usize,
+    /// Counter sites placed in the profiling build (instrumented variant
+    /// only; 0 elsewhere). Each site lowers to one counter instruction.
+    pub counter_sites: usize,
     /// Tail-call missing-frame inference stats (full CSSPGO).
     pub infer_stats: InferStats,
     /// Wall time spent in each pipeline stage.
@@ -627,6 +642,7 @@ pub fn run_pgo_cycle_with(
         context_nodes_before_trim: 0,
         context_nodes_after_trim: 0,
         plan_len: 0,
+        counter_sites: 0,
         infer_stats: InferStats::default(),
         stage_times: StageTimes::default(),
     };
@@ -643,7 +659,9 @@ pub fn run_pgo_cycle_with(
             csspgo_opt::probes::run(&mut module);
         }
         if variant == PgoVariant::Instr {
-            counter_map = Some(csspgo_opt::instrument::run(&mut module));
+            let map = csspgo_opt::instrument::run_with(&mut module, &config.instrument);
+            outcome.counter_sites = map.len();
+            counter_map = Some(map);
         }
         csspgo_opt::run_pipeline(&mut module, &config.opt);
         Some(lower_module(&module, &config.codegen))
@@ -683,7 +701,15 @@ pub fn run_pgo_cycle_with(
         None,
         Flat(crate::profile::FlatProfile),
         Probe(crate::profile::ProbeProfile, Option<csspgo_ir::InlinePlan>),
-        Counters(std::collections::HashMap<(csspgo_ir::FuncId, csspgo_ir::BlockId), u64>),
+        /// Exact per-block counts plus, under sparse placement, the
+        /// Kirchhoff-recovered edge counts per function.
+        Counters(
+            std::collections::HashMap<(csspgo_ir::FuncId, csspgo_ir::BlockId), u64>,
+            std::collections::HashMap<
+                csspgo_ir::FuncId,
+                Vec<(csspgo_ir::BlockId, csspgo_ir::BlockId, u64)>,
+            >,
+        ),
     }
 
     // The plan references the *fresh build module*; compile it first.
@@ -748,7 +774,35 @@ pub fn run_pgo_cycle_with(
             for ((fid, bid), counter) in map.by_block {
                 exact.insert((fid, bid), counters[counter as usize]);
             }
-            Generated::Counters(exact)
+            let mut recovered_edges = std::collections::HashMap::new();
+            if !map.by_edge.is_empty() {
+                // Sparse measurements are solved back to full flow against
+                // the profiling build's pre-instrumentation CFG (the one
+                // the placement was planned on).
+                let mut ref_module = csspgo_lang::compile(&workload.source, &workload.name)?;
+                csspgo_opt::discriminators::run(&mut ref_module);
+                let mut per_func: std::collections::HashMap<
+                    csspgo_ir::FuncId,
+                    std::collections::HashMap<csspgo_ir::flow::FlowEdge, u64>,
+                > = std::collections::HashMap::new();
+                for (fid, edge, counter) in map.by_edge {
+                    per_func
+                        .entry(fid)
+                        .or_default()
+                        .insert(edge, counters[counter as usize]);
+                }
+                for (fid, measured) in per_func {
+                    let flow = csspgo_ir::flow::reconstruct(ref_module.func(fid), &measured)
+                        .ok_or(PipelineError::Inconsistent(
+                            "sparse counter placement failed to reconstruct full flow",
+                        ))?;
+                    for (bid, c) in &flow.block_counts {
+                        exact.insert((fid, *bid), *c);
+                    }
+                    recovered_edges.insert(fid, flow.edge_counts);
+                }
+            }
+            Generated::Counters(exact, recovered_edges)
         }
     };
     outcome.stage_times.correlate_ms = ms_since(stage_start) - preinline_ms;
@@ -801,8 +855,8 @@ pub fn run_pgo_cycle_with(
             Generated::Probe(p, _) => {
                 csspgo_annotate(&mut q_module, p, None, &no_replay);
             }
-            Generated::Counters(c) => {
-                instr_annotate(&mut q_module, c);
+            Generated::Counters(c, e) => {
+                instr_annotate_reconstructed(&mut q_module, c, e);
             }
         }
         outcome.quality_counts = collect_block_counts(&q_module);
@@ -819,8 +873,8 @@ pub fn run_pgo_cycle_with(
             outcome.annotate_stats =
                 csspgo_annotate(&mut build_module, p, plan.as_ref(), &config.annotate);
         }
-        Generated::Counters(c) => {
-            outcome.annotate_stats = instr_annotate(&mut build_module, c);
+        Generated::Counters(c, e) => {
+            outcome.annotate_stats = instr_annotate_reconstructed(&mut build_module, c, e);
         }
     }
     // Full CSSPGO honors the pre-inliner's global decisions: the bottom-up

@@ -595,52 +595,6 @@ impl<'b> StreamAggregator<'b> {
         Self::restore_text(binary, config, ingest_shards, text)
     }
 
-    /// Deprecated spelling of `snapshot_as(SnapshotFormat::Text)` (as a
-    /// `String`); kept as a thin delegate for one release.
-    #[deprecated(since = "0.1.0", note = "use snapshot_as(SnapshotFormat::Text)")]
-    pub fn snapshot(&self) -> String {
-        self.snapshot_text()
-    }
-
-    /// Deprecated spelling of `snapshot_as(SnapshotFormat::Binary)`; kept
-    /// as a thin delegate for one release.
-    #[deprecated(since = "0.1.0", note = "use snapshot_as(SnapshotFormat::Binary)")]
-    pub fn snapshot_bin(&self) -> Vec<u8> {
-        self.snapshot_binary()
-    }
-
-    /// Deprecated text-only restore; kept as a thin delegate for one
-    /// release.
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::restore_from`].
-    #[deprecated(since = "0.1.0", note = "use restore_from (format is sniffed)")]
-    pub fn restore(
-        binary: &'b Binary,
-        config: StreamConfig,
-        ingest_shards: usize,
-        text: &str,
-    ) -> Result<Self, PipelineError> {
-        Self::restore_text(binary, config, ingest_shards, text)
-    }
-
-    /// Deprecated binary-only restore; kept as a thin delegate for one
-    /// release.
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::restore_from`].
-    #[deprecated(since = "0.1.0", note = "use restore_from (format is sniffed)")]
-    pub fn restore_bin(
-        binary: &'b Binary,
-        config: StreamConfig,
-        ingest_shards: usize,
-        bytes: &[u8],
-    ) -> Result<Self, PipelineError> {
-        Self::restore_binary(binary, config, ingest_shards, bytes)
-    }
-
     /// Serializes the cumulative state to text — the human-readable
     /// **debug** snapshot format (production snapshots use
     /// [`SnapshotFormat::Binary`]). The context section is the
@@ -1221,36 +1175,6 @@ fn serve(n, mode) {
             .unwrap()
             .snapshot_as(SnapshotFormat::Binary);
         assert_eq!(resnap, bin);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_snapshot_methods_delegate_to_codec() {
-        let b = probed_binary();
-        let samples = traffic(&b, &[(1400, 1)]);
-        let mut agg = StreamAggregator::new(&b, StreamConfig::default(), 1);
-        agg.push_batch(samples).unwrap();
-        agg.seal_epoch();
-
-        assert_eq!(
-            agg.snapshot().into_bytes(),
-            agg.snapshot_as(SnapshotFormat::Text)
-        );
-        assert_eq!(agg.snapshot_bin(), agg.snapshot_as(SnapshotFormat::Binary));
-
-        let text = agg.snapshot();
-        let bin = agg.snapshot_bin();
-        let via_old_text = StreamAggregator::restore(&b, StreamConfig::default(), 1, &text)
-            .unwrap()
-            .snapshot_as(SnapshotFormat::Binary);
-        let via_old_bin = StreamAggregator::restore_bin(&b, StreamConfig::default(), 1, &bin)
-            .unwrap()
-            .snapshot_as(SnapshotFormat::Binary);
-        let via_new = StreamAggregator::restore_from(&b, StreamConfig::default(), 1, &bin)
-            .unwrap()
-            .snapshot_as(SnapshotFormat::Binary);
-        assert_eq!(via_old_text, via_new);
-        assert_eq!(via_old_bin, via_new);
     }
 
     #[test]

@@ -118,6 +118,77 @@ impl EdgeCounts {
     }
 }
 
+/// Where an annotated block count came from. Threaded through the annotation
+/// path so downstream consumers (the WP lint family, `csspgo_diff`, bench
+/// records) can tell raw measurements from salvaged or solver-invented
+/// weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Count comes straight from correlated samples (or exact counters) on a
+    /// checksum-matching build.
+    Sampled,
+    /// Count was transferred from a stale profile by the static matcher.
+    StaleMatched,
+    /// Count was invented or materially adjusted by flow inference.
+    Inferred,
+    /// Count was recovered from a sparse spanning-tree counter placement by
+    /// Kirchhoff elimination.
+    Reconstructed,
+}
+
+impl Provenance {
+    /// Stable lowercase tag for reports and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Provenance::Sampled => "sampled",
+            Provenance::StaleMatched => "stale_matched",
+            Provenance::Inferred => "inferred",
+            Provenance::Reconstructed => "reconstructed",
+        }
+    }
+}
+
+/// Per-block provenance tags, stored sparsely like [`EdgeCounts`]: a sorted
+/// `(block, tag)` list. Blocks without an entry have no annotated count (or
+/// the annotation predates provenance tracking).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceMap {
+    tags: Vec<(BlockId, Provenance)>,
+}
+
+impl ProvenanceMap {
+    /// Builds the map from `(block, tag)` pairs. Duplicates keep the first
+    /// tag after a stable sort; the result is sorted for binary search.
+    pub fn new(mut tags: Vec<(BlockId, Provenance)>) -> Self {
+        tags.sort_by_key(|&(b, _)| b);
+        tags.dedup_by_key(|&mut (b, _)| b);
+        ProvenanceMap { tags }
+    }
+
+    /// The tag recorded for `block`, if any.
+    pub fn get(&self, block: BlockId) -> Option<Provenance> {
+        self.tags
+            .binary_search_by_key(&block, |&(b, _)| b)
+            .ok()
+            .map(|i| self.tags[i].1)
+    }
+
+    /// All recorded tags in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, Provenance)> + '_ {
+        self.tags.iter().copied()
+    }
+
+    /// Number of tagged blocks.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether no blocks are tagged.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
 /// The block layout decided by the layout pass: hot blocks in order, then
 /// (optionally, with function splitting) cold blocks placed in a separate
 /// cold region of the binary.
@@ -168,6 +239,11 @@ pub struct Function {
     /// Absent in serialized modules from before edge inference existed
     /// (the vendored serde treats a missing `Option` field as `None`).
     pub edge_counts: Option<EdgeCounts>,
+    /// Per-block weight provenance, written alongside block counts by the
+    /// annotation path. Cleared by the optimizer pipeline together with
+    /// `edge_counts` (cloning passes would leave it stale). Absent in
+    /// serialized modules from before provenance tracking existed.
+    pub count_provenance: Option<ProvenanceMap>,
     next_vreg: u32,
 }
 
@@ -189,6 +265,7 @@ impl Function {
             layout: None,
             entry_count: None,
             edge_counts: None,
+            count_provenance: None,
             next_vreg: num_params as u32,
         }
     }

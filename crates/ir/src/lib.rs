@@ -39,6 +39,7 @@ pub mod builder;
 pub mod cfg;
 pub mod debuginfo;
 pub mod dom;
+pub mod flow;
 pub mod function;
 pub mod ids;
 pub mod inst;
@@ -51,7 +52,7 @@ pub mod verify;
 
 pub use annot::{InlinePlan, ProfileAnnotation};
 pub use debuginfo::{DebugLoc, InlineSite};
-pub use function::{BasicBlock, EdgeCounts, Function};
+pub use function::{BasicBlock, EdgeCounts, Function, Provenance, ProvenanceMap};
 pub use ids::{BlockId, FuncId, GlobalId, VReg};
 pub use inst::{BinOp, CmpPred, Inst, InstKind, Operand};
 pub use module::{Global, Module};

@@ -6,7 +6,7 @@ use csspgo_ir::dom::Dominators;
 use csspgo_ir::inst::{CmpPred, Operand};
 use csspgo_ir::loops::LoopInfo;
 use csspgo_ir::probe::cfg_checksum;
-use csspgo_ir::{cfg, BlockId, Module, VReg};
+use csspgo_ir::{cfg, BlockId, Function, Module, VReg};
 use proptest::prelude::*;
 
 /// Builds a function with `n` blocks and pseudo-random branch structure
@@ -46,6 +46,27 @@ fn cfg_strategy() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
             prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), n..=n),
         )
     })
+}
+
+/// Which blocks stay reachable from entry when every path through `avoid`
+/// is cut — the naive oracle for dominance: `a` dominates `b` exactly when
+/// removing `a` disconnects `b` from the entry.
+fn reachable_avoiding(f: &Function, avoid: BlockId) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    if f.entry == avoid {
+        return seen;
+    }
+    seen[f.entry.index()] = true;
+    let mut stack = vec![f.entry];
+    while let Some(b) = stack.pop() {
+        for s in cfg::successors(f, b) {
+            if s != avoid && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
 }
 
 proptest! {
@@ -119,6 +140,35 @@ proptest! {
             // (by construction of natural loops, the header dominates all).
             for &b in &l.blocks {
                 prop_assert!(dom.dominates(l.header, b), "{} !dom {}", l.header, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_matches_cut_vertex_oracle((n, edges) in cfg_strategy()) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let dom = Dominators::compute(f);
+        let reach = cfg::reachable(f);
+        for (ai, &ar) in reach.iter().enumerate() {
+            if !ar {
+                continue;
+            }
+            let a = BlockId::from_index(ai);
+            let without_a = reachable_avoiding(f, a);
+            for (bi, &br) in reach.iter().enumerate() {
+                if !br {
+                    continue;
+                }
+                let b = BlockId::from_index(bi);
+                let oracle = a == b || !without_a[bi];
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    oracle,
+                    "dominates({}, {}) disagrees with the cut-vertex oracle",
+                    a,
+                    b
+                );
             }
         }
     }

@@ -141,10 +141,12 @@ pub fn run_pipeline(module: &mut Module, config: &OptConfig) {
     };
     checkpoint(module, "input");
     // Passes maintain block counts ("profile maintenance") but not the
-    // edge-count annotation inference attaches — drop it rather than let a
-    // transformed CFG carry stale edges.
+    // edge-count annotation inference attaches, nor the per-block
+    // provenance tags — drop both rather than let a transformed CFG carry
+    // stale annotations.
     for f in &mut module.functions {
         f.edge_counts = None;
+        f.count_provenance = None;
     }
     simplify::run(module);
     checkpoint(module, "simplify");

@@ -33,7 +33,9 @@
 //! default policy that is the matcher-invariant lints (`SM002`/`SM003`),
 //! which must never fire.
 
-use csspgo::analysis::{inference_quality, Analyzer, DiffReport, Policy, ScenarioReport};
+use csspgo::analysis::{
+    inference_quality, provenance_breakdown, Analyzer, DiffReport, Policy, ScenarioReport,
+};
 use csspgo::codegen::{lower_module, CodegenConfig};
 use csspgo::core::pipeline::{BatchSource, PipelineConfig, ProfileSource};
 use csspgo::core::profile::ProbeProfile;
@@ -175,7 +177,8 @@ fn run(args: &[String]) -> Result<bool, String> {
             let diags = analyzer.report().diagnostics[before..].to_vec();
             report.scenarios.push(
                 ScenarioReport::from_outcome("file", &sf, &outcome, diags)
-                    .with_inference_quality(inference_quality(&module, &profile)),
+                    .with_inference_quality(inference_quality(&module, &profile))
+                    .with_provenance(provenance_breakdown(&module, &profile)),
             );
         }
         (None, None) => {
@@ -254,7 +257,8 @@ fn diff_workload(
         let diags = analyzer.report().diagnostics[before..].to_vec();
         report.scenarios.push(
             ScenarioReport::from_outcome(name, &workload.name, &outcome, diags)
-                .with_inference_quality(inference_quality(&module, &profile)),
+                .with_inference_quality(inference_quality(&module, &profile))
+                .with_provenance(provenance_breakdown(&module, &profile)),
         );
     }
     Ok(())
@@ -285,7 +289,8 @@ fn train_workload(
         let diags = analyzer.report().diagnostics[before..].to_vec();
         report.scenarios.push(
             ScenarioReport::from_outcome(&scenario, &workload.name, &outcome, diags)
-                .with_inference_quality(inference_quality(&module, &profile)),
+                .with_inference_quality(inference_quality(&module, &profile))
+                .with_provenance(provenance_breakdown(&module, &profile)),
         );
     }
     Ok(())
@@ -365,18 +370,31 @@ fn load_profile(path: &str) -> Result<ProbeProfile, String> {
     }
 }
 
-/// One line per scenario: the quality headline.
+/// One line per scenario: the quality headline plus where the recovered
+/// weight came from (sampled/stale-matched/inferred shares).
 fn print_summary(report: &DiffReport) {
-    println!("| scenario | workload | funcs | matched | recovered | renamed | dropped | stale weight recovered | PF raw→inferred |");
-    println!("|---|---|---|---|---|---|---|---|---|");
+    println!("| scenario | workload | funcs | matched | recovered | renamed | dropped | stale weight recovered | PF raw→inferred | provenance (smp/stale/inf) |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     for s in &report.scenarios {
         let pf = s
             .inference_quality
             .as_ref()
             .map(|q| format!("{}→{}", q.pf_findings_raw, q.pf_findings_inferred))
             .unwrap_or_else(|| "-".into());
+        let prov = s
+            .provenance
+            .as_ref()
+            .map(|p| {
+                format!(
+                    "{:.0}%/{:.0}%/{:.0}%",
+                    p.sampled_share * 100.0,
+                    p.stale_matched_share * 100.0,
+                    p.inferred_share * 100.0
+                )
+            })
+            .unwrap_or_else(|| "-".into());
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.1}% | {pf} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1}% | {pf} | {prov} |",
             s.scenario,
             s.workload,
             s.funcs_total,

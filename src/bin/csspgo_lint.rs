@@ -26,12 +26,13 @@
 //! csspgo_lint --deny all --post-inference --json report.json
 //! csspgo_lint --workload ad_ranker --allow PF001
 //! csspgo_lint --list
+//! csspgo_lint --explain PP001
 //! ```
 //!
 //! Exits nonzero iff any diagnostic reaches `Deny` severity — `--deny all`
 //! over the shipped workloads is the repo's CI gate.
 
-use csspgo::analysis::{render_lint_list, Analyzer, Policy};
+use csspgo::analysis::{explain, render_lint_list, Analyzer, Policy};
 use csspgo::codegen::{lower_module, CodegenConfig};
 use csspgo::core::annotate::{csspgo_annotate, AnnotateConfig};
 use csspgo::core::binprof;
@@ -68,15 +69,18 @@ fn print_usage() {
 USAGE:
   csspgo_lint [--deny <lint,...|all>] [--allow <lint,...|all>]
               [--workload <name>] [--scale <f>] [--json <file>] [--list]
-              [--post-inference]
+              [--explain <lint>] [--post-inference]
 
-Lints the full PGO cycle (fresh module, optimized module, collected
-profiles, annotated module) of every shipped workload. Lints are named by
-stable id (PI001) or name (probe-duplicate-id); `--deny all` escalates
-every lint to an error. `--post-inference` additionally lints drifted
-rebuilds annotated through stale recovery + min-cost-flow inference
-(inferred profiles must be flow-clean by construction). Exits 1 if any
-denied lint fires, 2 on usage errors."#
+Lints the full PGO cycle (fresh module, optimized module, counter
+placement, collected profiles, annotated module) of every shipped
+workload. Lints are named by stable id (PI001) or name
+(probe-duplicate-id); `--deny all` escalates every lint to an error.
+`--list` prints the registry grouped by family; `--explain <lint>` prints
+one lint's extended documentation. `--post-inference` additionally lints
+drifted rebuilds annotated through stale recovery + min-cost-flow
+inference (inferred profiles must be flow-clean by construction, and
+their weight provenance is linted too). Exits 1 if any denied lint
+fires, 2 on usage errors."#
     );
 }
 
@@ -87,6 +91,12 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
     if args.iter().any(|a| a == "--list") {
         print!("{}", render_lint_list());
+        return Ok(true);
+    }
+    if let Some(key) = opt_value(args, "--explain")? {
+        let text = explain(&key)
+            .ok_or_else(|| format!("unknown lint `{key}` (try --list for the registry)"))?;
+        print!("{text}");
         return Ok(true);
     }
 
@@ -146,6 +156,11 @@ fn lint_workload(
     csspgo::opt::discriminators::run(&mut module);
     csspgo::opt::probes::run(&mut module);
     analyzer.analyze_module(&format!("{}/fresh", workload.name), &module, true);
+
+    // Stage 1b: the spanning-tree counter placement the instrumented
+    // variant would emit for this module, certified by the static
+    // Kirchhoff prover (`PP` lints) — no execution involved.
+    analyzer.analyze_placement(&format!("{}/placement", workload.name), &module);
 
     // Stage 2: the optimized module, with the optimizer's own inter-pass
     // verifier engaged on top of the final lint sweep.
@@ -241,6 +256,7 @@ fn lint_workload(
     };
     csspgo_annotate(&mut module, &probe_prof, None, &no_replay);
     analyzer.analyze_flow(&format!("{}/annotated", workload.name), &module);
+    analyzer.analyze_provenance(&format!("{}/annotated", workload.name), &module);
 
     // Stage 6 (--post-inference): annotate drifted rebuilds through stale
     // recovery + inference. Salvaged counts are partial and internally
@@ -276,9 +292,21 @@ fn lint_workload(
                 ..config.annotate
             };
             csspgo_annotate(&mut drifted, &probe_prof, None, &recover);
-            analyzer.analyze_flow(
-                &format!("{}/post-inference/{name}", workload.name),
+            let unit = format!("{}/post-inference/{name}", workload.name);
+            analyzer.analyze_flow(&unit, &drifted);
+            // Drift-appropriate provenance thresholds: these rebuilds
+            // deliberately invalidate much of the profile, so salvage
+            // dominating the module and inference carrying hot functions
+            // are expected; only pathological shares (and any structural
+            // WP002 source mixing) stay deniable.
+            analyzer.analyze_provenance_with(
+                &unit,
                 &drifted,
+                csspgo::analysis::WpTolerance {
+                    inferred_majority: 0.75,
+                    max_salvaged_share: 0.95,
+                    ..csspgo::analysis::WpTolerance::default()
+                },
             );
         }
     }
